@@ -1,0 +1,132 @@
+//! The assembled measurement dataset for one scan.
+
+use orscope_prober::{ProbeStats, R2Capture};
+use orscope_resolver::paper::Year;
+
+use crate::classify::{classify, ClassifiedR2};
+
+/// Everything one campaign produced, classified and ready for the table
+/// generators.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which paper scan this models.
+    pub year: Year,
+    /// The scale the campaign ran at (1.0 = full Internet).
+    pub scale: f64,
+    /// Q1 probes sent.
+    pub q1: u64,
+    /// Q2 packets captured at the authoritative server.
+    pub q2: u64,
+    /// R1 packets captured at the authoritative server.
+    pub r1: u64,
+    /// Scan duration in (virtual) seconds, including zone-load time.
+    pub duration_secs: f64,
+    /// All classified R2 packets (matched and empty-question alike).
+    pub records: Vec<ClassifiedR2>,
+    /// The raw captures the records were classified from (pcap export,
+    /// re-analysis).
+    pub raw: Vec<R2Capture>,
+    /// Responses dropped by the port-53 blind spot.
+    pub off_port_dropped: u64,
+    /// Prober-side scan statistics.
+    pub probe_stats: ProbeStats,
+}
+
+impl Dataset {
+    /// Builds a dataset by classifying raw captures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_captures(
+        year: Year,
+        scale: f64,
+        q1: u64,
+        q2: u64,
+        r1: u64,
+        duration_secs: f64,
+        captures: &[R2Capture],
+        probe_stats: ProbeStats,
+    ) -> Self {
+        let records = captures.iter().filter_map(classify).collect();
+        Self {
+            year,
+            scale,
+            q1,
+            q2,
+            r1,
+            duration_secs,
+            records,
+            raw: captures.to_vec(),
+            off_port_dropped: probe_stats.off_port_dropped,
+            probe_stats,
+        }
+    }
+
+    /// Total R2 packets.
+    pub fn r2(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// The packets with a question section (the 6,505,764 of 2018).
+    pub fn matched(&self) -> impl Iterator<Item = &ClassifiedR2> {
+        self.records.iter().filter(|r| r.has_question)
+    }
+
+    /// The §IV-B4 packets without a question section.
+    pub fn empty_question(&self) -> impl Iterator<Item = &ClassifiedR2> {
+        self.records.iter().filter(|r| !r.has_question)
+    }
+
+    /// De-scales a measured count back to paper scale for comparison.
+    pub fn descale(&self, measured: u64) -> u64 {
+        (measured as f64 * self.scale).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use orscope_authns::scheme::ProbeLabel;
+    use orscope_dns_wire::{Message, Name, Question};
+    use orscope_netsim::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn capture(label: ProbeLabel, empty_question: bool) -> R2Capture {
+        let zone: Name = "ucfsealresearch.net".parse().unwrap();
+        let query = Message::query(1, Question::a(label.qname(&zone)));
+        let mut resp = Message::builder().response_to(&query).build();
+        if empty_question {
+            resp.clear_questions();
+        }
+        R2Capture {
+            target: Ipv4Addr::new(9, 9, 9, 9),
+            label: (!empty_question).then_some(label),
+            qname: label.qname(&zone),
+            at: SimTime::from_secs(1),
+            sent_at: SimTime::ZERO,
+            payload: Bytes::from(resp.encode().unwrap()),
+        }
+    }
+
+    #[test]
+    fn splits_matched_and_empty_question() {
+        let captures = vec![
+            capture(ProbeLabel::new(0, 1), false),
+            capture(ProbeLabel::new(0, 2), true),
+            capture(ProbeLabel::new(0, 3), false),
+        ];
+        let ds = Dataset::from_captures(
+            Year::Y2018,
+            1000.0,
+            100,
+            10,
+            10,
+            60.0,
+            &captures,
+            ProbeStats::default(),
+        );
+        assert_eq!(ds.r2(), 3);
+        assert_eq!(ds.matched().count(), 2);
+        assert_eq!(ds.empty_question().count(), 1);
+        assert_eq!(ds.descale(3), 3000);
+    }
+}

@@ -1,0 +1,287 @@
+//! Four-flow matching: grouping Q1, Q2, R1 and R2 by qname (§III-B).
+//!
+//! The DNS ID field (16 bits) cannot disambiguate flows at 100k probes
+//! per second, so the paper keys everything on the unique per-target
+//! qname. This module performs that join across the two capture points:
+//! the prober's R2 log (which carries the Q1 send time) and the
+//! authoritative server's Q2/R1 log, yielding one [`Flow`] per probed
+//! responder with the complete packet timeline of Fig. 2.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use orscope_authns::scheme::ProbeLabel;
+use orscope_authns::{CapturedPacket, Direction};
+use orscope_dns_wire::wire::Reader;
+use orscope_dns_wire::{Header, Name, Question};
+use orscope_netsim::SimTime;
+use orscope_prober::R2Capture;
+
+/// The reconstructed timeline of one probe flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// The probe label (joins all four packet kinds).
+    pub label: ProbeLabel,
+    /// The probed resolver, from the R2 (or the Q2 source when the R2
+    /// was lost).
+    pub resolver: Option<Ipv4Addr>,
+    /// When the prober sent Q1 (known only for flows with an R2).
+    pub q1_at: Option<SimTime>,
+    /// Arrival times of resolver queries at the authoritative server.
+    pub q2_at: Vec<SimTime>,
+    /// Send times of authoritative responses.
+    pub r1_at: Vec<SimTime>,
+    /// When the prober captured R2.
+    pub r2_at: Option<SimTime>,
+}
+
+impl Flow {
+    /// End-to-end resolution latency (Q1 -> R2), if both ends exist.
+    pub fn resolution_latency(&self) -> Option<std::time::Duration> {
+        Some(self.r2_at?.since(self.q1_at?))
+    }
+
+    /// Whether the flow reached the authoritative server (i.e. the
+    /// responder really recursed rather than answering from thin air).
+    pub fn recursed(&self) -> bool {
+        !self.q2_at.is_empty()
+    }
+}
+
+/// The joined flow set for one scan.
+#[derive(Debug, Clone, Default)]
+pub struct FlowSet {
+    /// Flows keyed by probe label, in label order.
+    pub flows: Vec<Flow>,
+    /// Auth-server packets whose qname was not a probe name.
+    pub foreign_auth_packets: u64,
+}
+
+impl FlowSet {
+    /// Joins prober-side and server-side captures.
+    ///
+    /// `zone` is the measurement zone the probe names live under.
+    pub fn match_flows(
+        r2: &[R2Capture],
+        auth: &[CapturedPacket],
+        zone: &Name,
+    ) -> FlowSet {
+        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::new();
+        for capture in r2 {
+            let Some(label) = capture.label.or_else(|| ProbeLabel::parse(&capture.qname, zone))
+            else {
+                continue; // empty-question responses joined elsewhere
+            };
+            let flow = by_label.entry(label).or_insert_with(|| Flow {
+                label,
+                resolver: None,
+                q1_at: None,
+                q2_at: Vec::new(),
+                r1_at: Vec::new(),
+                r2_at: None,
+            });
+            flow.resolver = Some(capture.target);
+            flow.q1_at = Some(capture.sent_at);
+            flow.r2_at = Some(capture.at);
+        }
+        let mut foreign = 0u64;
+        for packet in auth {
+            match qname_of(&packet.payload).and_then(|q| ProbeLabel::parse(&q, zone)) {
+                Some(label) => {
+                    let flow = by_label.entry(label).or_insert_with(|| Flow {
+                        label,
+                        resolver: None,
+                        q1_at: None,
+                        q2_at: Vec::new(),
+                        r1_at: Vec::new(),
+                        r2_at: None,
+                    });
+                    match packet.direction {
+                        Direction::Inbound => {
+                            flow.q2_at.push(packet.at);
+                            if flow.resolver.is_none() {
+                                flow.resolver = Some(packet.peer);
+                            }
+                        }
+                        Direction::Outbound => flow.r1_at.push(packet.at),
+                    }
+                }
+                None => foreign += 1,
+            }
+        }
+        let mut flows: Vec<Flow> = by_label.into_values().collect();
+        flows.sort_by_key(|f| f.label);
+        FlowSet {
+            flows,
+            foreign_auth_packets: foreign,
+        }
+    }
+
+    /// Number of flows that recursed (reached the authoritative server).
+    pub fn recursed_count(&self) -> u64 {
+        self.flows.iter().filter(|f| f.recursed()).count() as u64
+    }
+
+    /// Mean Q2 packets per recursing flow — the resolver-farm fan-out
+    /// that makes Table II's Q2 a multiple of its R2.
+    pub fn mean_q2_fanout(&self) -> f64 {
+        let recursed = self.recursed_count();
+        if recursed == 0 {
+            return 0.0;
+        }
+        let q2: usize = self.flows.iter().map(|f| f.q2_at.len()).sum();
+        q2 as f64 / recursed as f64
+    }
+
+    /// Resolution latencies (Q1 -> R2) across complete flows, sorted.
+    pub fn resolution_latencies(&self) -> Vec<std::time::Duration> {
+        let mut out: Vec<_> = self
+            .flows
+            .iter()
+            .filter_map(Flow::resolution_latency)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The `q`-quantile (0..=1) of resolution latency, if any flows
+    /// completed.
+    pub fn latency_quantile(&self, q: f64) -> Option<std::time::Duration> {
+        let lats = self.resolution_latencies();
+        if lats.is_empty() {
+            return None;
+        }
+        let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(lats[idx])
+    }
+}
+
+/// Extracts the qname from a DNS payload, tolerating undecodable tails.
+fn qname_of(payload: &[u8]) -> Option<Name> {
+    let mut reader = Reader::new(payload);
+    let header = Header::decode(&mut reader).ok()?;
+    if header.question_count() == 0 {
+        return None;
+    }
+    Question::decode(&mut reader)
+        .ok()
+        .map(|q| q.qname().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use orscope_dns_wire::Message;
+
+    fn zone() -> Name {
+        "ucfsealresearch.net".parse().unwrap()
+    }
+
+    fn r2(label: ProbeLabel, sent_ms: u64, recv_ms: u64) -> R2Capture {
+        let query = Message::query(1, Question::a(label.qname(&zone())));
+        R2Capture {
+            target: Ipv4Addr::new(9, 9, 9, 9),
+            label: Some(label),
+            qname: label.qname(&zone()),
+            at: SimTime::from_nanos(recv_ms * 1_000_000),
+            sent_at: SimTime::from_nanos(sent_ms * 1_000_000),
+            payload: Bytes::from(query.encode().unwrap()),
+        }
+    }
+
+    fn auth(label: ProbeLabel, at_ms: u64, direction: Direction) -> CapturedPacket {
+        let query = Message::query(7, Question::a(label.qname(&zone())));
+        CapturedPacket {
+            at: SimTime::from_nanos(at_ms * 1_000_000),
+            direction,
+            peer: Ipv4Addr::new(9, 9, 9, 9),
+            peer_port: 33_000,
+            payload: Bytes::from(query.encode().unwrap()),
+        }
+    }
+
+    #[test]
+    fn joins_all_four_packet_kinds() {
+        let label = ProbeLabel::new(0, 1);
+        let flows = FlowSet::match_flows(
+            &[r2(label, 0, 100)],
+            &[
+                auth(label, 40, Direction::Inbound),
+                auth(label, 41, Direction::Outbound),
+                auth(label, 55, Direction::Inbound), // duplicate Q2
+                auth(label, 56, Direction::Outbound),
+            ],
+            &zone(),
+        );
+        assert_eq!(flows.flows.len(), 1);
+        let flow = &flows.flows[0];
+        assert_eq!(flow.q2_at.len(), 2);
+        assert_eq!(flow.r1_at.len(), 2);
+        assert_eq!(
+            flow.resolution_latency(),
+            Some(std::time::Duration::from_millis(100))
+        );
+        assert!(flow.recursed());
+        assert_eq!(flows.mean_q2_fanout(), 2.0);
+    }
+
+    #[test]
+    fn lost_r2_still_yields_a_flow_from_q2() {
+        let label = ProbeLabel::new(0, 2);
+        let flows = FlowSet::match_flows(&[], &[auth(label, 40, Direction::Inbound)], &zone());
+        assert_eq!(flows.flows.len(), 1);
+        let flow = &flows.flows[0];
+        assert_eq!(flow.r2_at, None);
+        assert_eq!(flow.resolver, Some(Ipv4Addr::new(9, 9, 9, 9)));
+        assert_eq!(flow.resolution_latency(), None);
+    }
+
+    #[test]
+    fn non_recursing_responder_has_empty_q2() {
+        let label = ProbeLabel::new(0, 3);
+        let flows = FlowSet::match_flows(&[r2(label, 0, 30)], &[], &zone());
+        assert!(!flows.flows[0].recursed());
+        assert_eq!(flows.mean_q2_fanout(), 0.0);
+    }
+
+    #[test]
+    fn foreign_auth_traffic_counted() {
+        let query = Message::query(9, Question::a("www.example.com".parse().unwrap()));
+        let foreign = CapturedPacket {
+            at: SimTime::ZERO,
+            direction: Direction::Inbound,
+            peer: Ipv4Addr::new(1, 1, 1, 1),
+            peer_port: 1,
+            payload: Bytes::from(query.encode().unwrap()),
+        };
+        let flows = FlowSet::match_flows(&[], &[foreign], &zone());
+        assert_eq!(flows.flows.len(), 0);
+        assert_eq!(flows.foreign_auth_packets, 1);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let flows = FlowSet::match_flows(
+            &[
+                r2(ProbeLabel::new(0, 1), 0, 10),
+                r2(ProbeLabel::new(0, 2), 0, 20),
+                r2(ProbeLabel::new(0, 3), 0, 90),
+            ],
+            &[],
+            &zone(),
+        );
+        assert_eq!(
+            flows.latency_quantile(0.0),
+            Some(std::time::Duration::from_millis(10))
+        );
+        assert_eq!(
+            flows.latency_quantile(1.0),
+            Some(std::time::Duration::from_millis(90))
+        );
+        assert_eq!(
+            flows.latency_quantile(0.5),
+            Some(std::time::Duration::from_millis(20))
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The server-side packet log (the tcpdump of Fig. 2).
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use orscope_netsim::{Datagram, SimTime};
+use parking_lot::Mutex;
+
+/// Direction of a captured packet relative to the capturing host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Arrived at the host (Q2 at the authoritative server).
+    Inbound,
+    /// Sent by the host (R1 at the authoritative server).
+    Outbound,
+}
+
+/// One captured packet with its virtual timestamp.
+#[derive(Debug, Clone)]
+pub struct CapturedPacket {
+    /// When the packet crossed the capture point.
+    pub at: SimTime,
+    /// Inbound or outbound.
+    pub direction: Direction,
+    /// Remote address (source for inbound, destination for outbound).
+    pub peer: Ipv4Addr,
+    /// Remote port.
+    pub peer_port: u16,
+    /// Raw UDP payload.
+    pub payload: bytes::Bytes,
+}
+
+/// A shared, cloneable handle to a capture buffer.
+///
+/// The campaign creates one handle per capture point, hands clones to the
+/// capturing endpoints, and reads the accumulated packets after the
+/// simulation drains.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureHandle {
+    inner: Arc<Mutex<Vec<CapturedPacket>>>,
+}
+
+impl CaptureHandle {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an inbound datagram at time `at`.
+    pub fn record_inbound(&self, at: SimTime, dgram: &Datagram) {
+        self.inner.lock().push(CapturedPacket {
+            at,
+            direction: Direction::Inbound,
+            peer: dgram.src,
+            peer_port: dgram.src_port,
+            payload: dgram.payload.clone(),
+        });
+    }
+
+    /// Records an outbound datagram at time `at`.
+    pub fn record_outbound(&self, at: SimTime, dgram: &Datagram) {
+        self.inner.lock().push(CapturedPacket {
+            at,
+            direction: Direction::Outbound,
+            peer: dgram.dst,
+            peer_port: dgram.dst_port,
+            payload: dgram.payload.clone(),
+        });
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Count by direction.
+    pub fn count(&self, direction: Direction) -> usize {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|p| p.direction == direction)
+            .count()
+    }
+
+    /// Takes the captured packets, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<CapturedPacket> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Clones the captured packets without draining.
+    pub fn snapshot(&self) -> Vec<CapturedPacket> {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgram() -> Datagram {
+        Datagram::new(
+            (Ipv4Addr::new(1, 1, 1, 1), 5353),
+            (Ipv4Addr::new(2, 2, 2, 2), 53),
+            b"payload".to_vec(),
+        )
+    }
+
+    #[test]
+    fn records_both_directions() {
+        let cap = CaptureHandle::new();
+        cap.record_inbound(SimTime::from_secs(1), &dgram());
+        cap.record_outbound(SimTime::from_secs(2), &dgram());
+        assert_eq!(cap.len(), 2);
+        assert_eq!(cap.count(Direction::Inbound), 1);
+        assert_eq!(cap.count(Direction::Outbound), 1);
+        let packets = cap.snapshot();
+        assert_eq!(packets[0].peer, Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(packets[1].peer, Ipv4Addr::new(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let cap = CaptureHandle::new();
+        cap.record_inbound(SimTime::ZERO, &dgram());
+        assert_eq!(cap.drain().len(), 1);
+        assert!(cap.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cap = CaptureHandle::new();
+        let clone = cap.clone();
+        clone.record_inbound(SimTime::ZERO, &dgram());
+        assert_eq!(cap.len(), 1);
+    }
+}

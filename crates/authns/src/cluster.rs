@@ -1,0 +1,238 @@
+//! The two-tier zone cluster of Fig. 3.
+//!
+//! The paper's authoritative server could reliably hold about five
+//! million zone entries at once, so the 3.7-billion-target probe space is
+//! cut into numbered clusters of five million subdomains each; when a
+//! cluster is exhausted the server loads the next one (about one minute
+//! of load time per cluster). Subdomain reuse reduced the real scan from
+//! a theoretical 800 clusters to 4.
+//!
+//! [`ClusterZone`] reproduces those semantics without materializing five
+//! million `Record`s: membership of `or{ccc}.{sssssss}` in the active
+//! cluster is decided from the parsed label, and the A answer is the
+//! deterministic [`ground_truth`] address the zone files would contain.
+
+use std::time::Duration;
+
+use orscope_dns_wire::{Name, RData, Record, RecordType};
+
+use crate::scheme::{ground_truth, ProbeLabel, CLUSTER_CAPACITY};
+use crate::zone::{Zone, ZoneAnswer};
+
+/// Time the paper reports for loading one five-million-entry cluster.
+pub const CLUSTER_LOAD_TIME: Duration = Duration::from_secs(60);
+
+/// A [`Zone`] wrapper that additionally serves the active probe cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterZone {
+    /// Static zone content (apex SOA/NS/TXT, ns1 glue, ...).
+    zone: Zone,
+    /// The currently loaded cluster, if any.
+    active_cluster: Option<u32>,
+    /// How many subdomains of the active cluster are actually loaded
+    /// (the final cluster of a scan may be partial).
+    loaded: u64,
+    /// The previously active cluster, kept serving while in-flight
+    /// resolutions for it drain (zones overlap during a reload).
+    previous: Option<(u32, u64)>,
+    /// TTL served for probe subdomains.
+    probe_ttl: u32,
+    /// Total clusters loaded over the zone's lifetime.
+    clusters_loaded: u32,
+}
+
+impl ClusterZone {
+    /// Wraps `zone`, initially with no cluster loaded.
+    pub fn new(zone: Zone) -> Self {
+        Self {
+            zone,
+            active_cluster: None,
+            loaded: 0,
+            previous: None,
+            probe_ttl: 60,
+            clusters_loaded: 0,
+        }
+    }
+
+    /// The static zone content.
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// Mutable access to the static zone content.
+    pub fn zone_mut(&mut self) -> &mut Zone {
+        &mut self.zone
+    }
+
+    /// The active cluster number, if one is loaded.
+    pub fn active_cluster(&self) -> Option<u32> {
+        self.active_cluster
+    }
+
+    /// Total clusters loaded so far (the paper's scan needed only 4).
+    pub fn clusters_loaded(&self) -> u32 {
+        self.clusters_loaded
+    }
+
+    /// Loads cluster `cluster` with `count` subdomains (capped at
+    /// [`CLUSTER_CAPACITY`]), replacing the previous cluster.
+    ///
+    /// Returns the simulated load duration to charge against the scan
+    /// clock (one minute per full cluster, pro-rated for partials).
+    pub fn load_cluster(&mut self, cluster: u32, count: u64) -> Duration {
+        let count = count.min(CLUSTER_CAPACITY);
+        self.previous = self.active_cluster.map(|c| (c, self.loaded));
+        self.active_cluster = Some(cluster);
+        self.loaded = count;
+        self.clusters_loaded += 1;
+        Duration::from_secs_f64(
+            CLUSTER_LOAD_TIME.as_secs_f64() * count as f64 / CLUSTER_CAPACITY as f64,
+        )
+    }
+
+    /// Looks up a name: probe subdomains of the active cluster answer
+    /// with their ground-truth address; everything else defers to the
+    /// static zone (which yields NXDomain for unloaded probe names,
+    /// exactly as a real zone file would).
+    pub fn lookup(&self, qname: &Name, qtype: RecordType) -> ZoneAnswer {
+        if let Some(label) = ProbeLabel::parse(qname, self.zone.origin()) {
+            let in_active = Some(label.cluster) == self.active_cluster && label.seq < self.loaded;
+            let in_previous = self
+                .previous
+                .is_some_and(|(c, n)| c == label.cluster && label.seq < n);
+            if in_active || in_previous {
+                if matches!(qtype, RecordType::A | RecordType::Any) {
+                    return ZoneAnswer::Answer(vec![Record::in_class(
+                        qname.clone(),
+                        self.probe_ttl,
+                        RData::A(ground_truth(label)),
+                    )]);
+                }
+                return ZoneAnswer::NoData(self.zone.soa().clone());
+            }
+            // A probe name outside the loaded cluster does not exist.
+            return ZoneAnswer::NxDomain(self.zone.soa().clone());
+        }
+        self.zone.lookup(qname, qtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_zone() -> ClusterZone {
+        let zone = Zone::new(
+            "ucfsealresearch.net".parse().unwrap(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        );
+        ClusterZone::new(zone)
+    }
+
+    fn qname(cluster: u32, seq: u64) -> Name {
+        ProbeLabel::new(cluster, seq).qname(&"ucfsealresearch.net".parse().unwrap())
+    }
+
+    #[test]
+    fn unloaded_cluster_yields_nxdomain() {
+        let cz = cluster_zone();
+        assert!(matches!(
+            cz.lookup(&qname(0, 1), RecordType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+    }
+
+    #[test]
+    fn loaded_cluster_answers_ground_truth() {
+        let mut cz = cluster_zone();
+        cz.load_cluster(3, 1000);
+        match cz.lookup(&qname(3, 999), RecordType::A) {
+            ZoneAnswer::Answer(recs) => {
+                assert_eq!(
+                    recs[0].rdata().as_a(),
+                    Some(ground_truth(ProbeLabel::new(3, 999)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_beyond_loaded_count_is_nxdomain() {
+        let mut cz = cluster_zone();
+        cz.load_cluster(3, 1000);
+        assert!(matches!(
+            cz.lookup(&qname(3, 1000), RecordType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+    }
+
+    #[test]
+    fn other_cluster_is_nxdomain() {
+        let mut cz = cluster_zone();
+        cz.load_cluster(3, 1000);
+        assert!(matches!(
+            cz.lookup(&qname(2, 5), RecordType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+    }
+
+    #[test]
+    fn rollover_keeps_previous_cluster_until_next_roll() {
+        let mut cz = cluster_zone();
+        cz.load_cluster(0, 100);
+        cz.load_cluster(1, 100);
+        assert_eq!(cz.active_cluster(), Some(1));
+        assert_eq!(cz.clusters_loaded(), 2);
+        // Cluster 0 still drains while cluster 1 is active...
+        assert!(matches!(
+            cz.lookup(&qname(0, 5), RecordType::A),
+            ZoneAnswer::Answer(_)
+        ));
+        assert!(matches!(
+            cz.lookup(&qname(1, 5), RecordType::A),
+            ZoneAnswer::Answer(_)
+        ));
+        // ...but is dropped once cluster 2 loads.
+        cz.load_cluster(2, 100);
+        assert!(matches!(
+            cz.lookup(&qname(0, 5), RecordType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+        assert!(matches!(
+            cz.lookup(&qname(1, 5), RecordType::A),
+            ZoneAnswer::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn load_time_scales_with_count() {
+        let mut cz = cluster_zone();
+        let full = cz.load_cluster(0, CLUSTER_CAPACITY);
+        assert_eq!(full, CLUSTER_LOAD_TIME);
+        let half = cz.load_cluster(1, CLUSTER_CAPACITY / 2);
+        assert_eq!(half, CLUSTER_LOAD_TIME / 2);
+    }
+
+    #[test]
+    fn mx_on_probe_name_is_nodata() {
+        let mut cz = cluster_zone();
+        cz.load_cluster(0, 10);
+        assert!(matches!(
+            cz.lookup(&qname(0, 5), RecordType::Mx),
+            ZoneAnswer::NoData(_)
+        ));
+    }
+
+    #[test]
+    fn static_zone_still_served() {
+        let mut cz = cluster_zone();
+        cz.zone_mut()
+            .add_a("ns1.ucfsealresearch.net".parse().unwrap(), "45.77.1.1".parse().unwrap());
+        cz.load_cluster(0, 10);
+        assert!(matches!(
+            cz.lookup(&"ns1.ucfsealresearch.net".parse().unwrap(), RecordType::A),
+            ZoneAnswer::Answer(_)
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Simulated root and TLD name servers (Fig. 1, steps 2-5).
+//!
+//! The paper could not build its own root or TLD servers and simply used
+//! the real ones. Our resolvers recurse inside the simulation, so we
+//! provide minimal but protocol-faithful delegation servers: they never
+//! answer address queries themselves; they return referrals (empty answer
+//! section, NS in authority, glue A in additional) toward the next zone
+//! cut, which is exactly what an iterative resolver needs.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use orscope_dns_wire::{Message, Name, RData, Rcode, Record};
+use orscope_netsim::{Context, Datagram, Endpoint};
+
+/// A delegation entry: the child zone's name server and its glue address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delegation {
+    /// The delegated zone (e.g. `net` at the root, `ucfsealresearch.net`
+    /// at the TLD).
+    pub zone: Name,
+    /// The child zone's name server name.
+    pub ns: Name,
+    /// Glue: the name server's address.
+    pub glue: Ipv4Addr,
+}
+
+/// Shared referral logic for root and TLD servers.
+#[derive(Debug, Clone, Default)]
+struct DelegationTable {
+    /// Keyed by the delegated zone name.
+    entries: HashMap<Name, Delegation>,
+}
+
+impl DelegationTable {
+    fn insert(&mut self, delegation: Delegation) {
+        self.entries.insert(delegation.zone.clone(), delegation);
+    }
+
+    /// Finds the closest enclosing delegation for `qname`.
+    fn find(&self, qname: &Name) -> Option<&Delegation> {
+        let mut candidate = Some(qname.clone());
+        while let Some(name) = candidate {
+            if let Some(d) = self.entries.get(&name) {
+                return Some(d);
+            }
+            candidate = name.parent();
+        }
+        None
+    }
+
+    /// Builds a referral (or NXDomain) response for a query.
+    fn respond(&self, query: &Message) -> Message {
+        let Some(question) = query.first_question() else {
+            return Message::builder()
+                .response_to(query)
+                .rcode(Rcode::FormErr)
+                .build();
+        };
+        match self.find(question.qname()) {
+            Some(d) => Message::builder()
+                .response_to(query)
+                .authority(Record::in_class(d.zone.clone(), 172_800, RData::Ns(d.ns.clone())))
+                .additional(Record::in_class(d.ns.clone(), 172_800, RData::A(d.glue)))
+                .build(),
+            None => Message::builder()
+                .response_to(query)
+                .rcode(Rcode::NXDomain)
+                .build(),
+        }
+    }
+}
+
+macro_rules! delegation_endpoint {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name {
+            table: DelegationTable,
+            queries_served: std::cell::Cell<u64>,
+        }
+
+        impl $name {
+            /// Creates an empty server; add delegations before use.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Adds a delegation for `zone` served by `ns` at `glue`.
+            pub fn delegate(&mut self, zone: Name, ns: Name, glue: Ipv4Addr) -> &mut Self {
+                self.table.insert(Delegation { zone, ns, glue });
+                self
+            }
+
+            /// Number of queries served (for Table II style accounting).
+            pub fn queries_served(&self) -> u64 {
+                self.queries_served.get()
+            }
+
+            /// Builds the referral response for a decoded query.
+            pub fn respond(&self, query: &Message) -> Message {
+                self.queries_served.set(self.queries_served.get() + 1);
+                self.table.respond(query)
+            }
+        }
+
+        impl Endpoint for $name {
+            fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
+                if dgram.dst_port != 53 {
+                    return;
+                }
+                let Ok(query) = Message::decode(&dgram.payload) else {
+                    return;
+                };
+                if query.header().is_response() {
+                    return;
+                }
+                let response = self.respond(&query);
+                if let Ok(wire) = response.encode_truncated(query.response_size_limit()) {
+                    ctx.send(dgram.reply(wire));
+                }
+            }
+        }
+    };
+}
+
+delegation_endpoint! {
+    /// A root name server: delegates TLDs.
+    RootServer
+}
+
+delegation_endpoint! {
+    /// A TLD name server: delegates second-level domains.
+    TldServer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orscope_dns_wire::Question;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn root() -> RootServer {
+        let mut r = RootServer::new();
+        r.delegate(
+            name("net"),
+            name("a.gtld-servers.net"),
+            Ipv4Addr::new(192, 5, 6, 30),
+        );
+        r
+    }
+
+    #[test]
+    fn referral_for_known_tld() {
+        let r = root();
+        let q = Message::query(1, Question::a(name("or000.0000001.ucfsealresearch.net")));
+        let resp = r.respond(&q);
+        assert_eq!(resp.header().rcode(), Rcode::NoError);
+        assert!(resp.answers().is_empty(), "referral has no answer");
+        assert!(!resp.header().authoritative());
+        assert_eq!(resp.authorities().len(), 1);
+        assert_eq!(resp.authorities()[0].name(), &name("net"));
+        assert_eq!(
+            resp.additionals()[0].rdata().as_a(),
+            Some(Ipv4Addr::new(192, 5, 6, 30))
+        );
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_tld() {
+        let r = root();
+        let q = Message::query(2, Question::a(name("example.zz")));
+        let resp = r.respond(&q);
+        assert_eq!(resp.header().rcode(), Rcode::NXDomain);
+    }
+
+    #[test]
+    fn tld_delegates_sld() {
+        let mut tld = TldServer::new();
+        tld.delegate(
+            name("ucfsealresearch.net"),
+            name("ns1.ucfsealresearch.net"),
+            Ipv4Addr::new(45, 77, 1, 1),
+        );
+        let q = Message::query(3, Question::a(name("or001.0000002.ucfsealresearch.net")));
+        let resp = tld.respond(&q);
+        assert_eq!(resp.authorities()[0].name(), &name("ucfsealresearch.net"));
+        assert_eq!(
+            resp.additionals()[0].rdata().as_a(),
+            Some(Ipv4Addr::new(45, 77, 1, 1))
+        );
+        assert_eq!(tld.queries_served(), 1);
+    }
+
+    #[test]
+    fn closest_enclosing_delegation_wins() {
+        let mut tld = TldServer::new();
+        tld.delegate(name("net"), name("ns.net"), Ipv4Addr::new(1, 1, 1, 1));
+        tld.delegate(
+            name("example.net"),
+            name("ns.example.net"),
+            Ipv4Addr::new(2, 2, 2, 2),
+        );
+        let q = Message::query(4, Question::a(name("deep.www.example.net")));
+        let resp = tld.respond(&q);
+        assert_eq!(resp.authorities()[0].name(), &name("example.net"));
+    }
+
+    #[test]
+    fn empty_question_gets_formerr() {
+        let r = root();
+        let mut q = Message::query(5, Question::a(name("x.net")));
+        q.clear_questions();
+        assert_eq!(r.respond(&q).header().rcode(), Rcode::FormErr);
+    }
+}

@@ -1,0 +1,197 @@
+//! The probe subdomain naming scheme of Fig. 3 and the ground truth.
+//!
+//! Every probed IP address receives a query for a unique subdomain
+//! `or{ccc}.{sssssss}.<zone>`, where `ccc` is the three-digit cluster
+//! number and `sssssss` the seven-digit sequence number within the
+//! cluster. Uniqueness defeats resolver caches and lets the analysis
+//! group Q1/Q2/R1/R2 by qname instead of the 16-bit DNS ID (which cannot
+//! disambiguate 100k packets per second).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use orscope_dns_wire::Name;
+
+/// Subdomains per cluster: the paper's authoritative server could hold
+/// about five million zone entries at a time.
+pub const CLUSTER_CAPACITY: u64 = 5_000_000;
+
+/// A parsed probe label: cluster number and in-cluster sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeLabel {
+    /// Cluster number (`ccc`, 0..=999).
+    pub cluster: u32,
+    /// Sequence within the cluster (`sssssss`, 0..CLUSTER_CAPACITY).
+    pub seq: u64,
+}
+
+impl ProbeLabel {
+    /// Creates a label, validating the ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster > 999` or `seq >= CLUSTER_CAPACITY` — both are
+    /// generator bugs, not runtime conditions.
+    pub fn new(cluster: u32, seq: u64) -> Self {
+        assert!(cluster <= 999, "cluster {cluster} out of range");
+        assert!(seq < CLUSTER_CAPACITY, "sequence {seq} out of range");
+        Self { cluster, seq }
+    }
+
+    /// The two leading labels, e.g. `("or007", "0001234")`.
+    pub fn labels(&self) -> (String, String) {
+        (format!("or{:03}", self.cluster), format!("{:07}", self.seq))
+    }
+
+    /// The full qname under `zone`, e.g. `or007.0001234.<zone>`.
+    pub fn qname(&self, zone: &Name) -> Name {
+        let (a, b) = self.labels();
+        zone.prepend(&b)
+            .and_then(|n| n.prepend(&a))
+            .expect("probe labels are always valid")
+    }
+
+    /// Parses a probe qname back into its label, if `qname` is a
+    /// well-formed probe subdomain directly under `zone`.
+    pub fn parse(qname: &Name, zone: &Name) -> Option<ProbeLabel> {
+        if !qname.is_subdomain_of(zone) || qname.label_count() != zone.label_count() + 2 {
+            return None;
+        }
+        let mut labels = qname.labels();
+        // DNS names are case-insensitive (and DNS 0x20 clients scramble
+        // case deliberately): normalize before parsing.
+        let first = std::str::from_utf8(labels.next()?).ok()?.to_ascii_lowercase();
+        let second = std::str::from_utf8(labels.next()?).ok()?.to_ascii_lowercase();
+        let cluster_digits = first.strip_prefix("or")?;
+        if cluster_digits.len() != 3 || second.len() != 7 {
+            return None;
+        }
+        let cluster = u32::from_str(cluster_digits).ok()?;
+        let seq = u64::from_str(&second).ok()?;
+        if seq >= CLUSTER_CAPACITY {
+            return None;
+        }
+        Some(ProbeLabel { cluster, seq })
+    }
+}
+
+impl fmt::Display for ProbeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.labels();
+        write!(f, "{a}.{b}")
+    }
+}
+
+/// The ground-truth A record for a probe subdomain.
+///
+/// The paper's zone files assign each subdomain an address; correctness of
+/// an open resolver's answer (Table III) is judged against this value. We
+/// derive it deterministically from the label so the authoritative server
+/// need not materialize five million records: addresses land in
+/// 45.76.0.0/15 (the hosting range our simulated Vultr instance lives in),
+/// which never collides with the manipulated answers resolvers inject.
+pub fn ground_truth(label: ProbeLabel) -> Ipv4Addr {
+    let mut x = (label.cluster as u64) << 40 | label.seq;
+    // SplitMix-style mixing.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    // 45.76.0.0/15: fix the top 15 bits, scatter the remaining 17.
+    let base = u32::from(Ipv4Addr::new(45, 76, 0, 0));
+    Ipv4Addr::from(base | (x as u32 & 0x0001_FFFF))
+}
+
+/// Whether `addr` lies in the ground-truth range (45.76.0.0/15). Used by
+/// the classifier as a fast plausibility filter.
+pub fn in_ground_truth_range(addr: Ipv4Addr) -> bool {
+    u32::from(addr) >> 17 == u32::from(Ipv4Addr::new(45, 76, 0, 0)) >> 17
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> Name {
+        "ucfsealresearch.net".parse().unwrap()
+    }
+
+    #[test]
+    fn qname_formatting_matches_figure_3() {
+        let label = ProbeLabel::new(0, 1);
+        assert_eq!(
+            label.qname(&zone()).to_string(),
+            "or000.0000001.ucfsealresearch.net"
+        );
+        let label = ProbeLabel::new(999, 4_999_999);
+        assert_eq!(
+            label.qname(&zone()).to_string(),
+            "or999.4999999.ucfsealresearch.net"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for (cluster, seq) in [(0u32, 0u64), (3, 42), (999, 4_999_999)] {
+            let label = ProbeLabel::new(cluster, seq);
+            let qname = label.qname(&zone());
+            assert_eq!(ProbeLabel::parse(&qname, &zone()), Some(label));
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        // DNS 0x20 clients send scrambled case; the zone must still
+        // recognize its own subdomains.
+        let name: Name = "oR007.0000123.UcFsEaLreSEARCH.net".parse().unwrap();
+        assert_eq!(ProbeLabel::parse(&name, &zone()), Some(ProbeLabel::new(7, 123)));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_names() {
+        let z = zone();
+        for bad in [
+            "www.ucfsealresearch.net",
+            "or000.ucfsealresearch.net",
+            "or00.0000001.ucfsealresearch.net",
+            "or000.000001.ucfsealresearch.net",
+            "xx000.0000001.ucfsealresearch.net",
+            "or000.0000001.example.net",
+            "deep.or000.0000001.ucfsealresearch.net",
+            "or000.9999999.ucfsealresearch.net", // seq >= capacity
+        ] {
+            let name: Name = bad.parse().unwrap();
+            assert_eq!(ProbeLabel::parse(&name, &z), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_deterministic_and_in_range() {
+        let a = ground_truth(ProbeLabel::new(1, 77));
+        let b = ground_truth(ProbeLabel::new(1, 77));
+        assert_eq!(a, b);
+        assert!(in_ground_truth_range(a));
+        assert!(!in_ground_truth_range(Ipv4Addr::new(208, 91, 197, 91)));
+        assert!(!in_ground_truth_range(Ipv4Addr::new(192, 168, 1, 1)));
+    }
+
+    #[test]
+    fn ground_truth_spreads_across_addresses() {
+        let unique: std::collections::HashSet<Ipv4Addr> = (0..1000)
+            .map(|seq| ground_truth(ProbeLabel::new(0, seq)))
+            .collect();
+        assert!(unique.len() > 990, "only {} unique addresses", unique.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_cluster_panics() {
+        let _ = ProbeLabel::new(1000, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProbeLabel::new(7, 123).to_string(), "or007.0000123");
+    }
+}

@@ -1,0 +1,480 @@
+//! The authoritative name server endpoint.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use orscope_dns_wire::{Message, Rcode};
+use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
+
+use crate::capture::CaptureHandle;
+use crate::cluster::ClusterZone;
+use crate::zone::ZoneAnswer;
+
+/// Response-rate-limiting configuration (BIND-style RRL): at most
+/// `max_responses` per client address per `window`, with excess answers
+/// dropped. The standard mitigation for the amplification abuse of
+/// section II-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrlConfig {
+    /// Sliding-window length.
+    pub window: Duration,
+    /// Responses allowed per client within a window.
+    pub max_responses: u32,
+}
+
+impl Default for RrlConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_secs(1),
+            max_responses: 10,
+        }
+    }
+}
+
+/// The authoritative server for the measurement zone.
+///
+/// Mirrors the paper's BIND 9.9.4 instance on Vultr: it answers queries
+/// for `ucfsealresearch.net` subdomains (R1) and captures every inbound
+/// query (Q2) and outbound response through its [`CaptureHandle`] — the
+/// tcpdump vantage point of Fig. 2.
+#[derive(Debug)]
+pub struct AuthoritativeServer {
+    zone: ClusterZone,
+    capture: CaptureHandle,
+    queries_served: u64,
+    /// When set, a query for the cluster after the active one triggers a
+    /// rollover (models the operator loading the next zone file as the
+    /// prober advances). Load time is accumulated in `load_time_secs`.
+    auto_advance: bool,
+    /// Cluster size used for auto-advanced loads.
+    auto_cluster_size: u64,
+    /// Accumulated simulated zone-load time (charged against the scan
+    /// wall clock when reporting Table II).
+    load_time_secs: f64,
+    /// Response rate limiting, off by default (the paper's server — like
+    /// most of the abused population — did not deploy it).
+    rrl: Option<RrlConfig>,
+    /// Per-client RRL state: (window start, responses in window).
+    rrl_state: HashMap<Ipv4Addr, (SimTime, u32)>,
+    /// Responses suppressed by RRL.
+    rrl_dropped: u64,
+}
+
+impl AuthoritativeServer {
+    /// Creates a server over `zone` that logs through `capture`.
+    pub fn new(zone: ClusterZone, capture: CaptureHandle) -> Self {
+        Self {
+            zone,
+            capture,
+            queries_served: 0,
+            auto_advance: false,
+            auto_cluster_size: crate::scheme::CLUSTER_CAPACITY,
+            load_time_secs: 0.0,
+            rrl: None,
+            rrl_state: HashMap::new(),
+            rrl_dropped: 0,
+        }
+    }
+
+    /// Enables BIND-style response rate limiting.
+    pub fn enable_rrl(&mut self, config: RrlConfig) -> &mut Self {
+        self.rrl = Some(config);
+        self
+    }
+
+    /// Responses suppressed by rate limiting so far.
+    pub fn rrl_dropped(&self) -> u64 {
+        self.rrl_dropped
+    }
+
+    /// Whether RRL permits answering `client` at `now`.
+    fn rrl_permits(&mut self, client: Ipv4Addr, now: SimTime) -> bool {
+        let Some(config) = self.rrl else {
+            return true;
+        };
+        let entry = self.rrl_state.entry(client).or_insert((now, 0));
+        if now.since(entry.0) >= config.window {
+            *entry = (now, 0);
+        }
+        if entry.1 >= config.max_responses {
+            self.rrl_dropped += 1;
+            false
+        } else {
+            entry.1 += 1;
+            true
+        }
+    }
+
+    /// Enables automatic cluster rollover with `cluster_size` entries per
+    /// cluster: when a query arrives for the cluster following the active
+    /// one, the server loads it (and charges the load time).
+    pub fn enable_auto_advance(&mut self, cluster_size: u64) -> &mut Self {
+        self.auto_advance = true;
+        self.auto_cluster_size = cluster_size.max(1);
+        self
+    }
+
+    /// Total simulated zone-load time accumulated by auto-advance.
+    pub fn load_time_secs(&self) -> f64 {
+        self.load_time_secs
+    }
+
+    /// The zone being served.
+    pub fn zone(&self) -> &ClusterZone {
+        &self.zone
+    }
+
+    /// Mutable zone access (cluster rollover happens through here).
+    pub fn zone_mut(&mut self) -> &mut ClusterZone {
+        &mut self.zone
+    }
+
+    /// Queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Builds the authoritative response for a decoded query.
+    pub fn respond(&mut self, query: &Message) -> Message {
+        self.queries_served += 1;
+        let Some(question) = query.first_question() else {
+            return Message::builder()
+                .response_to(query)
+                .rcode(Rcode::FormErr)
+                .build();
+        };
+        if self.auto_advance {
+            if let Some(label) =
+                crate::scheme::ProbeLabel::parse(question.qname(), self.zone.zone().origin())
+            {
+                let next = self.zone.active_cluster().map_or(0, |c| c + 1);
+                if label.cluster == next {
+                    let load = self.zone.load_cluster(next, self.auto_cluster_size);
+                    self.load_time_secs += load.as_secs_f64();
+                }
+            }
+        }
+        let mut builder = Message::builder().response_to(query).authoritative(true);
+        match self.zone.lookup(question.qname(), question.qtype()) {
+            ZoneAnswer::Answer(records) => {
+                for rec in records {
+                    builder = builder.answer(rec);
+                }
+            }
+            ZoneAnswer::NoData(soa) => {
+                builder = builder.authority(soa);
+            }
+            ZoneAnswer::NxDomain(soa) => {
+                builder = builder.rcode(Rcode::NXDomain).authority(soa);
+            }
+            ZoneAnswer::OutOfZone => {
+                // A real authoritative-only server refuses queries for
+                // zones it does not serve (and clears AA).
+                builder = builder.authoritative(false).rcode(Rcode::Refused);
+            }
+        }
+        builder.build()
+    }
+}
+
+impl Endpoint for AuthoritativeServer {
+    fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
+        if dgram.dst_port != 53 {
+            return; // the server only listens on the DNS port
+        }
+        self.capture.record_inbound(ctx.now(), dgram);
+        if !self.rrl_permits(dgram.src, ctx.now()) {
+            return; // RRL: drop, don't answer (slip=0)
+        }
+        let (response, size_limit) = match Message::decode(&dgram.payload) {
+            Ok(query) if !query.header().is_response() => {
+                let limit = query.response_size_limit();
+                (self.respond(&query), limit)
+            }
+            Ok(_) => return, // stray response; a server ignores these
+            Err(_) => {
+                // BIND answers undecodable queries with FormErr when it
+                // can at least read the ID; we echo a minimal FormErr.
+                let id = if dgram.payload.len() >= 2 {
+                    u16::from_be_bytes([dgram.payload[0], dgram.payload[1]])
+                } else {
+                    0
+                };
+                let mut m = Message::builder().id(id).rcode(Rcode::FormErr).build();
+                m.header_mut().set_response(true);
+                (m, Message::CLASSIC_UDP_LIMIT)
+            }
+        };
+        // UDP responses are truncated to the client's advertised budget
+        // (512 bytes for non-EDNS clients), with TC set — the size
+        // behaviour §II-C's amplification discussion hinges on.
+        let Ok(wire) = response.encode_truncated(size_limit) else {
+            return;
+        };
+        let reply = dgram.reply(wire);
+        self.capture.record_outbound(ctx.now(), &reply);
+        ctx.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Direction;
+    use crate::scheme::{ground_truth, ProbeLabel};
+    use crate::zone::Zone;
+    use orscope_dns_wire::{Name, Question};
+    use orscope_netsim::{SimNet, SimTime};
+    use std::net::Ipv4Addr;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(45, 77, 1, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+
+    fn zone_name() -> Name {
+        "ucfsealresearch.net".parse().unwrap()
+    }
+
+    fn server(capture: CaptureHandle) -> AuthoritativeServer {
+        let zone = Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap());
+        let mut cz = ClusterZone::new(zone);
+        cz.load_cluster(0, 1000);
+        AuthoritativeServer::new(cz, capture)
+    }
+
+    fn roundtrip(query: Message) -> (Message, CaptureHandle) {
+        let capture = CaptureHandle::new();
+        let mut net = SimNet::builder().seed(1).build();
+        net.register(SERVER, server(capture.clone()));
+        // A sink client to receive the response.
+        struct Sink(std::sync::Arc<parking_lot::Mutex<Option<Message>>>);
+        impl Endpoint for Sink {
+            fn handle_datagram(&mut self, dgram: &Datagram, _ctx: &mut Context<'_>) {
+                *self.0.lock() = Some(Message::decode(&dgram.payload).unwrap());
+            }
+        }
+        let slot = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        net.register(CLIENT, Sink(slot.clone()));
+        net.inject(Datagram::new(
+            (CLIENT, 40_000),
+            (SERVER, 53),
+            query.encode().unwrap(),
+        ));
+        net.run_until_idle();
+        let response = slot.lock().take().expect("no response received");
+        (response, capture)
+    }
+
+    #[test]
+    fn answers_probe_subdomain_with_ground_truth() {
+        let label = ProbeLabel::new(0, 42);
+        let query = Message::query(7, Question::a(label.qname(&zone_name())));
+        let (resp, capture) = roundtrip(query);
+        assert!(resp.header().authoritative());
+        assert_eq!(resp.header().rcode(), Rcode::NoError);
+        assert_eq!(resp.answers()[0].rdata().as_a(), Some(ground_truth(label)));
+        // Q2 and R1 were captured.
+        assert_eq!(capture.count(Direction::Inbound), 1);
+        assert_eq!(capture.count(Direction::Outbound), 1);
+    }
+
+    #[test]
+    fn nxdomain_for_unloaded_cluster() {
+        let label = ProbeLabel::new(5, 42);
+        let query = Message::query(8, Question::a(label.qname(&zone_name())));
+        let (resp, _) = roundtrip(query);
+        assert_eq!(resp.header().rcode(), Rcode::NXDomain);
+        assert!(resp.answers().is_empty());
+        assert_eq!(resp.authorities().len(), 1, "SOA for negative caching");
+    }
+
+    #[test]
+    fn refuses_out_of_zone() {
+        let query = Message::query(9, Question::a("www.example.com".parse().unwrap()));
+        let (resp, _) = roundtrip(query);
+        assert_eq!(resp.header().rcode(), Rcode::Refused);
+        assert!(!resp.header().authoritative());
+    }
+
+    #[test]
+    fn formerr_for_garbage() {
+        let capture = CaptureHandle::new();
+        let mut net = SimNet::builder().seed(2).build();
+        net.register(SERVER, server(capture.clone()));
+        struct Sink(std::sync::Arc<parking_lot::Mutex<Option<Message>>>);
+        impl Endpoint for Sink {
+            fn handle_datagram(&mut self, dgram: &Datagram, _ctx: &mut Context<'_>) {
+                *self.0.lock() = Some(Message::decode(&dgram.payload).unwrap());
+            }
+        }
+        let slot = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        net.register(CLIENT, Sink(slot.clone()));
+        net.inject(Datagram::new(
+            (CLIENT, 40_000),
+            (SERVER, 53),
+            vec![0xAB, 0xCD, 0xFF],
+        ));
+        net.run_until_idle();
+        let resp = slot.lock().take().unwrap();
+        assert_eq!(resp.header().rcode(), Rcode::FormErr);
+        assert_eq!(resp.header().id(), 0xABCD, "echoes the query id bytes");
+    }
+
+    #[test]
+    fn ignores_non_dns_port() {
+        let capture = CaptureHandle::new();
+        let mut net = SimNet::builder().seed(3).build();
+        net.register(SERVER, server(capture.clone()));
+        net.inject(Datagram::new((CLIENT, 40_000), (SERVER, 8080), vec![0; 12]));
+        net.run_until_idle();
+        assert!(capture.is_empty());
+    }
+
+    #[test]
+    fn empty_question_query_gets_formerr() {
+        let mut query = Message::query(3, Question::a("x.ucfsealresearch.net".parse().unwrap()));
+        query.clear_questions();
+        let (resp, _) = roundtrip(query);
+        assert_eq!(resp.header().rcode(), Rcode::FormErr);
+    }
+
+    #[test]
+    fn capture_timestamps_are_ordered() {
+        let label = ProbeLabel::new(0, 1);
+        let query = Message::query(7, Question::a(label.qname(&zone_name())));
+        let (_, capture) = roundtrip(query);
+        let packets = capture.snapshot();
+        assert_eq!(packets.len(), 2);
+        assert!(packets[0].at <= packets[1].at);
+        assert!(packets[0].at > SimTime::ZERO, "latency applied");
+    }
+}
+
+#[cfg(test)]
+mod truncation_tests {
+    use super::*;
+    use crate::zone::Zone;
+    use orscope_dns_wire::{Message, Name, Question};
+
+    fn bulky_server() -> AuthoritativeServer {
+        let origin: Name = "ucfsealresearch.net".parse().unwrap();
+        let mut zone = Zone::new(origin.clone(), "ns1.ucfsealresearch.net".parse().unwrap());
+        for i in 0..20 {
+            zone.add_txt(origin.clone(), &format!("bulk-{i:02}: {}", "y".repeat(100)));
+        }
+        let mut cz = ClusterZone::new(zone);
+        cz.load_cluster(0, 10);
+        AuthoritativeServer::new(cz, CaptureHandle::new())
+    }
+
+    #[test]
+    fn non_edns_any_response_truncates_at_512() {
+        let mut srv = bulky_server();
+        let query = Message::query(1, Question::any("ucfsealresearch.net".parse().unwrap()));
+        let resp = srv.respond(&query);
+        let wire = resp.encode_truncated(query.response_size_limit()).unwrap();
+        assert!(wire.len() <= 512, "{} bytes", wire.len());
+        let decoded = Message::decode(&wire).unwrap();
+        assert!(decoded.header().truncated());
+    }
+
+    #[test]
+    fn edns_client_receives_the_full_answer() {
+        let mut srv = bulky_server();
+        let mut query = Message::query(2, Question::any("ucfsealresearch.net".parse().unwrap()));
+        query.set_edns_udp_size(4096);
+        let resp = srv.respond(&query);
+        let wire = resp.encode_truncated(query.response_size_limit()).unwrap();
+        assert!(wire.len() > 512, "{} bytes", wire.len());
+        assert!(!Message::decode(&wire).unwrap().header().truncated());
+    }
+}
+
+#[cfg(test)]
+mod rrl_tests {
+    use super::*;
+    use crate::zone::Zone;
+    use orscope_dns_wire::{Message, Question};
+    use orscope_netsim::SimNet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(45, 77, 1, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+
+    struct Counter(Arc<AtomicU64>);
+    impl Endpoint for Counter {
+        fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn run_queries(rrl: Option<RrlConfig>, queries: u32) -> (u64, u64) {
+        let mut net = SimNet::builder().seed(4).build();
+        let mut cz = ClusterZone::new(Zone::new(
+            "ucfsealresearch.net".parse().unwrap(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        ));
+        cz.load_cluster(0, 10_000);
+        let mut server = AuthoritativeServer::new(cz, CaptureHandle::new());
+        if let Some(config) = rrl {
+            server.enable_rrl(config);
+        }
+        net.register(SERVER, server);
+        let got = Arc::new(AtomicU64::new(0));
+        net.register(CLIENT, Counter(got.clone()));
+        for i in 0..queries {
+            let label = crate::scheme::ProbeLabel::new(0, i as u64);
+            let q = Message::query(i as u16, Question::a(
+                label.qname(&"ucfsealresearch.net".parse().unwrap()),
+            ));
+            net.inject(Datagram::new((CLIENT, 40_000), (SERVER, 53), q.encode().unwrap()));
+        }
+        net.run_until_idle();
+        (got.load(Ordering::Relaxed), queries as u64)
+    }
+
+    #[test]
+    fn rrl_caps_burst_responses() {
+        // All 50 queries arrive within one latency window (~same time).
+        let (answered, sent) = run_queries(
+            Some(RrlConfig {
+                window: Duration::from_secs(1),
+                max_responses: 10,
+            }),
+            50,
+        );
+        assert_eq!(sent, 50);
+        assert_eq!(answered, 10, "only the window budget is answered");
+    }
+
+    #[test]
+    fn no_rrl_answers_everything() {
+        let (answered, sent) = run_queries(None, 50);
+        assert_eq!(answered, sent);
+    }
+
+    #[test]
+    fn rrl_window_resets() {
+        let mut srv = AuthoritativeServer::new(
+            ClusterZone::new(Zone::new(
+                "x.net".parse().unwrap(),
+                "ns1.x.net".parse().unwrap(),
+            )),
+            CaptureHandle::new(),
+        );
+        srv.enable_rrl(RrlConfig {
+            window: Duration::from_millis(100),
+            max_responses: 2,
+        });
+        let c = Ipv4Addr::new(1, 1, 1, 1);
+        assert!(srv.rrl_permits(c, SimTime::ZERO));
+        assert!(srv.rrl_permits(c, SimTime::ZERO));
+        assert!(!srv.rrl_permits(c, SimTime::ZERO));
+        assert_eq!(srv.rrl_dropped(), 1);
+        // A new window opens 100ms later.
+        assert!(srv.rrl_permits(c, SimTime::from_nanos(100_000_000)));
+        // Other clients have their own budget.
+        assert!(srv.rrl_permits(Ipv4Addr::new(2, 2, 2, 2), SimTime::ZERO));
+    }
+}

@@ -1,0 +1,58 @@
+//! The §II-C amplification experiment: response-size blowup of ANY
+//! queries served by the authoritative zone.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, Zone};
+use orscope_dns_wire::{Message, Question, RecordClass, RecordType};
+
+fn server() -> AuthoritativeServer {
+    let mut zone = Zone::new(
+        "ucfsealresearch.net".parse().unwrap(),
+        "ns1.ucfsealresearch.net".parse().unwrap(),
+    );
+    for i in 0..20 {
+        zone.add_txt(
+            "ucfsealresearch.net".parse().unwrap(),
+            &format!("amplification-payload-{i:02}: {}", "x".repeat(120)),
+        );
+    }
+    let mut cz = ClusterZone::new(zone);
+    cz.load_cluster(0, 1000);
+    AuthoritativeServer::new(cz, CaptureHandle::new())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amplification");
+    let mut srv = server();
+    for qtype in [RecordType::A, RecordType::Any] {
+        let query = Message::query(
+            7,
+            Question::new("ucfsealresearch.net".parse().unwrap(), qtype, RecordClass::In),
+        );
+        g.bench_function(format!("serve_{qtype}"), |b| {
+            b.iter(|| {
+                let resp = srv.respond(&query);
+                black_box(resp.encode().unwrap().len())
+            })
+        });
+    }
+    // Report the amplification factor once for the logs.
+    let a = srv
+        .respond(&Message::query(1, Question::a("ucfsealresearch.net".parse().unwrap())))
+        .encode()
+        .unwrap()
+        .len();
+    let any = srv
+        .respond(&Message::query(
+            2,
+            Question::any("ucfsealresearch.net".parse().unwrap()),
+        ))
+        .encode()
+        .unwrap()
+        .len();
+    eprintln!("amplification: A response {a} B, ANY response {any} B ({:.1}x)", any as f64 / a as f64);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

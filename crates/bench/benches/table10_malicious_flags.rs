@@ -1,0 +1,31 @@
+//! Table X + the country distribution: header forensics and geolocation
+//! of the malicious subset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::{CountryTable, Table10};
+use orscope_bench::campaign_2018;
+
+fn bench(c: &mut Criterion) {
+    let result = campaign_2018();
+    let mut g = c.benchmark_group("table10_malicious_flags");
+    g.bench_function("flag_forensics", |b| {
+        b.iter(|| {
+            let t = Table10::measured(result.dataset(), result.threat_db());
+            assert_eq!(t.nonzero_rcode, 0);
+            black_box(t)
+        })
+    });
+    g.bench_function("country_distribution", |b| {
+        b.iter(|| {
+            black_box(CountryTable::measured(
+                result.dataset(),
+                result.geo_db(),
+                result.threat_db(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table I: the reserved-block registry and probeable-space math that
+//! gate every probe the scanner emits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_ipspace::{reserved, AllowedSpace, Blocklist, ScanPermutation};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_reserved");
+    let list = Blocklist::reserved();
+    let space = AllowedSpace::probeable();
+
+    g.bench_function("build_reserved_blocklist", |b| {
+        b.iter(|| black_box(Blocklist::reserved().covered()))
+    });
+    g.bench_function("is_reserved_membership", |b| {
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(2_654_435_761);
+            black_box(list.contains(addr))
+        })
+    });
+    g.bench_function("allowed_space_nth", |b| {
+        let mut rank = 0u64;
+        b.iter(|| {
+            rank = (rank + 7_777_777) % space.len();
+            black_box(space.nth(rank))
+        })
+    });
+    g.bench_function("scan_permutation_step", |b| {
+        let perm = ScanPermutation::full_ipv4(7);
+        let mut iter = perm.iter();
+        b.iter(|| black_box(iter.next()))
+    });
+    g.bench_function("table1_totals", |b| {
+        b.iter(|| {
+            assert_eq!(black_box(reserved::total_probeable()), 3_702_258_432);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

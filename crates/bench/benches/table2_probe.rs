@@ -1,0 +1,25 @@
+//! Table II: the probe pipeline itself — a full campaign per iteration
+//! (population build, scan, capture, classification).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_bench::run_campaign;
+use orscope_resolver::paper::Year;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_probe");
+    g.sample_size(10);
+    for (name, year) in [("scan_2013", Year::Y2013), ("scan_2018", Year::Y2018)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let result = run_campaign(year, 20_000.0);
+                let t2 = result.table2_measured();
+                assert_eq!(t2.q2_r1 as u64, result.dataset().r1);
+                black_box(t2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

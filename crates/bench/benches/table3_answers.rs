@@ -1,0 +1,22 @@
+//! Table III: answer presence/correctness classification over the
+//! captured R2 stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::Table3;
+use orscope_bench::campaign_2018;
+
+fn bench(c: &mut Criterion) {
+    let result = campaign_2018();
+    let mut g = c.benchmark_group("table3_answers");
+    g.bench_function("compute_table3", |b| {
+        b.iter(|| black_box(Table3::measured(result.dataset())))
+    });
+    g.bench_function("err_pct", |b| {
+        let t = Table3::measured(result.dataset());
+        b.iter(|| black_box(t.0.err_pct()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

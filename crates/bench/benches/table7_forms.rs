@@ -1,0 +1,24 @@
+//! Table VII: incorrect-answer form classification (IP/URL/string/N-A)
+//! with unique-value accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::Table7;
+use orscope_bench::{campaign_2013, campaign_2018};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_forms");
+    g.bench_function("forms_2018", |b| {
+        b.iter(|| black_box(Table7::measured(campaign_2018().dataset())))
+    });
+    g.bench_function("forms_2013_with_na", |b| {
+        b.iter(|| {
+            let t = Table7::measured(campaign_2013().dataset());
+            assert!(t.na_r2 > 0, "the 2013 N/A packets must be present");
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table VIII: top-10 wrong-answer extraction with geo/threat joins.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::Table8;
+use orscope_bench::campaign_2018;
+
+fn bench(c: &mut Criterion) {
+    let result = campaign_2018();
+    let mut g = c.benchmark_group("table8_top10");
+    for k in [10usize, 100] {
+        g.bench_function(format!("top_{k}"), |b| {
+            b.iter(|| {
+                black_box(Table8::measured(
+                    result.dataset(),
+                    result.geo_db(),
+                    result.threat_db(),
+                    k,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table IX: threat-intelligence validation of every wrong answer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::Table9;
+use orscope_bench::{campaign_2013, campaign_2018};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table9_threat");
+    for (year, result) in [("2013", campaign_2013()), ("2018", campaign_2018())] {
+        g.bench_function(format!("categorize_{year}"), |b| {
+            b.iter(|| black_box(Table9::measured(result.dataset(), result.threat_db())))
+        });
+    }
+    let threat = campaign_2018().threat_db();
+    let ips: Vec<_> = threat.iter_dominant().map(|(ip, _)| ip).collect();
+    g.bench_function("dominant_category_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            black_box(threat.dominant_category(ips[i]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Tables IV, V and VI: the header-flag and rcode breakdowns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orscope_analysis::tables::{Table4, Table5, Table6};
+use orscope_bench::{campaign_2013, campaign_2018};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables4_5_6_headers");
+    for (year, result) in [("2013", campaign_2013()), ("2018", campaign_2018())] {
+        g.bench_function(format!("table4_ra_{year}"), |b| {
+            b.iter(|| black_box(Table4::measured(result.dataset())))
+        });
+        g.bench_function(format!("table5_aa_{year}"), |b| {
+            b.iter(|| black_box(Table5::measured(result.dataset())))
+        });
+        g.bench_function(format!("table6_rcode_{year}"), |b| {
+            b.iter(|| black_box(Table6::measured(result.dataset())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

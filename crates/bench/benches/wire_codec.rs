@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the DNS wire codec the whole pipeline rides on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use orscope_dns_wire::{Message, Name, Question, RData, Record};
+use std::net::Ipv4Addr;
+
+fn sample_response() -> Message {
+    let qname: Name = "or003.0123456.ucfsealresearch.net".parse().unwrap();
+    let query = Message::query(0x1234, Question::a(qname.clone()));
+    Message::builder()
+        .response_to(&query)
+        .recursion_available(true)
+        .answer(Record::in_class(qname, 60, RData::A(Ipv4Addr::new(45, 76, 1, 2))))
+        .authority(Record::in_class(
+            "ucfsealresearch.net".parse().unwrap(),
+            3600,
+            RData::Ns("ns1.ucfsealresearch.net".parse().unwrap()),
+        ))
+        .additional(Record::in_class(
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            3600,
+            RData::A(Ipv4Addr::new(104, 238, 191, 60)),
+        ))
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let msg = sample_response();
+    let wire = msg.encode().unwrap();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_response", |b| {
+        b.iter(|| black_box(msg.encode().unwrap()))
+    });
+    g.bench_function("decode_response", |b| {
+        b.iter(|| black_box(Message::decode(&wire).unwrap()))
+    });
+    let query = Message::query(1, Question::a("or000.0000001.ucfsealresearch.net".parse().unwrap()));
+    let query_wire = query.encode().unwrap();
+    g.bench_function("encode_query", |b| b.iter(|| black_box(query.encode().unwrap())));
+    g.bench_function("decode_query", |b| {
+        b.iter(|| black_box(Message::decode(&query_wire).unwrap()))
+    });
+    g.bench_function("name_parse", |b| {
+        b.iter(|| black_box("or123.4567890.ucfsealresearch.net".parse::<Name>().unwrap()))
+    });
+    g.bench_function("decode_garbage_rejection", |b| {
+        let mut bad = wire.clone();
+        let n = bad.len();
+        bad[n - 6] = 0xFF;
+        bad[n - 5] = 0xFF;
+        b.iter(|| black_box(Message::decode(&bad).is_err()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

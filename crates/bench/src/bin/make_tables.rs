@@ -1,0 +1,65 @@
+//! Regenerates every table and in-text figure of the paper's evaluation
+//! and writes the paper-vs-measured report.
+//!
+//! ```sh
+//! cargo run --release -p orscope-bench --bin make_tables [SCALE] [OUT.json] [OUT.md]
+//! ```
+//!
+//! `SCALE` defaults to 500 (both scans finish in a few seconds); the
+//! optional JSON path receives the machine-readable comparison and the
+//! optional markdown path the EXPERIMENTS-style tables.
+
+use orscope_core::{Campaign, CampaignConfig};
+use orscope_resolver::paper::Year;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("SCALE must be a number"))
+        .unwrap_or(500.0);
+    let json_path = args.next();
+    let markdown_path = args.next();
+
+    // The two scans are independent simulations: run them in parallel.
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = Year::ALL
+            .into_iter()
+            .map(|year| {
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let result = Campaign::new(CampaignConfig::new(year, scale)).run();
+                    eprintln!(
+                        "[{year}] simulated {} probes, {} responses in {:?}",
+                        result.dataset().q1,
+                        result.dataset().r2(),
+                        started.elapsed()
+                    );
+                    result
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+    });
+    let mut json_years = Vec::new();
+    let mut markdown = String::new();
+    for result in &results {
+        println!("{}", result.render());
+        json_years.push(result.to_json());
+        markdown.push_str(&format!("\n### {} scan\n", result.spec().year));
+        for report in result.table_reports() {
+            markdown.push_str(&report.to_markdown());
+        }
+    }
+
+    if let Some(path) = json_path {
+        let blob = serde_json::json!({ "scale": scale, "years": json_years });
+        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializable"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = markdown_path {
+        std::fs::write(&path, markdown).expect("write markdown");
+        eprintln!("wrote {path}");
+    }
+}

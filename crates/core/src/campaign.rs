@@ -1,0 +1,332 @@
+//! Campaign assembly and execution.
+
+use std::net::Ipv4Addr;
+
+use orscope_analysis::Dataset;
+use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_ipspace::{AllowedSpace, ScanPermutation};
+use orscope_netsim::{HashLatency, SimNet, SimTime};
+use orscope_prober::{Prober, ProberConfig, ProberHandle};
+use orscope_resolver::paper::{Year, YearSpec};
+use orscope_resolver::population::{Population, PopulationConfig};
+use orscope_resolver::{ProfiledResolver, ResolverConfig};
+
+use crate::infra::{seed_geo_db, seed_threat_db, Infra};
+use crate::result::CampaignResult;
+
+/// Configuration of one reproduction campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Which scan to reproduce.
+    pub year: Year,
+    /// Down-scaling factor (1.0 = full Internet scale).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Independent per-datagram loss probability (failure injection).
+    pub loss_probability: f64,
+    /// Independent per-datagram duplication probability (failure
+    /// injection; UDP may deliver twice).
+    pub duplicate_probability: f64,
+    /// Extra off-port responders (the §V blind-spot ablation).
+    pub off_port_responders: u64,
+    /// Fraction of standard honest resolvers replaced by CPE forwarders
+    /// relaying to shared upstream resolvers.
+    pub forwarder_fraction: f64,
+    /// Probe-rate override; default is the year's published rate.
+    pub probe_rate_pps: Option<u64>,
+    /// When `true`, probe the full scaled address space
+    /// (`round(Q1/scale)` targets), reproducing Table II's Q1 exactly.
+    /// When `false`, probe only responders plus
+    /// `non_responder_factor x` as many silent targets — the fast mode
+    /// for tests and examples (every non-Q1 quantity is unaffected
+    /// because silent hosts contribute nothing but Q1 volume).
+    pub full_q1: bool,
+    /// Silent-target multiple in fast mode.
+    pub non_responder_factor: f64,
+    /// Infrastructure addresses.
+    pub infra: Infra,
+}
+
+impl CampaignConfig {
+    /// A fast-mode campaign for `year` at `scale`.
+    pub fn new(year: Year, scale: f64) -> Self {
+        Self {
+            year,
+            scale,
+            seed: 0xD5A1_2019,
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            off_port_responders: 0,
+            forwarder_fraction: 0.0,
+            probe_rate_pps: None,
+            full_q1: false,
+            non_responder_factor: 2.0,
+            infra: Infra::default(),
+        }
+    }
+
+    /// Switches to full-Q1 mode (slower; exact Table II Q1).
+    pub fn with_full_q1(mut self) -> Self {
+        self.full_q1 = true;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A runnable reproduction campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(config: CampaignConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Builds the topology, runs the scan to completion, and analyzes
+    /// the captures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero/negative scale).
+    pub fn run(&self) -> CampaignResult {
+        let config = &self.config;
+        let mut pop_config = PopulationConfig::new(config.year, config.scale);
+        pop_config.seed = config.seed;
+        pop_config.reserved_hosts = config.infra.addresses();
+        pop_config.off_port_responders = config.off_port_responders;
+        pop_config.forwarder_fraction = config.forwarder_fraction;
+        let population = Population::generate(&pop_config);
+        self.run_with_population(population)
+    }
+
+    /// Runs the campaign over a caller-supplied population (used by the
+    /// continuous-monitoring trend, which interpolates populations
+    /// between the two scans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero/negative scale).
+    pub fn run_with_population(&self, population: Population) -> CampaignResult {
+        let config = &self.config;
+        let spec = YearSpec::get(config.year);
+        let infra = &config.infra;
+        let threat = seed_threat_db(&population);
+        let geo = seed_geo_db(&population);
+
+        // ---- network & name-server hierarchy ----
+        let mut net = SimNet::builder()
+            .seed(config.seed)
+            .latency(HashLatency::internet(config.seed))
+            .loss_probability(config.loss_probability)
+            .duplicate_probability(config.duplicate_probability)
+            .build();
+        let mut root = RootServer::new();
+        root.delegate(
+            "net".parse().expect("static name"),
+            "a.gtld-servers.net".parse().expect("static name"),
+            infra.tld,
+        );
+        net.register(infra.root, root);
+        let mut tld = TldServer::new();
+        tld.delegate(infra.zone.clone(), infra.auth_ns_name.clone(), infra.auth);
+        net.register(infra.tld, tld);
+
+        let cluster_capacity =
+            ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale).round() as u64)
+                .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
+        let auth_capture = CaptureHandle::new();
+        let mut zone = Zone::new(infra.zone.clone(), infra.auth_ns_name.clone());
+        zone.add_a(infra.auth_ns_name.clone(), infra.auth);
+        // Apex bulk records: what makes ANY queries amplify (§II-C).
+        for i in 0..8 {
+            zone.add_txt(
+                infra.zone.clone(),
+                &format!("v=measurement{i}; site=ucfsealresearch; key=k{i:016x}"),
+            );
+        }
+        let mut auth = AuthoritativeServer::new(ClusterZone::new(zone), auth_capture.clone());
+        auth.enable_auto_advance(cluster_capacity);
+        net.register(infra.auth, auth);
+
+        // ---- resolver population ----
+        let resolver_config = ResolverConfig::new(infra.root);
+        for planned in population
+            .resolvers
+            .iter()
+            .chain(&population.off_port)
+            .chain(&population.upstreams)
+        {
+            net.register(
+                planned.addr,
+                ProfiledResolver::new(planned.policy.clone(), resolver_config.clone()),
+            );
+        }
+
+        // ---- targets ----
+        let targets = self.build_targets(&spec, &population);
+        let q1_planned = targets.len() as u64;
+
+        // ---- prober ----
+        let prober_handle = ProberHandle::new();
+        let mut prober_config = ProberConfig::new(infra.zone.clone(), targets);
+        // The probe rate scales with the population so the in-flight
+        // working set keeps its real-world proportion to the cluster
+        // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
+        prober_config.rate_pps = config
+            .probe_rate_pps
+            .unwrap_or_else(|| ((spec.probe_rate_pps as f64 / config.scale).ceil() as u64).max(1));
+        prober_config.cluster_capacity = cluster_capacity;
+        net.register(infra.prober, Prober::new(prober_config, prober_handle.clone()));
+        net.set_timer_for(infra.prober, SimTime::ZERO, 0);
+
+        // ---- run to completion ----
+        net.run_until_idle();
+
+        // ---- assemble the dataset ----
+        let probe_stats = prober_handle.stats();
+        debug_assert!(probe_stats.done, "scan did not drain");
+        debug_assert_eq!(probe_stats.q1_sent, q1_planned);
+        let q2 = auth_capture.count(orscope_authns::Direction::Inbound) as u64;
+        let r1 = auth_capture.count(orscope_authns::Direction::Outbound) as u64;
+        // Scan wall clock: probe completion plus the zone-cluster load
+        // stops (one minute per full cluster, pro-rated at scale).
+        let load_secs = probe_stats.clusters_used as f64
+            * orscope_authns::cluster::CLUSTER_LOAD_TIME.as_secs_f64()
+            * (cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
+        let duration_secs = probe_stats.finished_at.as_secs_f64() + load_secs;
+        let captures = prober_handle.drain();
+        let dataset = Dataset::from_captures(
+            config.year,
+            config.scale,
+            probe_stats.q1_sent,
+            q2,
+            r1,
+            duration_secs,
+            &captures,
+            probe_stats,
+        );
+
+        CampaignResult::new(
+            config.clone(),
+            spec,
+            dataset,
+            threat,
+            geo,
+            population,
+            *net.stats(),
+            auth_capture.drain(),
+        )
+    }
+
+    /// Builds the scan-ordered target list: all responders embedded in
+    /// either the full scaled space or a fast-mode sample of silents.
+    fn build_targets(&self, spec: &YearSpec, population: &Population) -> Vec<Ipv4Addr> {
+        let config = &self.config;
+        let mut targets: Vec<Ipv4Addr> = population
+            .resolvers
+            .iter()
+            .chain(&population.off_port)
+            .map(|r| r.addr)
+            .collect();
+        let responders = targets.len() as u64;
+        let total = if config.full_q1 {
+            ((spec.q1 as f64 / config.scale).round() as u64).max(responders)
+        } else {
+            responders + (responders as f64 * config.non_responder_factor) as u64
+        };
+        // Silent fill: fresh probeable addresses not already used.
+        let used: std::collections::HashSet<Ipv4Addr> = targets
+            .iter()
+            .copied()
+            .chain(config.infra.addresses())
+            .collect();
+        let space = AllowedSpace::probeable();
+        let mut ranks = ScanPermutation::new(space.len(), config.seed ^ 0x51E7).iter();
+        while (targets.len() as u64) < total {
+            let rank = ranks.next().expect("space exhausted") as u64;
+            let addr = space.nth(rank).expect("rank in range");
+            if !used.contains(&addr) {
+                targets.push(addr);
+            }
+        }
+        // Scan order: permute so responders are interleaved with silents
+        // the way a real pseudorandom scan interleaves live hosts.
+        let order = ScanPermutation::new(targets.len() as u64, config.seed ^ 0x0DE2);
+        let mut ordered = Vec::with_capacity(targets.len());
+        for idx in order.iter() {
+            ordered.push(targets[idx as usize]);
+        }
+        ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_campaign_runs_and_matches_scale() {
+        let config = CampaignConfig::new(Year::Y2018, 10_000.0);
+        let result = Campaign::new(config).run();
+        let spec = YearSpec::get(Year::Y2018);
+        let expected_r2 = (spec.r2 as f64 / 10_000.0).round() as u64;
+        assert_eq!(result.dataset().r2(), expected_r2);
+        // Fast mode: Q1 = 3x responders.
+        assert_eq!(result.dataset().q1, expected_r2 * 3);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+            (
+                result.dataset().r2(),
+                result.dataset().q2,
+                result.table3_measured().0,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn q2_equals_r1_at_the_authoritative_server() {
+        let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        assert_eq!(result.dataset().q2, result.dataset().r1);
+        assert!(result.dataset().q2 > 0);
+    }
+
+    #[test]
+    fn loss_injection_reduces_r2_but_not_determinism() {
+        let mut config = CampaignConfig::new(Year::Y2018, 20_000.0);
+        config.loss_probability = 0.2;
+        let a = Campaign::new(config.clone()).run();
+        let b = Campaign::new(config).run();
+        assert_eq!(a.dataset().r2(), b.dataset().r2());
+        let lossless = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        assert!(a.dataset().r2() < lossless.dataset().r2());
+    }
+
+    #[test]
+    fn off_port_responders_are_invisible_in_r2() {
+        let mut config = CampaignConfig::new(Year::Y2018, 20_000.0);
+        config.off_port_responders = 20;
+        let result = Campaign::new(config).run();
+        let baseline = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        assert_eq!(result.dataset().r2(), baseline.dataset().r2());
+        assert_eq!(result.dataset().off_port_dropped, 20);
+    }
+}

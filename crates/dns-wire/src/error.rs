@@ -1,0 +1,131 @@
+//! Decode/encode error types.
+
+use std::fmt;
+
+/// An error produced while encoding or decoding a DNS message.
+///
+/// The decoder is deliberately specific about failure causes: the
+/// measurement pipeline counts undecodable responses (the paper found
+/// 8,764 of them in the 2013 capture) and wants to distinguish truncated
+/// packets from compression-pointer abuse from label-length violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The packet ended before the announced structure was complete.
+    Truncated {
+        /// Byte offset at which more data was required.
+        offset: usize,
+        /// What the decoder was trying to read.
+        expected: &'static str,
+    },
+    /// A label length byte used the reserved `0b10`/`0b01` prefixes.
+    BadLabelType {
+        /// Offending length byte.
+        byte: u8,
+        /// Byte offset of the label.
+        offset: usize,
+    },
+    /// A compression pointer pointed at or beyond its own position, or a
+    /// pointer chain exceeded the hop limit.
+    BadCompressionPointer {
+        /// Target offset of the offending pointer.
+        target: usize,
+        /// Offset the pointer itself was read from.
+        offset: usize,
+    },
+    /// A domain name exceeded 255 octets on the wire.
+    NameTooLong,
+    /// A single label exceeded 63 octets.
+    LabelTooLong {
+        /// The offending label length.
+        len: usize,
+    },
+    /// An rdata section's declared length disagrees with its contents.
+    BadRdataLength {
+        /// The record type whose rdata was malformed.
+        rtype: u16,
+        /// Declared rdata length.
+        declared: usize,
+        /// Bytes actually available/consumed.
+        actual: usize,
+    },
+    /// Trailing bytes remained after the announced sections were decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A message being encoded would exceed the 65,535-byte limit.
+    MessageTooLong {
+        /// Size the encoding would have reached.
+        size: usize,
+    },
+    /// A character-string (e.g. TXT segment) exceeded 255 bytes.
+    CharacterStringTooLong {
+        /// The offending segment length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset, expected } => {
+                write!(f, "packet truncated at offset {offset} while reading {expected}")
+            }
+            WireError::BadLabelType { byte, offset } => {
+                write!(f, "reserved label type byte {byte:#04x} at offset {offset}")
+            }
+            WireError::BadCompressionPointer { target, offset } => {
+                write!(f, "invalid compression pointer to {target} at offset {offset}")
+            }
+            WireError::NameTooLong => write!(f, "domain name exceeds 255 octets"),
+            WireError::LabelTooLong { len } => write!(f, "label of {len} octets exceeds 63"),
+            WireError::BadRdataLength {
+                rtype,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "rdata length mismatch for type {rtype}: declared {declared}, actual {actual}"
+            ),
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after message end")
+            }
+            WireError::MessageTooLong { size } => {
+                write!(f, "encoded message of {size} bytes exceeds 65535")
+            }
+            WireError::CharacterStringTooLong { len } => {
+                write!(f, "character-string of {len} bytes exceeds 255")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            offset: 5,
+            expected: "header",
+        };
+        assert!(e.to_string().contains("offset 5"));
+        assert!(e.to_string().contains("header"));
+        let e = WireError::BadRdataLength {
+            rtype: 1,
+            declared: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("declared 4"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,614 @@
+//! Domain names: labels, validation, and wire encoding with compression.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// Maximum total length of a name on the wire (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum length of a single label (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Hop limit when following compression pointers; RFC 1035 names can have
+/// at most 127 labels, so any legitimate chain is far shorter.
+const MAX_POINTER_HOPS: usize = 64;
+
+/// A fully-qualified domain name, stored as a sequence of labels.
+///
+/// Comparison and hashing are ASCII case-insensitive, as required by
+/// RFC 1035 §2.3.3; the original spelling is preserved for display.
+///
+/// # Example
+///
+/// ```
+/// use orscope_dns_wire::Name;
+///
+/// let a: Name = "WWW.Example.COM".parse()?;
+/// let b: Name = "www.example.com".parse()?;
+/// assert_eq!(a, b);
+/// assert_eq!(a.label_count(), 3);
+/// assert!(a.is_subdomain_of(&"example.com".parse()?));
+/// # Ok::<(), orscope_dns_wire::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Name {
+    /// Labels in most-significant-last order (`www`, `example`, `com`).
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Self { labels: Vec::new() }
+    }
+
+    /// Builds a name from label byte-strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any label is empty or longer than 63 bytes, or
+    /// if the total wire length would exceed 255 bytes.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, ParseNameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1usize; // trailing root byte
+        for label in labels {
+            let label = label.as_ref();
+            if label.is_empty() {
+                return Err(ParseNameError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(ParseNameError::LabelTooLong(label.len()));
+            }
+            wire_len += 1 + label.len();
+            out.push(label.to_vec());
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(ParseNameError::NameTooLong(wire_len));
+        }
+        Ok(Self { labels: out })
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// Length of the uncompressed wire encoding, including the root byte.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Whether `self` is equal to or a subdomain of `ancestor`.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(ancestor.labels.iter().rev())
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// The name with its leftmost label removed (`www.example.com` ->
+    /// `example.com`); `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepends a label (`example.com` + `www` -> `www.example.com`).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Name::from_labels`].
+    pub fn prepend(&self, label: &str) -> Result<Name, ParseNameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_bytes().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Byte-exact (case-sensitive) comparison, used by DNS 0x20
+    /// validation where the mixed case *is* the entropy.
+    pub fn eq_bytes(&self, other: &Name) -> bool {
+        self.labels.len() == other.labels.len()
+            && self.labels.iter().zip(&other.labels).all(|(a, b)| a == b)
+    }
+
+    /// Returns the name with its ASCII letters' case scrambled by the
+    /// bits of `entropy` — the DNS 0x20 encoding (draft-vixie-dnsext-
+    /// dns0x20): resolvers randomize query case and verify the echo,
+    /// adding up to one bit of anti-spoofing entropy per letter.
+    pub fn randomize_case(&self, mut entropy: u64) -> Name {
+        let labels = self
+            .labels
+            .iter()
+            .map(|label| {
+                label
+                    .iter()
+                    .map(|&b| {
+                        if b.is_ascii_alphabetic() {
+                            let flip = entropy & 1 == 1;
+                            entropy = entropy.rotate_right(1) ^ 0x9E37_79B9_7F4A_7C15;
+                            if flip {
+                                b.to_ascii_uppercase()
+                            } else {
+                                b.to_ascii_lowercase()
+                            }
+                        } else {
+                            b
+                        }
+                    })
+                    .collect::<Vec<u8>>()
+            })
+            .collect::<Vec<_>>();
+        Name { labels }
+    }
+
+    /// Encodes the name, using message compression when the writer allows.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        // Try to compress each suffix, registering the ones we emit.
+        for (i, _) in self.labels.iter().enumerate() {
+            let key = suffix_key(&self.labels[i..]);
+            if let Some(target) = w.compression_target(&key) {
+                w.write_u16(0xC000 | target);
+                return Ok(());
+            }
+            let offset = w.len();
+            w.register_compression(key, offset);
+            let label = &self.labels[i];
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong { len: label.len() });
+            }
+            w.write_u8(label.len() as u8);
+            w.write_slice(label);
+        }
+        w.write_u8(0); // root
+        Ok(())
+    }
+
+    /// Decodes a possibly-compressed name from the reader.
+    ///
+    /// The reader is left positioned after the name *in the original
+    /// stream* (i.e. after the first pointer, if any).
+    ///
+    /// # Errors
+    ///
+    /// Reports truncation, reserved label types, malicious pointer chains
+    /// (forward pointers or loops) and length violations distinctly.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize;
+        let mut hops = 0usize;
+        // Position to restore after the first pointer jump.
+        let mut resume: Option<usize> = None;
+        loop {
+            let offset = r.position();
+            let len = r.read_u8("name label length")?;
+            match len {
+                0 => break,
+                l if l & 0xC0 == 0xC0 => {
+                    let lo = r.read_u8("compression pointer")?;
+                    let target = ((l as usize & 0x3F) << 8) | lo as usize;
+                    // Pointers must point strictly backwards to prevent
+                    // loops (RFC 1035 intends "prior occurrence").
+                    if target >= offset {
+                        return Err(WireError::BadCompressionPointer { target, offset });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadCompressionPointer { target, offset });
+                    }
+                    if resume.is_none() {
+                        resume = Some(r.position());
+                    }
+                    r.seek(target);
+                }
+                l if l & 0xC0 != 0 => {
+                    return Err(WireError::BadLabelType { byte: l, offset });
+                }
+                l => {
+                    let label = r.read_slice(l as usize, "name label")?;
+                    wire_len += 1 + label.len();
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong);
+                    }
+                    labels.push(label.to_vec());
+                }
+            }
+        }
+        if let Some(pos) = resume {
+            r.seek(pos);
+        }
+        Ok(Self { labels })
+    }
+}
+
+/// ASCII case-insensitive label equality.
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+/// Lowercased `.`-joined suffix, used as the compression-map key.
+fn suffix_key(labels: &[Vec<u8>]) -> Vec<u8> {
+    let mut key = Vec::new();
+    for (i, label) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(b'.');
+        }
+        key.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+    }
+    key
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            for b in label {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(0);
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering: compare label sequences right-to-left,
+    /// case-insensitively (RFC 4034 §6.1 style).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a: Vec<Vec<u8>> = self
+            .labels
+            .iter()
+            .rev()
+            .map(|l| l.to_ascii_lowercase())
+            .collect();
+        let b: Vec<Vec<u8>> = other
+            .labels
+            .iter()
+            .rev()
+            .map(|l| l.to_ascii_lowercase())
+            .collect();
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            for &b in label {
+                // Escape dots and non-printables inside labels.
+                match b {
+                    b'.' => write!(f, "\\.")?,
+                    0x21..=0x7E => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{:03}", b)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a domain name from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// A label was empty (e.g. `a..b`).
+    EmptyLabel,
+    /// A label exceeded 63 bytes.
+    LabelTooLong(usize),
+    /// The whole name exceeded 255 wire bytes.
+    NameTooLong(usize),
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::EmptyLabel => write!(f, "empty label in domain name"),
+            ParseNameError::LabelTooLong(n) => write!(f, "label of {n} bytes exceeds 63"),
+            ParseNameError::NameTooLong(n) => write!(f, "name of {n} wire bytes exceeds 255"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl FromStr for Name {
+    type Err = ParseNameError;
+
+    /// Parses dotted notation; a single trailing dot is allowed and `"."`
+    /// or `""` denote the root.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(s.split('.').map(str::as_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(name("www.example.com").to_string(), "www.example.com");
+        assert_eq!(name("example.com.").to_string(), "example.com");
+        assert_eq!(name(".").to_string(), ".");
+        assert_eq!(name("").to_string(), ".");
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(name("Example.COM"));
+        assert!(set.contains(&name("example.com")));
+        assert_eq!(name("A.B"), name("a.b"));
+        assert_ne!(name("a.b"), name("a.c"));
+    }
+
+    #[test]
+    fn rejects_invalid_labels() {
+        assert_eq!("a..b".parse::<Name>(), Err(ParseNameError::EmptyLabel));
+        let long = "x".repeat(64);
+        assert!(matches!(
+            long.parse::<Name>(),
+            Err(ParseNameError::LabelTooLong(64))
+        ));
+        let huge = vec!["abcdefgh"; 30].join(".");
+        assert!(matches!(
+            huge.parse::<Name>(),
+            Err(ParseNameError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let zone = name("ucfsealresearch.net");
+        assert!(name("or000.0000001.ucfsealresearch.net").is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&Name::root()));
+        assert!(!name("example.net").is_subdomain_of(&zone));
+        assert!(!name("net").is_subdomain_of(&zone));
+        // Case-insensitive.
+        assert!(name("A.UCFSEALRESEARCH.NET").is_subdomain_of(&zone));
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let n = name("www.example.com");
+        assert_eq!(n.parent().unwrap(), name("example.com"));
+        assert_eq!(Name::root().parent(), None);
+        assert_eq!(name("example.com").prepend("www").unwrap(), n);
+    }
+
+    #[test]
+    fn wire_roundtrip_simple() {
+        let n = name("or001.0004242.ucfsealresearch.net");
+        let mut w = Writer::new();
+        n.encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), n.wire_len());
+        let mut r = Reader::new(&buf);
+        let back = Name::decode(&mut r).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn root_encodes_as_single_zero() {
+        let mut w = Writer::new();
+        Name::root().encode(&mut w).unwrap();
+        assert_eq!(w.finish().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn compression_reuses_suffix() {
+        let mut w = Writer::new();
+        name("www.example.com").encode(&mut w).unwrap();
+        let uncompressed_len = w.len();
+        name("mail.example.com").encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        // Second name: 1+4 ("mail") + 2 (pointer) = 7 bytes.
+        assert_eq!(buf.len(), uncompressed_len + 7);
+        let mut r = Reader::new(&buf);
+        assert_eq!(Name::decode(&mut r).unwrap(), name("www.example.com"));
+        assert_eq!(Name::decode(&mut r).unwrap(), name("mail.example.com"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn identical_name_compresses_to_pure_pointer() {
+        let mut w = Writer::new();
+        name("example.com").encode(&mut w).unwrap();
+        let first = w.len();
+        name("EXAMPLE.com").encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), first + 2, "case difference must still compress");
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // Pointer at offset 0 pointing to itself.
+        let buf = [0xC0, 0x00];
+        let err = Name::decode(&mut Reader::new(&buf)).unwrap_err();
+        assert!(matches!(err, WireError::BadCompressionPointer { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loop() {
+        // offset 0: label "a"; offset 2: pointer to 4; offset 4: pointer to 2.
+        // Forward pointer from 2 to 4 is rejected outright.
+        let buf = [1, b'a', 0xC0, 0x04, 0xC0, 0x02];
+        let mut r = Reader::new(&buf);
+        let err = Name::decode(&mut r).unwrap_err();
+        assert!(matches!(err, WireError::BadCompressionPointer { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_types() {
+        let buf = [0x40, 0x00];
+        assert!(matches!(
+            Name::decode(&mut Reader::new(&buf)).unwrap_err(),
+            WireError::BadLabelType { byte: 0x40, .. }
+        ));
+        let buf = [0x80, 0x00];
+        assert!(matches!(
+            Name::decode(&mut Reader::new(&buf)).unwrap_err(),
+            WireError::BadLabelType { byte: 0x80, .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_label() {
+        let buf = [5, b'a', b'b'];
+        assert!(matches!(
+            Name::decode(&mut Reader::new(&buf)).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_overlong_assembled_name() {
+        // Chain of valid 63-byte labels exceeding 255 total.
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            buf.push(63);
+            buf.extend(std::iter::repeat_n(b'a', 63));
+        }
+        buf.push(0);
+        assert_eq!(
+            Name::decode(&mut Reader::new(&buf)).unwrap_err(),
+            WireError::NameTooLong
+        );
+    }
+
+    #[test]
+    fn display_escapes_weird_bytes() {
+        let n = Name::from_labels([&b"a.b"[..], &b"\x01"[..]]).unwrap();
+        assert_eq!(n.to_string(), "a\\.b.\\001");
+    }
+
+    #[test]
+    fn dns0x20_case_randomization() {
+        let n = name("or000.0000042.ucfsealresearch.net");
+        let scrambled = n.randomize_case(0xDEAD_BEEF_1234_5678);
+        // Equal under DNS semantics, different bytes.
+        assert_eq!(scrambled, n);
+        assert!(!scrambled.eq_bytes(&n) || n.to_string().chars().all(|c| !c.is_alphabetic()));
+        // Deterministic per entropy; different entropy differs.
+        assert!(scrambled.eq_bytes(&n.randomize_case(0xDEAD_BEEF_1234_5678)));
+        assert!(!scrambled.eq_bytes(&n.randomize_case(1)));
+        // Digits and dots untouched.
+        assert!(scrambled.to_string().contains("000042"));
+    }
+
+    #[test]
+    fn eq_bytes_is_case_sensitive() {
+        assert!(name("a.b").eq_bytes(&name("a.b")));
+        assert!(!name("A.b").eq_bytes(&name("a.b")));
+        assert_eq!(name("A.b"), name("a.b"), "semantic equality unchanged");
+    }
+
+    #[test]
+    fn canonical_ordering_is_right_to_left() {
+        let mut names = [name("b.com"), name("a.net"), name("a.com"), name("com")];
+        names.sort();
+        let strs: Vec<String> = names.iter().map(Name::to_string).collect();
+        assert_eq!(strs, vec!["com", "a.com", "b.com", "a.net"]);
+    }
+}
+
+impl Name {
+    /// The `in-addr.arpa` reverse-lookup name for an IPv4 address
+    /// (RFC 1035 §3.5): `1.2.3.4` maps to `4.3.2.1.in-addr.arpa`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use orscope_dns_wire::Name;
+    /// use std::net::Ipv4Addr;
+    ///
+    /// let ptr = Name::reverse_pointer(Ipv4Addr::new(208, 91, 197, 91));
+    /// assert_eq!(ptr.to_string(), "91.197.91.208.in-addr.arpa");
+    /// ```
+    pub fn reverse_pointer(addr: std::net::Ipv4Addr) -> Name {
+        let [a, b, c, d] = addr.octets();
+        let labels = [
+            d.to_string(),
+            c.to_string(),
+            b.to_string(),
+            a.to_string(),
+            "in-addr".to_owned(),
+            "arpa".to_owned(),
+        ];
+        Name::from_labels(labels.iter().map(String::as_bytes)).expect("octet labels are valid")
+    }
+}
+
+#[cfg(test)]
+mod reverse_tests {
+    use super::*;
+
+    #[test]
+    fn reverse_pointer_construction() {
+        let ptr = Name::reverse_pointer(std::net::Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(ptr.to_string(), "4.3.2.1.in-addr.arpa");
+        assert!(ptr.is_subdomain_of(&"in-addr.arpa".parse().unwrap()));
+        let zero = Name::reverse_pointer(std::net::Ipv4Addr::new(0, 0, 0, 0));
+        assert_eq!(zero.to_string(), "0.0.0.0.in-addr.arpa");
+    }
+}

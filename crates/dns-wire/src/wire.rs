@@ -1,0 +1,247 @@
+//! Low-level wire reading/writing cursors.
+
+use crate::error::WireError;
+
+/// A bounds-checked reader over a raw DNS packet.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Repositions the cursor (used when following compression pointers).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// The whole underlying buffer (for pointer targets).
+    pub fn buffer(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, expected: &'static str) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated {
+            offset: self.pos,
+            expected,
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian u16.
+    pub fn read_u16(&mut self, expected: &'static str) -> Result<u16, WireError> {
+        let hi = self.read_u8(expected)?;
+        let lo = self.read_u8(expected)?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn read_u32(&mut self, expected: &'static str) -> Result<u32, WireError> {
+        let a = self.read_u8(expected)?;
+        let b = self.read_u8(expected)?;
+        let c = self.read_u8(expected)?;
+        let d = self.read_u8(expected)?;
+        Ok(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Reads exactly `len` bytes.
+    pub fn read_slice(&mut self, len: usize, expected: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated {
+                offset: self.pos,
+                expected,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+}
+
+/// An appending writer that tracks name-compression targets.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+    /// Map from an already-emitted (lowercased) name suffix to its offset,
+    /// used for RFC 1035 §4.1.4 message compression. Offsets must fit the
+    /// 14-bit pointer field.
+    compression: std::collections::HashMap<Vec<u8>, u16>,
+    /// When false, names are emitted without compression pointers (some
+    /// rdata, e.g. inside OPT, must not be compressed).
+    compression_enabled: bool,
+}
+
+impl Writer {
+    /// Creates an empty writer with compression enabled.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::with_capacity(512),
+            compression: std::collections::HashMap::new(),
+            compression_enabled: true,
+        }
+    }
+
+    /// Disables compression for subsequently written names.
+    pub fn set_compression(&mut self, enabled: bool) {
+        self.compression_enabled = enabled;
+    }
+
+    /// Whether compression is currently enabled.
+    pub fn compression_enabled(&self) -> bool {
+        self.compression_enabled
+    }
+
+    /// Current output length (== offset of the next byte written).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian u16.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn write_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites a previously written big-endian u16 at `offset`
+    /// (used to backpatch rdata lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 2` exceeds the current length.
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Looks up a compression target for a (lowercased) suffix key.
+    pub fn compression_target(&self, key: &[u8]) -> Option<u16> {
+        if self.compression_enabled {
+            self.compression.get(key).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Registers the current suffix at `offset` for future compression,
+    /// if the offset still fits in a 14-bit pointer.
+    pub fn register_compression(&mut self, key: Vec<u8>, offset: usize) {
+        if self.compression_enabled && offset < 0x3FFF {
+            self.compression.entry(key).or_insert(offset as u16);
+        }
+    }
+
+    /// Finishes the message, enforcing the 64 KiB limit.
+    pub fn finish(self) -> Result<Vec<u8>, WireError> {
+        if self.buf.len() > u16::MAX as usize {
+            return Err(WireError::MessageTooLong {
+                size: self.buf.len(),
+            });
+        }
+        Ok(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reads_scalars() {
+        let data = [0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.read_u8("x").unwrap(), 0x12);
+        assert_eq!(r.read_u16("x").unwrap(), 0x3456);
+        assert_eq!(r.read_u32("x").unwrap(), 0x789A_BCDE);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_truncation_reports_offset() {
+        let data = [0x01];
+        let mut r = Reader::new(&data);
+        r.read_u8("first").unwrap();
+        let err = r.read_u16("second").unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                offset: 1,
+                expected: "second"
+            }
+        );
+    }
+
+    #[test]
+    fn reader_slice_bounds() {
+        let data = [1, 2, 3];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.read_slice(2, "x").unwrap(), &[1, 2]);
+        assert!(r.read_slice(2, "x").is_err());
+        assert_eq!(r.read_slice(1, "x").unwrap(), &[3]);
+    }
+
+    #[test]
+    fn writer_roundtrip_and_patch() {
+        let mut w = Writer::new();
+        w.write_u16(0); // placeholder
+        w.write_u32(0xAABB_CCDD);
+        w.patch_u16(0, 0x0102);
+        let out = w.finish().unwrap();
+        assert_eq!(out, vec![0x01, 0x02, 0xAA, 0xBB, 0xCC, 0xDD]);
+    }
+
+    #[test]
+    fn writer_rejects_oversize() {
+        let mut w = Writer::new();
+        w.write_slice(&vec![0u8; 70_000]);
+        assert!(matches!(
+            w.finish(),
+            Err(WireError::MessageTooLong { size: 70_000 })
+        ));
+    }
+
+    #[test]
+    fn compression_registry_respects_pointer_range() {
+        let mut w = Writer::new();
+        w.register_compression(b"example".to_vec(), 0x4000); // too far
+        assert_eq!(w.compression_target(b"example"), None);
+        w.register_compression(b"example".to_vec(), 12);
+        assert_eq!(w.compression_target(b"example"), Some(12));
+        w.set_compression(false);
+        assert_eq!(w.compression_target(b"example"), None);
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! An ip2location-like geolocation and AS-organization database.
+//!
+//! The paper geolocates malicious resolvers with ip2location and pulls
+//! organization names from Whois (Table VIII). This crate reimplements
+//! the lookup side over locally seeded data: exact `/32` entries plus
+//! range entries, each mapping to a country code, an AS number and an
+//! organization name. RFC 1918 addresses are recognized intrinsically
+//! and answer as "private network", as in Table VIII.
+
+pub mod db;
+pub mod record;
+
+pub use db::GeoDb;
+pub use record::GeoRecord;

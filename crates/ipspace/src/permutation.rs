@@ -1,0 +1,309 @@
+//! ZMap-style stateless pseudorandom permutation of an address space.
+//!
+//! ZMap scans the IPv4 space in a pseudorandom order so that probe load is
+//! spread across networks instead of hammering one /8 at a time, while
+//! guaranteeing each address is visited exactly once. It does so by
+//! iterating the multiplicative group of integers modulo a prime `p`
+//! slightly larger than the space: starting from a random element, it
+//! repeatedly multiplies by a primitive root `g`, visiting every value in
+//! `1..p` exactly once per cycle; values that fall outside the target
+//! space are skipped.
+//!
+//! [`ScanPermutation`] reproduces that construction for any space size
+//! `n <= 2^32`, which lets the measurement pipeline scan scaled-down probe
+//! spaces with the same access pattern as a full Internet-wide scan.
+
+use crate::prime::{mul_mod, next_prime, primitive_root};
+
+/// A bijective pseudorandom traversal of `0..n`.
+///
+/// The permutation is deterministic given `(n, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use orscope_ipspace::ScanPermutation;
+///
+/// let perm = ScanPermutation::new(100, 7);
+/// let order: Vec<u32> = perm.iter().collect();
+/// assert_eq!(order.len(), 100);
+/// let mut sorted = order.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+/// // The visit order is scrambled, not sequential.
+/// assert_ne!(order, sorted);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPermutation {
+    /// Size of the space being permuted; yields values in `0..n`.
+    n: u64,
+    /// Prime modulus `p > n`.
+    modulus: u64,
+    /// Primitive root of `Z_p^*`.
+    generator: u64,
+    /// First group element visited (in `1..p`).
+    start: u64,
+}
+
+impl ScanPermutation {
+    /// Creates a permutation of `0..n` determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 2^32`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "cannot permute an empty space");
+        assert!(n <= 1 << 32, "space exceeds the IPv4 universe");
+        let modulus = next_prime(n.max(2));
+        // Derive independent generator preference and start position from
+        // the seed with an splitmix-style mix so nearby seeds diverge.
+        let mixed = splitmix(seed);
+        let generator = primitive_root(modulus, mixed);
+        let start = 1 + splitmix(mixed) % (modulus - 1);
+        Self {
+            n,
+            modulus,
+            generator,
+            start,
+        }
+    }
+
+    /// Creates the canonical full-IPv4 permutation (`n = 2^32`,
+    /// modulus 2^32 + 15 as in ZMap).
+    pub fn full_ipv4(seed: u64) -> Self {
+        Self::new(1 << 32, seed)
+    }
+
+    /// Size of the permuted space.
+    pub fn space_len(&self) -> u64 {
+        self.n
+    }
+
+    /// The prime modulus backing the group.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Iterates all `n` values of the permutation.
+    pub fn iter(&self) -> ScanPermutationIter {
+        ScanPermutationIter {
+            perm: self.clone(),
+            current: self.start,
+            emitted: 0,
+        }
+    }
+}
+
+/// Iterator over a [`ScanPermutation`]; see [`ScanPermutation::iter`].
+#[derive(Debug, Clone)]
+pub struct ScanPermutationIter {
+    perm: ScanPermutation,
+    current: u64,
+    emitted: u64,
+}
+
+impl Iterator for ScanPermutationIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.emitted < self.perm.n {
+            let value = self.current - 1; // group element x maps to address x-1
+            self.current = mul_mod(self.current, self.perm.generator, self.perm.modulus);
+            if value < self.perm.n {
+                self.emitted += 1;
+                return Some(value as u32);
+            }
+            // Values in n..p-1 are skipped, exactly as ZMap discards group
+            // elements beyond the address space.
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.perm.n - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ScanPermutationIter {}
+
+/// SplitMix64 finalizer: cheap, well-distributed 64-bit mixing.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_address_exactly_once() {
+        for n in [1u64, 2, 3, 10, 97, 1_000, 4_096] {
+            let perm = ScanPermutation::new(n, 1234);
+            let visited: Vec<u32> = perm.iter().collect();
+            assert_eq!(visited.len() as u64, n);
+            let unique: HashSet<u32> = visited.iter().copied().collect();
+            assert_eq!(unique.len() as u64, n, "duplicates for n={n}");
+            assert!(visited.iter().all(|&v| (v as u64) < n));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = ScanPermutation::new(500, 9).iter().collect();
+        let b: Vec<u32> = ScanPermutation::new(500, 9).iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u32> = ScanPermutation::new(500, 1).iter().collect();
+        let b: Vec<u32> = ScanPermutation::new(500, 2).iter().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn order_is_scrambled() {
+        let order: Vec<u32> = ScanPermutation::new(1_000, 77).iter().collect();
+        // Count ascending adjacent pairs; a random permutation has ~50%.
+        let ascending = order.windows(2).filter(|w| w[0] < w[1]).count();
+        assert!(
+            (300..700).contains(&ascending),
+            "suspiciously ordered: {ascending}/999 ascending pairs"
+        );
+    }
+
+    #[test]
+    fn full_ipv4_uses_zmap_modulus() {
+        let perm = ScanPermutation::full_ipv4(0);
+        assert_eq!(perm.modulus(), (1 << 32) + 15);
+        assert_eq!(perm.space_len(), 1 << 32);
+        // Spot-check the first few outputs are in range and distinct.
+        let head: Vec<u32> = perm.iter().take(1_000).collect();
+        let unique: HashSet<u32> = head.iter().copied().collect();
+        assert_eq!(unique.len(), 1_000);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let perm = ScanPermutation::new(64, 3);
+        let mut iter = perm.iter();
+        assert_eq!(iter.len(), 64);
+        iter.next();
+        assert_eq!(iter.len(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_space_panics() {
+        let _ = ScanPermutation::new(0, 0);
+    }
+
+    #[test]
+    fn single_element_space() {
+        let visited: Vec<u32> = ScanPermutation::new(1, 5).iter().collect();
+        assert_eq!(visited, vec![0]);
+    }
+}
+
+/// A shard of a [`ScanPermutation`], as in ZMap's `--shards`/`--shard`
+/// options for splitting one logical scan across machines.
+///
+/// Shard `i` of `n` visits the permutation's positions `i, i+n, i+2n,
+/// ...`; the shards are disjoint and their union is the full space, so
+/// `n` probers can share one scan without coordination beyond the seed.
+#[derive(Debug, Clone)]
+pub struct ShardedPermutation {
+    perm: ScanPermutation,
+    shards: u32,
+    shard: u32,
+}
+
+impl ScanPermutation {
+    /// Returns shard `shard` of `shards` for this permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `shard >= shards`.
+    pub fn shard(&self, shard: u32, shards: u32) -> ShardedPermutation {
+        assert!(shards > 0, "need at least one shard");
+        assert!(shard < shards, "shard {shard} out of {shards}");
+        ShardedPermutation {
+            perm: self.clone(),
+            shards,
+            shard,
+        }
+    }
+}
+
+impl ShardedPermutation {
+    /// Iterates this shard's addresses.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.perm
+            .iter()
+            .skip(self.shard as usize)
+            .step_by(self.shards as usize)
+    }
+
+    /// Number of addresses this shard covers.
+    pub fn len(&self) -> u64 {
+        let n = self.perm.space_len();
+        let (shards, shard) = (self.shards as u64, self.shard as u64);
+        n / shards + u64::from(n % shards > shard)
+    }
+
+    /// Whether the shard is empty (only when the space is tiny).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shards_partition_the_space() {
+        let perm = ScanPermutation::new(1_000, 5);
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for i in 0..7 {
+            let shard = perm.shard(i, 7);
+            let addrs: Vec<u32> = shard.iter().collect();
+            assert_eq!(addrs.len() as u64, shard.len());
+            for a in addrs {
+                assert!(seen.insert(a), "{a} appeared in two shards");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 1_000);
+        assert_eq!(seen.len(), 1_000);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_permutation() {
+        let perm = ScanPermutation::new(256, 9);
+        let full: Vec<u32> = perm.iter().collect();
+        let sharded: Vec<u32> = perm.shard(0, 1).iter().collect();
+        assert_eq!(full, sharded);
+    }
+
+    #[test]
+    fn shard_lengths_are_balanced() {
+        let perm = ScanPermutation::new(1_003, 1);
+        let lens: Vec<u64> = (0..4).map(|i| perm.shard(i, 4).len()).collect();
+        assert_eq!(lens.iter().sum::<u64>(), 1_003);
+        assert!(lens.iter().all(|&l| l == 250 || l == 251));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn invalid_shard_panics() {
+        let _ = ScanPermutation::new(10, 0).shard(3, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! The endpoint trait and the dispatch context.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use rand_chacha::ChaCha12Rng;
+
+use crate::datagram::Datagram;
+use crate::time::SimTime;
+
+/// A host on the simulated internet.
+///
+/// Implementations receive datagrams addressed to their registered IP (any
+/// port) and timer callbacks they armed through [`Context::set_timer`].
+/// All interaction with the world goes through the [`Context`].
+pub trait Endpoint {
+    /// Called when a datagram arrives at this host.
+    fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>);
+
+    /// Called when a timer armed with `token` fires. Default: ignore.
+    fn handle_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let _ = (token, ctx);
+    }
+
+    /// Opt-in downcasting: endpoints that want their concrete type
+    /// recoverable through [`crate::SimNet::with_host`] return
+    /// `Some(self)`. Default: not downcastable.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Operations an endpoint may perform while handling an event.
+///
+/// Sends and timers are buffered and applied by the simulator after the
+/// handler returns, preserving deterministic event ordering.
+#[derive(Debug)]
+pub struct Context<'a> {
+    now: SimTime,
+    local_addr: Ipv4Addr,
+    pub(crate) outgoing: Vec<Datagram>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) rng: &'a mut ChaCha12Rng,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(now: SimTime, local_addr: Ipv4Addr, rng: &'a mut ChaCha12Rng) -> Self {
+        Self {
+            now,
+            local_addr,
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The address this endpoint is registered at.
+    pub fn local_addr(&self) -> Ipv4Addr {
+        self.local_addr
+    }
+
+    /// Queues a datagram for transmission.
+    pub fn send(&mut self, dgram: Datagram) {
+        self.outgoing.push(dgram);
+    }
+
+    /// Arms a timer to fire after `delay`; `token` is handed back to
+    /// [`Endpoint::handle_timer`].
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Arms a timer at an absolute virtual time.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    /// The simulation's deterministic RNG (shared stream). Endpoints that
+    /// need randomness — jittered behaviors, spoofed fields — draw from
+    /// here so runs stay reproducible.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+}

@@ -1,0 +1,146 @@
+//! Propagation-delay models.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Computes the one-way delay for a datagram between two hosts.
+///
+/// Models must be deterministic functions of their inputs so simulation
+/// runs reproduce exactly; per-pair "randomness" is derived by hashing the
+/// address pair, not by consuming RNG state.
+pub trait LatencyModel: Send {
+    /// One-way delay from `src` to `dst`.
+    fn latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Duration;
+}
+
+/// The same fixed delay for every pair. Useful in unit tests where exact
+/// delivery times matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedLatency(pub Duration);
+
+impl LatencyModel for FixedLatency {
+    fn latency(&self, _src: Ipv4Addr, _dst: Ipv4Addr) -> Duration {
+        self.0
+    }
+}
+
+/// A hash-derived per-pair delay in `[min, max)`, symmetric in the pair.
+///
+/// Mimics the spread of real Internet RTTs: each host pair gets a stable
+/// delay, different pairs differ. Symmetry (`latency(a,b) == latency(b,a)`)
+/// keeps round trips consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashLatency {
+    /// Smallest possible one-way delay.
+    pub min: Duration,
+    /// Largest possible one-way delay (exclusive).
+    pub max: Duration,
+    /// Mixed into the hash so different simulations see different maps.
+    pub seed: u64,
+}
+
+impl HashLatency {
+    /// A spread typical of Internet paths: 5..120 ms one-way.
+    pub fn internet(seed: u64) -> Self {
+        Self {
+            min: Duration::from_millis(5),
+            max: Duration::from_millis(120),
+            seed,
+        }
+    }
+}
+
+impl LatencyModel for HashLatency {
+    fn latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Duration {
+        let (a, b) = {
+            let (x, y) = (u32::from(src) as u64, u32::from(dst) as u64);
+            if x <= y {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        };
+        let h = mix(a << 32 | b, self.seed);
+        let span = self.max.as_nanos().saturating_sub(self.min.as_nanos()) as u64;
+        if span == 0 {
+            return self.min;
+        }
+        self.min + Duration::from_nanos(h % span)
+    }
+}
+
+/// SplitMix64-style mixing of a value with a seed.
+fn mix(v: u64, seed: u64) -> u64 {
+    let mut x = v ^ seed.rotate_left(17);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(1, 2, 3, 4);
+    const B: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+    const C: Ipv4Addr = Ipv4Addr::new(100, 1, 1, 1);
+
+    #[test]
+    fn fixed_is_fixed() {
+        let m = FixedLatency(Duration::from_millis(10));
+        assert_eq!(m.latency(A, B), Duration::from_millis(10));
+        assert_eq!(m.latency(B, C), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn hash_latency_is_deterministic_and_symmetric() {
+        let m = HashLatency::internet(42);
+        assert_eq!(m.latency(A, B), m.latency(A, B));
+        assert_eq!(m.latency(A, B), m.latency(B, A));
+    }
+
+    #[test]
+    fn hash_latency_within_bounds() {
+        let m = HashLatency::internet(7);
+        for i in 0..100u32 {
+            let dst = Ipv4Addr::from(0x0a00_0000 + i);
+            let l = m.latency(A, dst);
+            assert!(l >= m.min && l < m.max, "{l:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn different_pairs_get_different_delays() {
+        let m = HashLatency::internet(7);
+        let mut delays: Vec<Duration> = (0..50u32)
+            .map(|i| m.latency(A, Ipv4Addr::from(0x0a00_0000 + i)))
+            .collect();
+        delays.sort();
+        delays.dedup();
+        assert!(delays.len() > 40, "delays suspiciously uniform");
+    }
+
+    #[test]
+    fn different_seeds_change_the_map() {
+        let m1 = HashLatency::internet(1);
+        let m2 = HashLatency::internet(2);
+        let differing = (0..20u32)
+            .filter(|&i| {
+                let dst = Ipv4Addr::from(0x0a00_0000 + i);
+                m1.latency(A, dst) != m2.latency(A, dst)
+            })
+            .count();
+        assert!(differing > 10);
+    }
+
+    #[test]
+    fn degenerate_span() {
+        let m = HashLatency {
+            min: Duration::from_millis(3),
+            max: Duration::from_millis(3),
+            seed: 0,
+        };
+        assert_eq!(m.latency(A, B), Duration::from_millis(3));
+    }
+}

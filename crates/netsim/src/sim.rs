@@ -1,0 +1,562 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::datagram::Datagram;
+use crate::endpoint::{Context, Endpoint};
+use crate::latency::{HashLatency, LatencyModel};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+
+/// An event in the queue. Ordering: by time, then by sequence number, so
+/// simultaneous events fire in submission order (deterministic).
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Datagram),
+    Timer { host: Ipv4Addr, token: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Builder for [`SimNet`]; see [`SimNet::builder`].
+pub struct SimNetBuilder {
+    seed: u64,
+    latency: Box<dyn LatencyModel>,
+    loss_probability: f64,
+    duplicate_probability: f64,
+    max_events: u64,
+}
+
+impl Default for SimNetBuilder {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            latency: Box::new(HashLatency::internet(0)),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimNetBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetBuilder")
+            .field("seed", &self.seed)
+            .field("loss_probability", &self.loss_probability)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimNetBuilder {
+    /// Seeds every random stream in the simulation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the latency model (default: [`HashLatency::internet`]).
+    pub fn latency(mut self, model: impl LatencyModel + 'static) -> Self {
+        self.latency = Box::new(model);
+        self
+    }
+
+    /// Sets independent per-datagram loss probability (default 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn loss_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} not in [0,1]");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Sets independent per-datagram duplication probability: UDP may
+    /// deliver a packet twice, and DNS software must cope (default 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate probability {p} not in [0,1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Caps total processed events (runaway-loop backstop in tests).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Builds the simulator.
+    pub fn build(self) -> SimNet {
+        SimNet {
+            hosts: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            latency: self.latency,
+            loss_probability: self.loss_probability,
+            duplicate_probability: self.duplicate_probability,
+            rng: ChaCha12Rng::seed_from_u64(self.seed ^ 0x6F72_7363_6F70_6521),
+            stats: NetStats::default(),
+            max_events: self.max_events,
+        }
+    }
+}
+
+/// The simulated internet: hosts, an event queue, and a virtual clock.
+pub struct SimNet {
+    hosts: HashMap<Ipv4Addr, Box<dyn Endpoint>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    latency: Box<dyn LatencyModel>,
+    loss_probability: f64,
+    duplicate_probability: f64,
+    rng: ChaCha12Rng,
+    stats: NetStats,
+    max_events: u64,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("hosts", &self.hosts.len())
+            .field("queued_events", &self.queue.len())
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// Starts building a simulator.
+    pub fn builder() -> SimNetBuilder {
+        SimNetBuilder::default()
+    }
+
+    /// Registers `endpoint` at `addr`, replacing any previous host there.
+    pub fn register(&mut self, addr: Ipv4Addr, endpoint: impl Endpoint + 'static) {
+        self.hosts.insert(addr, Box::new(endpoint));
+    }
+
+    /// Registers a boxed endpoint (for populations built dynamically).
+    pub fn register_boxed(&mut self, addr: Ipv4Addr, endpoint: Box<dyn Endpoint>) {
+        self.hosts.insert(addr, endpoint);
+    }
+
+    /// Removes and returns the host at `addr`, if any.
+    pub fn deregister(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Endpoint>> {
+        self.hosts.remove(&addr)
+    }
+
+    /// Whether a host is registered at `addr`.
+    pub fn is_registered(&self, addr: Ipv4Addr) -> bool {
+        self.hosts.contains_key(&addr)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to a registered endpoint, downcast by the caller.
+    ///
+    /// The simulator stores endpoints as trait objects; harness code that
+    /// needs to read results back (e.g. the prober's capture log) keeps
+    /// the address and downcasts via `as_any`-style helpers on its own
+    /// types, or simply deregisters the endpoint when the run completes.
+    pub fn with_host<R>(
+        &mut self,
+        addr: Ipv4Addr,
+        f: impl FnOnce(&mut dyn Endpoint) -> R,
+    ) -> Option<R> {
+        self.hosts.get_mut(&addr).map(|ep| f(ep.as_mut()))
+    }
+
+    /// Injects a datagram into the network "from the outside" (e.g. a
+    /// spoofed-source attack packet). Loss and latency apply normally.
+    pub fn inject(&mut self, dgram: Datagram) {
+        self.enqueue_datagram(dgram);
+    }
+
+    /// Arms a timer for the host at `addr` at absolute time `at`.
+    pub fn set_timer_for(&mut self, addr: Ipv4Addr, at: SimTime, token: u64) {
+        let at = at.max(self.now);
+        self.push_event(at, EventKind::Timer { host: addr, token });
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn enqueue_datagram(&mut self, dgram: Datagram) {
+        self.stats.sent += 1;
+        if self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability {
+            self.stats.lost += 1;
+            return;
+        }
+        let delay = self.latency.latency(dgram.src, dgram.dst);
+        let at = self.now + delay;
+        if self.duplicate_probability > 0.0 && self.rng.gen::<f64>() < self.duplicate_probability {
+            // The duplicate trails the original by a small reorder gap.
+            self.stats.duplicated += 1;
+            let dup_at = at + std::time::Duration::from_millis(3);
+            self.push_event(dup_at, EventKind::Deliver(dgram.clone()));
+        }
+        self.push_event(at, EventKind::Deliver(dgram));
+    }
+
+    /// Processes one event; returns `false` when the queue is empty or
+    /// the event cap is reached.
+    pub fn step(&mut self) -> bool {
+        if self.stats.events >= self.max_events {
+            return false;
+        }
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Deliver(dgram) => {
+                // Detach the endpoint so the handler can borrow the
+                // context mutably without aliasing the host table.
+                let Some(mut ep) = self.hosts.remove(&dgram.dst) else {
+                    self.stats.unrouted += 1;
+                    return true;
+                };
+                self.stats.delivered += 1;
+                self.stats.bytes_delivered += dgram.payload.len() as u64;
+                let mut ctx = Context::new(self.now, dgram.dst, &mut self.rng);
+                ep.handle_datagram(&dgram, &mut ctx);
+                let Context {
+                    outgoing, timers, ..
+                } = ctx;
+                self.hosts.insert(dgram.dst, ep);
+                self.apply(outgoing, timers, dgram.dst);
+            }
+            EventKind::Timer { host, token } => {
+                let Some(mut ep) = self.hosts.remove(&host) else {
+                    return true;
+                };
+                self.stats.timers_fired += 1;
+                let mut ctx = Context::new(self.now, host, &mut self.rng);
+                ep.handle_timer(token, &mut ctx);
+                let Context {
+                    outgoing, timers, ..
+                } = ctx;
+                self.hosts.insert(host, ep);
+                self.apply(outgoing, timers, host);
+            }
+        }
+        true
+    }
+
+    fn apply(&mut self, outgoing: Vec<Datagram>, timers: Vec<(SimTime, u64)>, host: Ipv4Addr) {
+        for dgram in outgoing {
+            self.enqueue_datagram(dgram);
+        }
+        for (at, token) in timers {
+            let at = at.max(self.now);
+            self.push_event(at, EventKind::Timer { host, token });
+        }
+    }
+
+    /// Runs until no events remain (or the event cap trips).
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::FixedLatency;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Echoes every datagram back to its sender.
+    struct Echo;
+    impl Endpoint for Echo {
+        fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
+            ctx.send(dgram.reply(dgram.payload.clone()));
+        }
+    }
+
+    /// Sends `count` pings on its timer and counts replies.
+    struct Pinger {
+        target: Ipv4Addr,
+        count: u32,
+        replies: Arc<AtomicU64>,
+        reply_times: Arc<parking_lot::Mutex<Vec<SimTime>>>,
+    }
+    impl Endpoint for Pinger {
+        fn handle_datagram(&mut self, _dgram: &Datagram, ctx: &mut Context<'_>) {
+            self.replies.fetch_add(1, Ordering::Relaxed);
+            self.reply_times.lock().push(ctx.now());
+        }
+        fn handle_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+            for i in 0..self.count {
+                ctx.send(Datagram::new(
+                    (ctx.local_addr(), 40_000 + i as u16),
+                    (self.target, 53),
+                    vec![i as u8],
+                ));
+            }
+        }
+    }
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(2, 0, 0, 2);
+
+    fn ping_setup(loss: f64, count: u32) -> (SimNet, Arc<AtomicU64>, Arc<parking_lot::Mutex<Vec<SimTime>>>) {
+        let replies = Arc::new(AtomicU64::new(0));
+        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut net = SimNet::builder()
+            .seed(99)
+            .latency(FixedLatency(Duration::from_millis(10)))
+            .loss_probability(loss)
+            .build();
+        net.register(SERVER, Echo);
+        net.register(
+            CLIENT,
+            Pinger {
+                target: SERVER,
+                count,
+                replies: replies.clone(),
+                reply_times: times.clone(),
+            },
+        );
+        net.set_timer_for(CLIENT, SimTime::ZERO, 0);
+        (net, replies, times)
+    }
+
+    #[test]
+    fn round_trip_delivery_and_timing() {
+        let (mut net, replies, times) = ping_setup(0.0, 1);
+        net.run_until_idle();
+        assert_eq!(replies.load(Ordering::Relaxed), 1);
+        // 10ms there + 10ms back.
+        assert_eq!(times.lock()[0], SimTime::from_nanos(20_000_000));
+        assert_eq!(net.stats().sent, 2);
+        assert_eq!(net.stats().delivered, 2);
+        assert_eq!(net.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn unrouted_datagrams_are_counted() {
+        let mut net = SimNet::builder().seed(1).build();
+        net.inject(Datagram::new((CLIENT, 1), (SERVER, 53), b"x".to_vec()));
+        net.run_until_idle();
+        assert_eq!(net.stats().unrouted, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn loss_model_drops_packets() {
+        let (mut net, replies, _) = ping_setup(1.0, 10);
+        net.run_until_idle();
+        assert_eq!(replies.load(Ordering::Relaxed), 0);
+        assert_eq!(net.stats().lost, 10);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic() {
+        let run = || {
+            let (mut net, replies, _) = ping_setup(0.3, 100);
+            net.run_until_idle();
+            replies.load(Ordering::Relaxed)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        assert!(a > 20 && a < 80, "loss rate wildly off: {a}");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut net, replies, _) = ping_setup(0.0, 1);
+        // Ping fires at t=0, delivery at 10ms, reply at 20ms.
+        net.run_until(SimTime::from_nanos(15_000_000));
+        assert_eq!(replies.load(Ordering::Relaxed), 0);
+        assert_eq!(net.now(), SimTime::from_nanos(15_000_000));
+        net.run_until_idle();
+        assert_eq!(replies.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn max_events_caps_runaway() {
+        // Two echoes bouncing a packet forever.
+        let mut net = SimNet::builder()
+            .seed(3)
+            .latency(FixedLatency(Duration::from_millis(1)))
+            .max_events(50)
+            .build();
+        net.register(CLIENT, Echo);
+        net.register(SERVER, Echo);
+        net.inject(Datagram::new((CLIENT, 1), (SERVER, 53), b"loop".to_vec()));
+        net.run_until_idle();
+        assert_eq!(net.stats().events, 50);
+    }
+
+    #[test]
+    fn deregister_stops_delivery() {
+        let (mut net, replies, _) = ping_setup(0.0, 1);
+        let removed = net.deregister(SERVER);
+        assert!(removed.is_some());
+        net.run_until_idle();
+        assert_eq!(replies.load(Ordering::Relaxed), 0);
+        assert_eq!(net.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_submission_order() {
+        struct Recorder {
+            order: Arc<parking_lot::Mutex<Vec<u64>>>,
+        }
+        impl Endpoint for Recorder {
+            fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {}
+            fn handle_timer(&mut self, token: u64, _ctx: &mut Context<'_>) {
+                self.order.lock().push(token);
+            }
+        }
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut net = SimNet::builder().seed(5).build();
+        net.register(CLIENT, Recorder { order: order.clone() });
+        for token in [3u64, 1, 4, 1, 5] {
+            net.set_timer_for(CLIENT, SimTime::from_secs(1), token);
+        }
+        net.run_until_idle();
+        assert_eq!(*order.lock(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn bytes_delivered_accumulates() {
+        let (mut net, _, _) = ping_setup(0.0, 3);
+        net.run_until_idle();
+        // 3 pings of 1 byte + 3 echoes of 1 byte.
+        assert_eq!(net.stats().bytes_delivered, 6);
+    }
+}
+
+#[cfg(test)]
+mod duplication_tests {
+    use super::*;
+    use crate::latency::FixedLatency;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct Count(Arc<AtomicU64>);
+    impl Endpoint for Count {
+        fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut net = SimNet::builder()
+            .seed(8)
+            .latency(FixedLatency(Duration::from_millis(1)))
+            .duplicate_probability(1.0)
+            .build();
+        let got = Arc::new(AtomicU64::new(0));
+        let dst = Ipv4Addr::new(2, 0, 0, 2);
+        net.register(dst, Count(got.clone()));
+        for i in 0..10u16 {
+            net.inject(Datagram::new((Ipv4Addr::new(1, 0, 0, 1), i), (dst, 53), vec![1]));
+        }
+        net.run_until_idle();
+        assert_eq!(got.load(Ordering::Relaxed), 20);
+        assert_eq!(net.stats().duplicated, 10);
+    }
+
+    #[test]
+    fn partial_duplication_is_deterministic() {
+        let run = || {
+            let mut net = SimNet::builder()
+                .seed(9)
+                .latency(FixedLatency(Duration::from_millis(1)))
+                .duplicate_probability(0.4)
+                .build();
+            let got = Arc::new(AtomicU64::new(0));
+            let dst = Ipv4Addr::new(2, 0, 0, 2);
+            net.register(dst, Count(got.clone()));
+            for i in 0..100u16 {
+                net.inject(Datagram::new((Ipv4Addr::new(1, 0, 0, 1), i), (dst, 53), vec![1]));
+            }
+            net.run_until_idle();
+            got.load(Ordering::Relaxed)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!((120..170).contains(&a), "{a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn invalid_duplicate_probability_panics() {
+        let _ = SimNet::builder().duplicate_probability(1.5);
+    }
+}

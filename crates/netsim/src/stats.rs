@@ -1,0 +1,47 @@
+//! Simulation counters.
+
+/// Aggregate counters for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams handed to the network by endpoints.
+    pub sent: u64,
+    /// Datagrams delivered to a registered endpoint.
+    pub delivered: u64,
+    /// Datagrams dropped by the loss model.
+    pub lost: u64,
+    /// Extra deliveries created by the duplication model.
+    pub duplicated: u64,
+    /// Datagrams addressed to an unregistered host ("no route").
+    pub unrouted: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Sum of payload bytes delivered (for amplification measurements).
+    pub bytes_delivered: u64,
+}
+
+impl NetStats {
+    /// Fraction of sent datagrams that were lost (0 if nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate() {
+        let mut s = NetStats::default();
+        assert_eq!(s.loss_rate(), 0.0);
+        s.sent = 100;
+        s.lost = 25;
+        assert!((s.loss_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// `SimTime` is a newtype over `u64`, giving the simulator ~584 years of
+/// range — comfortably more than the paper's 7-day 2013 scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since start as a float (for rate computations).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating duration since an earlier time.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Renders as `h:mm:ss.mmm` for scan-duration reporting.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_ms = self.0 / 1_000_000;
+        let (ms, s, m, h) = (
+            total_ms % 1_000,
+            total_ms / 1_000 % 60,
+            total_ms / 60_000 % 60,
+            total_ms / 3_600_000,
+        );
+        write!(f, "{h}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let u = t + Duration::from_millis(500);
+        assert_eq!(u.as_nanos(), 10_500_000_000);
+        assert_eq!(u - t, Duration::from_millis(500));
+        assert_eq!(t - u, Duration::ZERO, "saturating");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn display_scan_durations() {
+        // The 2018 scan lasted about 10h35m.
+        let t = SimTime::from_secs(10 * 3600 + 35 * 60);
+        assert_eq!(t.to_string(), "10:35:00.000");
+        assert_eq!(SimTime::ZERO.to_string(), "0:00:00.000");
+    }
+
+    #[test]
+    fn seven_day_scan_fits() {
+        let week = SimTime::from_secs(7 * 24 * 3600 + 5 * 3600);
+        assert_eq!(week.as_secs(), 622_800); // 7d5h, the 2013 scan duration
+        assert!(week.as_secs_f64() > 6.2e5);
+    }
+}

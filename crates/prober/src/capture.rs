@@ -1,0 +1,121 @@
+//! The prober-side capture: R2 packets and scan statistics.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use orscope_authns::scheme::ProbeLabel;
+use orscope_dns_wire::Name;
+use orscope_netsim::SimTime;
+use parking_lot::Mutex;
+
+/// One captured R2 packet, already joined to its probe by qname.
+#[derive(Debug, Clone)]
+pub struct R2Capture {
+    /// The probed target that answered.
+    pub target: Ipv4Addr,
+    /// The probe label whose qname the response matched (`None` for the
+    /// empty-question responses of §IV-B4, which are joined by source
+    /// address instead).
+    pub label: Option<ProbeLabel>,
+    /// The full qname queried.
+    pub qname: Name,
+    /// Virtual receive time.
+    pub at: SimTime,
+    /// When the matching Q1 was sent.
+    pub sent_at: SimTime,
+    /// Raw response payload (kept raw: the analysis side re-decodes,
+    /// including the malformed packets).
+    pub payload: Bytes,
+}
+
+/// Aggregate scan statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Q1 packets sent.
+    pub q1_sent: u64,
+    /// R2 packets captured.
+    pub r2_captured: u64,
+    /// Responses dropped because their source port was not 53 — the
+    /// ZMap blind spot the paper discusses in §V.
+    pub off_port_dropped: u64,
+    /// Responses whose qname matched no outstanding probe.
+    pub unmatched: u64,
+    /// Fresh subdomains allocated.
+    pub subdomains_fresh: u64,
+    /// Subdomains served from the reuse pool.
+    pub subdomains_reused: u64,
+    /// Clusters touched.
+    pub clusters_used: u32,
+    /// Virtual time the scan finished draining.
+    pub finished_at: SimTime,
+    /// Whether the scan has completed (all targets probed, all
+    /// outstanding probes resolved or expired).
+    pub done: bool,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Shared {
+    pub(crate) captures: Vec<R2Capture>,
+    pub(crate) stats: ProbeStats,
+}
+
+/// A cloneable handle to the prober's capture buffer and statistics.
+///
+/// The campaign keeps one and reads results after the simulation drains;
+/// the [`crate::Prober`] endpoint writes through its own clone.
+#[derive(Debug, Clone, Default)]
+pub struct ProberHandle {
+    pub(crate) inner: Arc<Mutex<Shared>>,
+}
+
+impl ProberHandle {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scan statistics so far.
+    pub fn stats(&self) -> ProbeStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of captured R2 packets.
+    pub fn r2_count(&self) -> usize {
+        self.inner.lock().captures.len()
+    }
+
+    /// Clones out the captured responses.
+    pub fn captures(&self) -> Vec<R2Capture> {
+        self.inner.lock().captures.clone()
+    }
+
+    /// Takes the captured responses, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<R2Capture> {
+        std::mem::take(&mut self.inner.lock().captures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_shares_state() {
+        let handle = ProberHandle::new();
+        let clone = handle.clone();
+        clone.inner.lock().stats.q1_sent = 5;
+        clone.inner.lock().captures.push(R2Capture {
+            target: Ipv4Addr::new(1, 2, 3, 4),
+            label: Some(ProbeLabel::new(0, 0)),
+            qname: "x.example".parse().unwrap(),
+            at: SimTime::ZERO,
+            sent_at: SimTime::ZERO,
+            payload: Bytes::from_static(b"x"),
+        });
+        assert_eq!(handle.stats().q1_sent, 5);
+        assert_eq!(handle.r2_count(), 1);
+        assert_eq!(handle.drain().len(), 1);
+        assert_eq!(handle.r2_count(), 0);
+    }
+}

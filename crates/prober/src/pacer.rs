@@ -1,0 +1,116 @@
+//! Send-rate control.
+
+use std::time::Duration;
+
+/// Converts a target packet rate into fixed-interval batches.
+///
+/// The prober's timer fires every [`Pacer::interval`]; each firing may
+/// send up to [`Pacer::batch_size`] packets. Long division leftovers are
+/// carried so the long-run rate is exact.
+///
+/// # Example
+///
+/// ```
+/// use orscope_prober::Pacer;
+///
+/// let mut pacer = Pacer::new(100_000); // the 2018 scan rate
+/// assert_eq!(pacer.interval(), std::time::Duration::from_millis(10));
+/// assert_eq!(pacer.next_batch(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pacer {
+    rate_pps: u64,
+    interval: Duration,
+    /// Packets-per-tick as a fixed-point fraction: `whole` + `num/den`.
+    whole: u64,
+    num: u64,
+    den: u64,
+    carry: u64,
+}
+
+impl Pacer {
+    /// Upper bound on ticks per second; 100 keeps batches near 1% of
+    /// the rate. Low rates tick once per packet instead, so a 5 pps
+    /// scan does not burn 100 timer events per second.
+    const MAX_TICKS_PER_SEC: u64 = 100;
+
+    /// Creates a pacer for `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is zero.
+    pub fn new(rate_pps: u64) -> Self {
+        assert!(rate_pps > 0, "rate must be positive");
+        let ticks = rate_pps.clamp(1, Self::MAX_TICKS_PER_SEC);
+        Self {
+            rate_pps,
+            interval: Duration::from_nanos(1_000_000_000 / ticks),
+            whole: rate_pps / ticks,
+            num: rate_pps % ticks,
+            den: ticks,
+            carry: 0,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate_pps(&self) -> u64 {
+        self.rate_pps
+    }
+
+    /// Interval between batches.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Nominal batch size (without carry).
+    pub fn batch_size(&self) -> u64 {
+        self.whole
+    }
+
+    /// Number of packets to send this tick.
+    pub fn next_batch(&mut self) -> u64 {
+        self.carry += self.num;
+        let mut batch = self.whole;
+        if self.carry >= self.den {
+            self.carry -= self.den;
+            batch += 1;
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rate_over_one_second() {
+        for rate in [1u64, 7, 99, 100, 101, 5_903, 100_000] {
+            let mut pacer = Pacer::new(rate);
+            let ticks = Duration::from_secs(1).as_nanos() / pacer.interval().as_nanos();
+            let total: u64 = (0..ticks).map(|_| pacer.next_batch()).sum();
+            assert_eq!(total, rate, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn interval_adapts_to_rate() {
+        assert_eq!(Pacer::new(100_000).interval(), Duration::from_millis(10));
+        assert_eq!(Pacer::new(50).interval(), Duration::from_millis(20));
+        assert_eq!(Pacer::new(1).interval(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn low_rates_send_one_packet_per_tick() {
+        let mut pacer = Pacer::new(3);
+        let batches: Vec<u64> = (0..9).map(|_| pacer.next_batch()).collect();
+        assert_eq!(batches.iter().sum::<u64>(), 9, "one packet every tick");
+        assert!(batches.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Pacer::new(0);
+    }
+}

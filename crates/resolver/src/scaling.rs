@@ -1,0 +1,135 @@
+//! Largest-remainder scaling of cell counts.
+//!
+//! Scaled-down campaigns must divide every population cell by the scale
+//! factor while (a) keeping the grand total exactly `round(total/scale)`
+//! and (b) never inflating a cell's share. The largest-remainder (Hare)
+//! method does both and is the standard apportionment tool.
+
+/// Scales `counts` down by `scale`, preserving the rounded grand total.
+///
+/// Returns per-cell scaled counts such that
+/// `sum(result) == round(sum(counts) / scale)`.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+///
+/// # Example
+///
+/// ```
+/// use orscope_resolver::scaling::scale_counts;
+///
+/// let cells = [600u64, 250, 150];
+/// let scaled = scale_counts(&cells, 100.0);
+/// assert_eq!(scaled, vec![6, 3, 1]); // due by share: 6.0, 2.5, 1.5
+/// assert_eq!(scaled.iter().sum::<u64>(), 10);
+/// ```
+pub fn scale_counts(counts: &[u64], scale: f64) -> Vec<u64> {
+    assert!(scale > 0.0, "scale must be positive");
+    let total: u64 = counts.iter().sum();
+    let target = (total as f64 / scale).round() as u64;
+    apportion(counts, target)
+}
+
+/// Apportions exactly `target` units across `counts` proportionally by
+/// the largest-remainder method.
+///
+/// Used when several linked breakdowns (e.g. the malicious-resolver flag
+/// cells and their country distribution) must scale to the *same* total.
+pub fn apportion(counts: &[u64], target: u64) -> Vec<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || target == 0 {
+        return vec![0; counts.len()];
+    }
+    // Exact shares and floors.
+    let mut floors: Vec<u64> = Vec::with_capacity(counts.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(counts.len());
+    let mut assigned = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let share = c as f64 * target as f64 / total as f64;
+        let floor = share.floor() as u64;
+        floors.push(floor);
+        assigned += floor;
+        remainders.push((i, share - floor as f64));
+    }
+    // Distribute the leftover units to the largest remainders; break ties
+    // toward earlier cells for determinism.
+    let mut leftover = target.saturating_sub(assigned);
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for (i, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        floors[i] += 1;
+        leftover -= 1;
+    }
+    floors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_total() {
+        let cells = [3_434_415u64, 3_994, 65_172, 207_694, 2_748_568, 45_921];
+        for scale in [1.0, 10.0, 100.0, 1000.0, 5000.0] {
+            let scaled = scale_counts(&cells, scale);
+            let total: u64 = cells.iter().sum();
+            assert_eq!(
+                scaled.iter().sum::<u64>(),
+                (total as f64 / scale).round() as u64,
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let cells = [5u64, 0, 17, 3];
+        assert_eq!(scale_counts(&cells, 1.0), cells.to_vec());
+    }
+
+    #[test]
+    fn zero_cells_stay_zero() {
+        let scaled = scale_counts(&[0, 100, 0], 10.0);
+        assert_eq!(scaled[0], 0);
+        assert_eq!(scaled[2], 0);
+        assert_eq!(scaled[1], 10);
+    }
+
+    #[test]
+    fn tiny_cells_can_round_away() {
+        // 2 out of 1,000,000 at scale 1000: share 0.002 -> 0.
+        let scaled = scale_counts(&[999_998, 2], 1000.0);
+        assert_eq!(scaled.iter().sum::<u64>(), 1000);
+        assert!(scaled[1] <= 1);
+    }
+
+    #[test]
+    fn proportions_roughly_preserved() {
+        let cells = [700u64, 200, 100];
+        let scaled = scale_counts(&cells, 10.0);
+        assert_eq!(scaled, vec![70, 20, 10]);
+    }
+
+    #[test]
+    fn apportion_exact_target() {
+        let out = apportion(&[10, 10, 10], 10);
+        assert_eq!(out.iter().sum::<u64>(), 10);
+        assert_eq!(out, vec![4, 3, 3]);
+        assert_eq!(apportion(&[1, 1], 0), vec![0, 0]);
+        assert_eq!(apportion(&[0, 0], 5), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = scale_counts(&[1], 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(scale_counts(&[], 10.0), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests over the calibrated population generator: at any
+//! scale, the generated hosts must stay faithful to the paper's cells.
+
+use proptest::prelude::*;
+
+use orscope_resolver::paper::{AnswerClass, Year, YearSpec};
+use orscope_resolver::population::{Population, PopulationConfig};
+use orscope_resolver::scaling::{apportion, scale_counts};
+use orscope_resolver::{AnswerData, ResponseAction};
+
+fn year_strategy() -> impl Strategy<Value = Year> {
+    prop_oneof![Just(Year::Y2013), Just(Year::Y2018)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The population total equals round(R2 / scale) at any scale.
+    #[test]
+    fn totals_track_scale(
+        year in year_strategy(),
+        scale in 1_000.0f64..50_000.0,
+        seed in any::<u64>(),
+    ) {
+        let mut config = PopulationConfig::new(year, scale);
+        config.seed = seed;
+        let population = Population::generate(&config);
+        let expected = (YearSpec::get(year).r2 as f64 / scale).round() as u64;
+        prop_assert_eq!(population.resolvers.len() as u64, expected);
+    }
+
+    /// Class marginals survive scaling within per-cell rounding: the
+    /// recursing (correct-answer) share matches Table III.
+    #[test]
+    fn recursing_share_matches_table_3(
+        year in year_strategy(),
+        scale in 1_000.0f64..20_000.0,
+    ) {
+        let population = Population::generate(&PopulationConfig::new(year, scale));
+        let spec = YearSpec::get(year);
+        let expected = spec.answer_class_total(AnswerClass::Correct) as f64 / scale;
+        let recursing = population
+            .resolvers
+            .iter()
+            .filter(|r| r.policy.recurses())
+            .count() as f64;
+        // Largest-remainder rounding across ~7 correct cells: off by at
+        // most the cell count.
+        prop_assert!((recursing - expected).abs() <= 8.0, "{recursing} vs {expected}");
+    }
+
+    /// Malicious resolvers always carry a category, a country, and a
+    /// fixed IP answer; nothing else carries a category.
+    #[test]
+    fn malicious_invariants(
+        year in year_strategy(),
+        scale in 1_000.0f64..20_000.0,
+        seed in any::<u64>(),
+    ) {
+        let mut config = PopulationConfig::new(year, scale);
+        config.seed = seed;
+        let population = Population::generate(&config);
+        for resolver in &population.resolvers {
+            match resolver.policy.malicious_category {
+                Some(_) => {
+                    prop_assert!(resolver.country.is_some());
+                    let ResponseAction::Immediate(imm) = &resolver.policy.action else {
+                        return Err(TestCaseError::fail("malicious must be immediate"));
+                    };
+                    prop_assert!(matches!(imm.answer, Some(AnswerData::FixedIp(_))));
+                    prop_assert_eq!(imm.rcode, orscope_dns_wire::Rcode::NoError);
+                }
+                None => prop_assert!(resolver.country.is_none()),
+            }
+        }
+        // Malicious count tracks Table IX within rounding.
+        let malicious = population
+            .resolvers
+            .iter()
+            .filter(|r| r.policy.malicious_category.is_some())
+            .count() as f64;
+        let expected = YearSpec::get(year).malicious_r2() as f64 / scale;
+        prop_assert!((malicious - expected).abs() <= 4.0, "{malicious} vs {expected}");
+    }
+
+    /// scale_counts is consistent with apportion at the same target.
+    #[test]
+    fn scale_counts_matches_apportion(
+        counts in prop::collection::vec(0u64..1_000_000, 1..20),
+        scale in 1.0f64..10_000.0,
+    ) {
+        let scaled = scale_counts(&counts, scale);
+        let total: u64 = counts.iter().sum();
+        let target = (total as f64 / scale).round() as u64;
+        prop_assert_eq!(scaled, apportion(&counts, target));
+    }
+
+    /// Apportionment satisfies quota: every cell gets floor or ceil of
+    /// its exact share.
+    #[test]
+    fn apportion_satisfies_quota(
+        counts in prop::collection::vec(0u64..1_000_000, 1..20),
+        target in 0u64..100_000,
+    ) {
+        let out = apportion(&counts, target);
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            prop_assert!(out.iter().all(|&v| v == 0));
+        } else {
+            prop_assert_eq!(out.iter().sum::<u64>(), target);
+            for (&c, &got) in counts.iter().zip(&out) {
+                let share = c as f64 * target as f64 / total as f64;
+                prop_assert!(got as f64 >= share.floor(), "{got} < floor({share})");
+                prop_assert!(got as f64 <= share.ceil(), "{got} > ceil({share})");
+            }
+        }
+    }
+
+    /// Population generation is a pure function of its config.
+    #[test]
+    fn generation_is_deterministic(
+        year in year_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut config = PopulationConfig::new(year, 20_000.0);
+        config.seed = seed;
+        let a = Population::generate(&config);
+        let b = Population::generate(&config);
+        prop_assert_eq!(a.resolvers, b.resolvers);
+        prop_assert_eq!(a.malicious_answers, b.malicious_answers);
+    }
+}

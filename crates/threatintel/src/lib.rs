@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! A Cymon-like threat-intelligence reputation database.
+//!
+//! The paper validates suspicious answer addresses against Cymon (and
+//! Ransomware Tracker): each IP may carry reports in categories such as
+//! malware, phishing or botnet, and when an address has reports in several
+//! categories the most frequently reported one is selected (Table IX).
+//! Cymon was shut down in 2019; this crate reimplements its lookup
+//! semantics over a locally seeded report store.
+
+pub mod category;
+pub mod db;
+pub mod report;
+
+pub use category::Category;
+pub use db::ThreatDb;
+pub use report::{Report, ReportSource};

@@ -1,0 +1,16 @@
+//! Quickstart: run a scaled-down replay of the paper's 2018 scan and
+//! print the headline tables.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use orscope_core::{Campaign, CampaignConfig};
+use orscope_resolver::paper::Year;
+
+fn main() {
+    // 1:2000 scale: ~3,250 responding hosts, a few seconds of runtime.
+    let config = CampaignConfig::new(Year::Y2018, 2_000.0);
+    let result = Campaign::new(config).run();
+    println!("{}", result.render());
+}

@@ -1,0 +1,74 @@
+//! Temporal contrast: replay both scans (2013 and 2018) and verify the
+//! paper's headline findings — open resolvers shrank to a fifth, the
+//! error rate quadrupled, and malicious redirections *doubled*.
+//!
+//! ```sh
+//! cargo run --release --example temporal_contrast
+//! ```
+
+use orscope_core::{Campaign, CampaignConfig, CampaignResult};
+use orscope_resolver::paper::Year;
+
+const SCALE: f64 = 2_000.0;
+
+fn run(year: Year) -> CampaignResult {
+    Campaign::new(CampaignConfig::new(year, SCALE)).run()
+}
+
+fn main() {
+    let r13 = run(Year::Y2013);
+    let r18 = run(Year::Y2018);
+
+    let t13 = r13.table3_measured().0;
+    let t18 = r18.table3_measured().0;
+    let mal13 = r13.table9_measured().total_r2();
+    let mal18 = r18.table9_measured().total_r2();
+
+    println!("Temporal contrast (1:{SCALE} scale; counts de-scaled)\n");
+    println!(
+        "{:<34} {:>14} {:>14} {:>9}",
+        "metric", "2013", "2018", "ratio"
+    );
+    let rows: Vec<(&str, u64, u64)> = vec![
+        ("R2 responses", t13.total(), t18.total()),
+        ("responses with answers (W)", t13.w(), t18.w()),
+        ("correct answers", t13.w_corr, t18.w_corr),
+        ("incorrect answers", t13.w_incorr, t18.w_incorr),
+        ("malicious redirections", mal13, mal18),
+    ];
+    for (name, v13, v18) in rows {
+        let (d13, d18) = (r13.dataset().descale(v13), r18.dataset().descale(v18));
+        println!(
+            "{name:<34} {d13:>14} {d18:>14} {:>8.2}x",
+            d18 as f64 / d13.max(1) as f64
+        );
+    }
+    println!(
+        "{:<34} {:>13.3}% {:>13.3}% {:>8.2}x",
+        "error rate (Err%)",
+        t13.err_pct(),
+        t18.err_pct(),
+        t18.err_pct() / t13.err_pct()
+    );
+
+    println!("\nPaper's conclusions, checked against the replay:");
+    let shrunk = t18.total() * 2 < t13.total();
+    let err_up = t18.err_pct() > 3.0 * t13.err_pct();
+    let mal_up = mal18 > mal13 * 3 / 2;
+    println!("  [{}] open-resolver population shrank dramatically", tick(shrunk));
+    println!("  [{}] wrong-answer *rate* rose ~4x", tick(err_up));
+    println!("  [{}] malicious redirections increased despite the shrink", tick(mal_up));
+
+    println!("\n2013 malicious categories:\n{}", r13.table9_measured());
+    println!("2018 malicious categories:\n{}", r18.table9_measured());
+    println!("2013 countries:{}", r13.countries_measured());
+    println!("2018 countries:{}", r18.countries_measured());
+}
+
+fn tick(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "FAILED"
+    }
+}

@@ -1,0 +1,240 @@
+//! The `orscope` command-line interface.
+//!
+//! ```text
+//! orscope campaign [--year 2018] [--scale 1000] [--seed N] [--full-q1] [--json FILE]
+//! orscope tables   [--scale 500] [--json FILE]      # both years, all tables
+//! orscope trend    [--steps 6] [--scale 2000]       # 2013 -> 2018 series
+//! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
+//! orscope help
+//! ```
+
+use std::process::ExitCode;
+
+use orscope_core::{run_trend, Campaign, CampaignConfig, TrendConfig};
+use orscope_resolver::paper::Year;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "campaign" => cmd_campaign(&args[1..]),
+        "tables" => cmd_tables(&args[1..]),
+        "trend" => cmd_trend(&args[1..]),
+        "pcap" => cmd_pcap(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `orscope help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("orscope: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "orscope — behavioral analysis of open DNS resolvers (DSN'19 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 orscope campaign [--year 2013|2018] [--scale S] [--seed N] [--full-q1] [--json FILE]\n\
+         \x20 orscope tables   [--scale S] [--json FILE]\n\
+         \x20 orscope trend    [--steps N] [--scale S] [--seed N]\n\
+         \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
+         \n\
+         COMMANDS:\n\
+         \x20 campaign  replay one scan and print every table, paper vs measured\n\
+         \x20 tables    replay both scans (the full evaluation of the paper)\n\
+         \x20 trend     the 2013->2018 continuous-monitoring series (section V)\n\
+         \x20 pcap      run a scan and export the captured R2 traffic as libpcap"
+    );
+}
+
+/// Pulls `--name value` from an argument list.
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        if arg == name {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{name} needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_year(args: &[String]) -> Result<Year, String> {
+    match flag_value(args, "--year")?.as_deref() {
+        None | Some("2018") => Ok(Year::Y2018),
+        Some("2013") => Ok(Year::Y2013),
+        Some(other) => Err(format!("unknown year {other}; use 2013 or 2018")),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("{name}: bad number {raw:?}")),
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let year = parse_year(args)?;
+    let scale: f64 = parse_number(args, "--scale", 1_000.0)?;
+    let seed: u64 = parse_number(args, "--seed", 0xD5A1_2019)?;
+    let mut config = CampaignConfig::new(year, scale).with_seed(seed);
+    if args.iter().any(|a| a == "--full-q1") {
+        config = config.with_full_q1();
+    }
+    let started = std::time::Instant::now();
+    let result = Campaign::new(config).run();
+    eprintln!(
+        "simulated {} probes / {} responses in {:?}",
+        result.dataset().q1,
+        result.dataset().r2(),
+        started.elapsed()
+    );
+    println!("{}", result.render());
+    if let Some(path) = flag_value(args, "--json")? {
+        let blob = serde_json::to_string_pretty(&result.to_json()).expect("serializable");
+        std::fs::write(&path, blob).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_tables(args: &[String]) -> Result<(), String> {
+    let scale: f64 = parse_number(args, "--scale", 500.0)?;
+    let mut blobs = Vec::new();
+    for year in Year::ALL {
+        let result = Campaign::new(CampaignConfig::new(year, scale)).run();
+        println!("{}", result.render());
+        blobs.push(result.to_json());
+    }
+    if let Some(path) = flag_value(args, "--json")? {
+        let blob = serde_json::json!({ "scale": scale, "years": blobs });
+        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializable"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trend(args: &[String]) -> Result<(), String> {
+    let config = TrendConfig {
+        steps: parse_number(args, "--steps", 6usize)?,
+        scale: parse_number(args, "--scale", 2_000.0)?,
+        seed: parse_number(args, "--seed", 0x7E3Du64)?,
+    };
+    if config.steps < 2 {
+        return Err("--steps must be at least 2".into());
+    }
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>10}",
+        "year", "responders", "wrong", "Err%", "malicious"
+    );
+    for p in run_trend(&config) {
+        println!(
+            "{:>6.0} {:>12} {:>10} {:>7.2}% {:>10}",
+            p.year_label, p.r2, p.incorrect, p.err_pct, p.malicious
+        );
+    }
+    Ok(())
+}
+
+/// The positional (non-flag, non-flag-value) arguments.
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            // Boolean flags take no value.
+            skip_next = arg != "--full-q1";
+            continue;
+        }
+        out.push(arg);
+    }
+    out
+}
+
+fn cmd_pcap(args: &[String]) -> Result<(), String> {
+    let year = parse_year(args)?;
+    let scale: f64 = parse_number(args, "--scale", 5_000.0)?;
+    let output = positionals(args)
+        .first()
+        .cloned()
+        .cloned()
+        .ok_or("pcap needs an output path")?;
+    let config = CampaignConfig::new(year, scale);
+    let prober = config.infra.prober;
+    let result = Campaign::new(config).run();
+    let packets: Vec<orscope_prober::pcap::PcapPacket> = result
+        .dataset()
+        .raw
+        .iter()
+        .map(|cap| orscope_prober::pcap::from_r2(cap, prober, 61_000))
+        .collect();
+    let bytes = orscope_prober::pcap::write_file(&packets);
+    std::fs::write(&output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!(
+        "wrote {output}: {} R2 packets, {} bytes",
+        packets.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_extraction() {
+        let a = args(&["--scale", "500", "--json", "out.json"]);
+        assert_eq!(flag_value(&a, "--scale").unwrap(), Some("500".into()));
+        assert_eq!(flag_value(&a, "--json").unwrap(), Some("out.json".into()));
+        assert_eq!(flag_value(&a, "--seed").unwrap(), None);
+        assert!(flag_value(&args(&["--scale"]), "--scale").is_err());
+    }
+
+    #[test]
+    fn year_parsing() {
+        assert_eq!(parse_year(&args(&[])).unwrap(), Year::Y2018);
+        assert_eq!(parse_year(&args(&["--year", "2013"])).unwrap(), Year::Y2013);
+        assert!(parse_year(&args(&["--year", "1999"])).is_err());
+    }
+
+    #[test]
+    fn number_parsing() {
+        assert_eq!(parse_number(&args(&["--scale", "250"]), "--scale", 1.0).unwrap(), 250.0);
+        assert_eq!(parse_number::<f64>(&args(&[]), "--scale", 7.5).unwrap(), 7.5);
+        assert!(parse_number::<u64>(&args(&["--seed", "xyz"]), "--seed", 0).is_err());
+    }
+
+    #[test]
+    fn positional_extraction() {
+        let a = args(&["--scale", "5000", "out.pcap"]);
+        assert_eq!(positionals(&a), vec!["out.pcap"]);
+        let b = args(&["out.pcap", "--scale", "5000"]);
+        assert_eq!(positionals(&b), vec!["out.pcap"]);
+        let c = args(&["--full-q1", "out.pcap"]);
+        assert_eq!(positionals(&c), vec!["out.pcap"]);
+        assert!(positionals(&args(&["--scale", "5000"])).is_empty());
+    }
+}

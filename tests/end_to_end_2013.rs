@@ -1,0 +1,127 @@
+//! End-to-end checks specific to the 2013 scan: the C-based-prober era
+//! artifacts (undecodable packets), the different flag anomalies, and
+//! the full-Q1 mode that reproduces Table II exactly.
+
+use orscope_core::{Campaign, CampaignConfig, CampaignResult};
+use orscope_dns_wire::Rcode;
+use orscope_resolver::paper::Year;
+use std::sync::OnceLock;
+
+const SCALE: f64 = 1000.0;
+
+fn result() -> &'static CampaignResult {
+    static RESULT: OnceLock<CampaignResult> = OnceLock::new();
+    RESULT.get_or_init(|| Campaign::new(CampaignConfig::new(Year::Y2013, SCALE)).run())
+}
+
+fn up(measured: u64) -> u64 {
+    result().dataset().descale(measured)
+}
+
+#[test]
+fn r2_and_q2_match_table_2() {
+    assert_eq!(up(result().dataset().r2()), 16_660_000);
+    let q2 = up(result().dataset().q2) as f64;
+    assert!((q2 / 38_079_578.0 - 1.0).abs() < 0.01, "Q2 {q2}");
+}
+
+#[test]
+fn table_3_err_rate_is_one_percent() {
+    let t = result().table3_measured().0;
+    assert!((t.err_pct() - 1.029).abs() < 0.1, "Err% {}", t.err_pct());
+    assert!((up(t.w_corr) as f64 / 11_671_589.0 - 1.0).abs() < 0.01);
+}
+
+#[test]
+fn table_4_2013_ra_shape() {
+    let t = result().table4_measured().0;
+    // 2013: RA0-with-answer error rate ~31%, not the 94% of 2018.
+    assert!(
+        (20.0..45.0).contains(&t.flag0.err_pct()),
+        "RA0 err {}",
+        t.flag0.err_pct()
+    );
+    // RA1 totals ~12.27M.
+    assert!((up(t.flag1.total()) as f64 / 12_270_335.0 - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn table_5_2013_aa1_is_correct_heavy() {
+    // Unlike 2018 (79% wrong), the 2013 AA=1 population carried more
+    // correct than incorrect answers (153k vs 78k).
+    let t = result().table5_measured().0;
+    assert!(t.flag1.w_corr > t.flag1.w_incorr);
+    assert!((20.0..45.0).contains(&t.flag1.err_pct()), "{}", t.flag1.err_pct());
+}
+
+#[test]
+fn table_6_2013_rcode_shape() {
+    let t = result().table6_measured();
+    let (servfail_w, servfail_wo) = t.get(Rcode::ServFail);
+    // 2013 had a substantial ServFail-with-answer block (12,723).
+    assert!((up(servfail_w) as f64 / 12_723.0 - 1.0).abs() < 0.1);
+    assert!(servfail_wo > servfail_w);
+    // NotAuth was essentially absent in 2013 (11 packets).
+    let (_, notauth_wo) = t.get(Rcode::NotAuth);
+    assert!(up(notauth_wo) <= 1_000);
+}
+
+#[test]
+fn undecodable_packets_survive_the_pipeline() {
+    let t7 = result().table7_measured();
+    assert!((up(t7.na_r2) as f64 / 8_764.0 - 1.0).abs() < 0.15, "N/A {}", t7.na_r2);
+    // They count as incorrect in Table III (the paper's accounting).
+    let t3 = result().table3_measured().0;
+    assert!(up(t3.w_incorr) as f64 / 121_293.0 > 0.95);
+}
+
+#[test]
+fn malicious_2013_is_us_concentrated() {
+    let countries = result().countries_measured();
+    let us_share = countries.get("US") as f64 / countries.total() as f64;
+    assert!(us_share > 0.93, "US share {us_share}");
+    assert!((up(result().table9_measured().total_r2()) as f64 / 12_874.0 - 1.0).abs() < 0.1);
+}
+
+#[test]
+fn full_q1_mode_reproduces_table_2_exactly() {
+    // Full-Q1 at a coarse scale: every probeable address (scaled) is
+    // really probed, so Q1 and the R2/Q1 percentage match the paper.
+    let config = CampaignConfig::new(Year::Y2013, 50_000.0).with_full_q1();
+    let full = Campaign::new(config).run();
+    let t2 = orscope_analysis::tables::Table2::measured(full.dataset());
+    let expected_q1 = (3_676_724_690.0_f64 / 50_000.0).round() as u64;
+    assert_eq!(t2.q1, expected_q1);
+    // R2/Q1 ~ 0.453% (Table II).
+    assert!((t2.r2_pct() - 0.453).abs() < 0.05, "R2% {}", t2.r2_pct());
+    // Virtual duration = targets / effective rate. The scaled 2013 rate
+    // (5,903 / 50,000 pps) clamps to the 1 pps floor, so the expected
+    // wall clock is simply one second per probe plus drain/load slack.
+    let duration = full.dataset().duration_secs;
+    let expected = expected_q1 as f64;
+    assert!(
+        (duration / expected - 1.0).abs() < 0.1,
+        "duration {duration}s vs expected ~{expected}s"
+    );
+}
+
+#[test]
+fn top_wrong_answers_2013() {
+    // §IV-C1's second paragraph: 74.220.199.15 tops the 2013 list and is
+    // the only reported-malicious entry in that year's top 10; three
+    // private addresses and 0.0.0.0 appear as well.
+    let t8 = result().table8_measured();
+    assert_eq!(t8.rows[0].ip.to_string(), "74.220.199.15");
+    assert_eq!(t8.rows[0].reports, "Y");
+    // At 1:1000 the smaller private entries scale below the long tail's
+    // uniform 3s; the largest (192.168.1.254, rank 2 in the paper) must
+    // still chart.
+    let private = t8.rows.iter().filter(|r| r.reports == "N/A").count();
+    assert!(private >= 1, "a private-network entry stays in the top 10");
+    assert!(t8
+        .rows
+        .iter()
+        .any(|r| r.ip.to_string() == "192.168.1.254"));
+    let reported = t8.rows.iter().filter(|r| r.reports == "Y").count();
+    assert_eq!(reported, 1, "only one malicious entry in the 2013 top 10");
+}
