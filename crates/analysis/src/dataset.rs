@@ -79,6 +79,43 @@ impl Dataset {
     pub fn descale(&self, measured: u64) -> u64 {
         (measured as f64 * self.scale).round() as u64
     }
+
+    /// Merges per-shard datasets into one, independent of shard order.
+    ///
+    /// Counters sum and `duration_secs` takes the slowest shard (shards
+    /// run concurrently). Raw captures are re-sorted into a canonical
+    /// order — by qname, then receive time, then target — and records are
+    /// re-classified from the sorted captures, so any permutation of the
+    /// same shards produces an identical dataset. Sharded probers draw
+    /// qnames from disjoint cluster ranges, which keeps the sort key
+    /// unambiguous across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the shards disagree on year/scale.
+    pub fn merge(shards: Vec<Dataset>) -> Dataset {
+        let mut iter = shards.into_iter();
+        let mut merged = iter.next().expect("merge requires at least one shard");
+        for shard in iter {
+            assert_eq!(shard.year, merged.year, "shards from different years");
+            assert!(
+                (shard.scale - merged.scale).abs() < f64::EPSILON,
+                "shards from different scales"
+            );
+            merged.q1 += shard.q1;
+            merged.q2 += shard.q2;
+            merged.r1 += shard.r1;
+            merged.duration_secs = merged.duration_secs.max(shard.duration_secs);
+            merged.off_port_dropped += shard.off_port_dropped;
+            merged.probe_stats.absorb(&shard.probe_stats);
+            merged.raw.extend(shard.raw);
+        }
+        merged
+            .raw
+            .sort_by_cached_key(|c| (c.qname.to_string(), c.at, c.target));
+        merged.records = merged.raw.iter().filter_map(classify).collect();
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +165,54 @@ mod tests {
         assert_eq!(ds.matched().count(), 2);
         assert_eq!(ds.empty_question().count(), 1);
         assert_eq!(ds.descale(3), 3000);
+    }
+
+    fn shard(cluster: u32, n: u64, duration_secs: f64) -> Dataset {
+        let captures: Vec<R2Capture> =
+            (0..n).map(|i| capture(ProbeLabel::new(cluster, i), false)).collect();
+        let stats = ProbeStats {
+            q1_sent: n * 2,
+            r2_captured: n,
+            done: true,
+            ..ProbeStats::default()
+        };
+        Dataset::from_captures(Year::Y2018, 1000.0, n * 2, n, n, duration_secs, &captures, stats)
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_slowest_duration() {
+        let merged = Dataset::merge(vec![shard(0, 3, 60.0), shard(1, 2, 90.0), shard(2, 4, 30.0)]);
+        assert_eq!(merged.q1, 18);
+        assert_eq!(merged.q2, 9);
+        assert_eq!(merged.r1, 9);
+        assert_eq!(merged.r2(), 9);
+        assert_eq!(merged.duration_secs, 90.0);
+        assert_eq!(merged.probe_stats.q1_sent, 18);
+        assert!(merged.probe_stats.done);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let shards = || vec![shard(0, 3, 60.0), shard(1, 2, 90.0), shard(2, 4, 30.0)];
+        let forward = Dataset::merge(shards());
+        let mut reversed = shards();
+        reversed.reverse();
+        let backward = Dataset::merge(reversed);
+        let key = |ds: &Dataset| -> Vec<(String, Ipv4Addr)> {
+            ds.raw.iter().map(|c| (c.qname.to_string(), c.target)).collect()
+        };
+        assert_eq!(key(&forward), key(&backward));
+        assert_eq!(forward.records.len(), backward.records.len());
+        assert_eq!(forward.q1, backward.q1);
+        assert_eq!(forward.duration_secs, backward.duration_secs);
+    }
+
+    #[test]
+    fn merge_of_single_shard_is_identity() {
+        let ds = shard(0, 3, 60.0);
+        let merged = Dataset::merge(vec![ds.clone()]);
+        assert_eq!(merged.q1, ds.q1);
+        assert_eq!(merged.r2(), ds.r2());
+        assert_eq!(merged.duration_secs, ds.duration_secs);
     }
 }

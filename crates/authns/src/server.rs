@@ -148,9 +148,16 @@ impl AuthoritativeServer {
             if let Some(label) =
                 crate::scheme::ProbeLabel::parse(question.qname(), self.zone.zone().origin())
             {
-                let next = self.zone.active_cluster().map_or(0, |c| c + 1);
-                if label.cluster == next {
-                    let load = self.zone.load_cluster(next, self.auto_cluster_size);
+                // With no cluster loaded yet, the first query picks the
+                // starting cluster (sharded probers start at a nonzero
+                // base); afterwards only the immediately-next cluster
+                // triggers a rollover.
+                let advance = match self.zone.active_cluster() {
+                    None => true,
+                    Some(active) => label.cluster == active + 1,
+                };
+                if advance {
+                    let load = self.zone.load_cluster(label.cluster, self.auto_cluster_size);
                     self.load_time_secs += load.as_secs_f64();
                 }
             }
@@ -336,6 +343,27 @@ mod tests {
         query.clear_questions();
         let (resp, _) = roundtrip(query);
         assert_eq!(resp.header().rcode(), Rcode::FormErr);
+    }
+
+    #[test]
+    fn auto_advance_starts_at_first_seen_cluster() {
+        // A sharded prober starts at a nonzero base cluster; the server
+        // must load that cluster on first contact instead of cluster 0.
+        let zone = Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap());
+        let mut srv = AuthoritativeServer::new(ClusterZone::new(zone), CaptureHandle::new());
+        srv.enable_auto_advance(1000);
+        let label = ProbeLabel::new(250, 7);
+        let query = Message::query(11, Question::a(label.qname(&zone_name())));
+        let resp = srv.respond(&query);
+        assert_eq!(resp.header().rcode(), Rcode::NoError);
+        assert_eq!(resp.answers()[0].rdata().as_a(), Some(ground_truth(label)));
+        assert_eq!(srv.zone().active_cluster(), Some(250));
+        assert!(srv.load_time_secs() > 0.0);
+        // The following cluster still rolls over normally.
+        let next = ProbeLabel::new(251, 0);
+        let resp = srv.respond(&Message::query(12, Question::a(next.qname(&zone_name()))));
+        assert_eq!(resp.header().rcode(), Rcode::NoError);
+        assert_eq!(srv.zone().active_cluster(), Some(251));
     }
 
     #[test]

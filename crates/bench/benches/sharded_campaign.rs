@@ -1,0 +1,57 @@
+//! Sharded campaign scaling: wall-clock for a fixed-scale 2018 campaign
+//! at 1/2/4/8 shards, written to `BENCH_sharding.json` at the repo root
+//! so the perf trajectory is tracked alongside the table benches.
+//!
+//! Not a criterion harness: the deliverable is the JSON artifact, and a
+//! best-of-N `Instant` measurement keeps the runtime proportionate to
+//! four full campaigns per point.
+
+use std::time::Instant;
+
+use orscope_core::{Campaign, CampaignConfig};
+use orscope_resolver::paper::Year;
+
+/// Coarse enough to finish quickly, fine enough that the per-shard event
+/// loops dominate thread spawn/merge overhead.
+const SCALE: f64 = 2_000.0;
+const RUNS: u32 = 3;
+
+fn main() {
+    let mut results = Vec::new();
+    let mut baseline_ms = f64::NAN;
+    for shards in [1usize, 2, 4, 8] {
+        let mut best_ms = f64::INFINITY;
+        let mut r2 = 0;
+        for _ in 0..RUNS {
+            let config = CampaignConfig::new(Year::Y2018, SCALE).with_shards(shards);
+            let campaign = Campaign::new(config);
+            let start = Instant::now();
+            let result = campaign.run();
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            r2 = result.dataset().r2();
+        }
+        if shards == 1 {
+            baseline_ms = best_ms;
+        }
+        let speedup = baseline_ms / best_ms;
+        eprintln!("shards={shards:<2} wall={best_ms:>8.1}ms speedup={speedup:.2}x r2={r2}");
+        results.push(serde_json::json!({
+            "shards": shards,
+            "wall_ms": best_ms,
+            "speedup_vs_1_shard": speedup,
+            "r2": r2,
+        }));
+    }
+    let report = serde_json::json!({
+        "bench": "sharded_campaign",
+        "year": 2018,
+        "scale": SCALE,
+        "runs_per_point": RUNS,
+        "measure": "best-of-N wall clock, full campaign including merge",
+        "results": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharding.json");
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write BENCH_sharding.json");
+    eprintln!("wrote {path}");
+}

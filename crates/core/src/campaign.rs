@@ -1,14 +1,17 @@
 //! Campaign assembly and execution.
 
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use orscope_analysis::Dataset;
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, CapturedPacket, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_ipspace::{AllowedSpace, ScanPermutation};
-use orscope_netsim::{HashLatency, SimNet, SimTime};
-use orscope_prober::{Prober, ProberConfig, ProberHandle};
+use orscope_netsim::{HashLatency, NetStats, SimNet, SimTime};
+use orscope_prober::{ProbeStats, Prober, ProberConfig, ProberHandle, R2Capture};
 use orscope_resolver::paper::{Year, YearSpec};
-use orscope_resolver::population::{Population, PopulationConfig};
+use orscope_resolver::population::{shard_index, Population, PopulationConfig};
 use orscope_resolver::{ProfiledResolver, ResolverConfig};
 
 use crate::infra::{seed_geo_db, seed_threat_db, Infra};
@@ -44,6 +47,11 @@ pub struct CampaignConfig {
     pub full_q1: bool,
     /// Silent-target multiple in fast mode.
     pub non_responder_factor: f64,
+    /// Number of independent shards to partition the campaign across
+    /// (1 = the classic single-`SimNet` run). Each shard owns a disjoint
+    /// slice of the address space and runs on its own OS thread; results
+    /// are merged afterwards. Must be in `1..=64`.
+    pub shards: usize,
     /// Infrastructure addresses.
     pub infra: Infra,
 }
@@ -62,6 +70,7 @@ impl CampaignConfig {
             probe_rate_pps: None,
             full_q1: false,
             non_responder_factor: 2.0,
+            shards: 1,
             infra: Infra::default(),
         }
     }
@@ -75,6 +84,12 @@ impl CampaignConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -122,14 +137,153 @@ impl Campaign {
     /// Panics if the configuration is degenerate (zero/negative scale).
     pub fn run_with_population(&self, population: Population) -> CampaignResult {
         let config = &self.config;
+        assert!(
+            (1..=64).contains(&config.shards),
+            "shard count {} out of range 1..=64",
+            config.shards
+        );
         let spec = YearSpec::get(config.year);
-        let infra = &config.infra;
         let threat = seed_threat_db(&population);
         let geo = seed_geo_db(&population);
 
+        let cluster_capacity =
+            ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale).round() as u64)
+                .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
+        // The probe rate scales with the population so the in-flight
+        // working set keeps its real-world proportion to the cluster
+        // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
+        let total_rate = config
+            .probe_rate_pps
+            .unwrap_or_else(|| ((spec.probe_rate_pps as f64 / config.scale).ceil() as u64).max(1));
+
+        // The target list is built once from the master seed, before any
+        // partitioning, so every shard count scans the same addresses in
+        // the same global order.
+        let targets = self.build_targets(&spec, &population);
+
+        if config.shards == 1 {
+            let outcome = self.run_shard(ShardPlan {
+                sim_seed: config.seed,
+                rate_pps: total_rate,
+                base_cluster: 0,
+                cluster_capacity,
+                targets,
+                population: &population,
+            });
+            let dataset = outcome.dataset(config);
+            return CampaignResult::new(
+                config.clone(),
+                spec,
+                dataset,
+                threat,
+                geo,
+                population,
+                outcome.net_stats,
+                outcome.auth_packets,
+            );
+        }
+
+        // ---- shard planning ----
+        let shards = config.shards;
+        let shard_pops = population.shard(shards);
+        // Placement map: resolvers (and their forwarders) and off-port
+        // responders go where `Population::shard` put them; silent fill
+        // targets hash straight to a shard.
+        let mut owner: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for (index, part) in shard_pops.iter().enumerate() {
+            for planned in part
+                .resolvers
+                .iter()
+                .chain(&part.off_port)
+                .chain(&part.upstreams)
+            {
+                owner.insert(planned.addr, index);
+            }
+        }
+        let mut shard_targets: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); shards];
+        for addr in targets {
+            let index = owner
+                .get(&addr)
+                .copied()
+                .unwrap_or_else(|| shard_index(addr, shards));
+            shard_targets[index].push(addr);
+        }
+        // Split the aggregate rate so the fleet still probes at the
+        // year's published pps; remainders go to the first shards.
+        let base_rate = total_rate / shards as u64;
+        let remainder = (total_rate % shards as u64) as usize;
+        // Disjoint cluster namespaces per shard keep merged qnames
+        // globally unique (1,000 clusters shared across <= 64 shards).
+        let cluster_stride = 1_000 / shards as u32;
+
+        // ---- fan out: one SimNet per shard, one OS thread each ----
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_pops
+                .iter()
+                .zip(shard_targets)
+                .enumerate()
+                .map(|(index, (shard_pop, targets))| {
+                    let plan = ShardPlan {
+                        // Decorrelate per-shard loss/duplication draws;
+                        // shard 0 keeps the master seed so shards=1
+                        // reproduces the classic run exactly.
+                        sim_seed: config.seed
+                            ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        rate_pps: (base_rate + u64::from(index < remainder)).max(1),
+                        base_cluster: index as u32 * cluster_stride,
+                        cluster_capacity,
+                        targets,
+                        population: shard_pop,
+                    };
+                    scope.spawn(move || self.run_shard(plan))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        // ---- merge ----
+        let dataset = Dataset::merge(
+            outcomes
+                .iter()
+                .map(|outcome| outcome.dataset(config))
+                .collect(),
+        );
+        let mut net_stats = NetStats::default();
+        let mut auth_packets: Vec<CapturedPacket> = Vec::new();
+        for outcome in outcomes {
+            net_stats.absorb(&outcome.net_stats);
+            auth_packets.extend(outcome.auth_packets);
+        }
+        // Canonical merged capture order: chronological, with the stable
+        // sort breaking cross-shard ties by shard index.
+        auth_packets.sort_by_key(|packet| packet.at);
+
+        CampaignResult::new(
+            config.clone(),
+            spec,
+            dataset,
+            threat,
+            geo,
+            population,
+            net_stats,
+            auth_packets,
+        )
+    }
+
+    /// Builds one shard's simulation, runs it to completion, and returns
+    /// its raw outcome for merging.
+    fn run_shard(&self, plan: ShardPlan<'_>) -> ShardOutcome {
+        let config = &self.config;
+        let infra = &config.infra;
+
         // ---- network & name-server hierarchy ----
         let mut net = SimNet::builder()
-            .seed(config.seed)
+            .seed(plan.sim_seed)
+            // Latency hashes from the master seed in every shard so a
+            // host's RTTs do not depend on the shard layout.
             .latency(HashLatency::internet(config.seed))
             .loss_probability(config.loss_probability)
             .duplicate_probability(config.duplicate_probability)
@@ -145,9 +299,6 @@ impl Campaign {
         tld.delegate(infra.zone.clone(), infra.auth_ns_name.clone(), infra.auth);
         net.register(infra.tld, tld);
 
-        let cluster_capacity =
-            ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale).round() as u64)
-                .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
         let auth_capture = CaptureHandle::new();
         let mut zone = Zone::new(infra.zone.clone(), infra.auth_ns_name.clone());
         zone.add_a(infra.auth_ns_name.clone(), infra.auth);
@@ -159,16 +310,17 @@ impl Campaign {
             );
         }
         let mut auth = AuthoritativeServer::new(ClusterZone::new(zone), auth_capture.clone());
-        auth.enable_auto_advance(cluster_capacity);
+        auth.enable_auto_advance(plan.cluster_capacity);
         net.register(infra.auth, auth);
 
-        // ---- resolver population ----
+        // ---- resolver population (this shard's slice) ----
         let resolver_config = ResolverConfig::new(infra.root);
-        for planned in population
+        for planned in plan
+            .population
             .resolvers
             .iter()
-            .chain(&population.off_port)
-            .chain(&population.upstreams)
+            .chain(&plan.population.off_port)
+            .chain(&plan.population.upstreams)
         {
             net.register(
                 planned.addr,
@@ -176,27 +328,20 @@ impl Campaign {
             );
         }
 
-        // ---- targets ----
-        let targets = self.build_targets(&spec, &population);
-        let q1_planned = targets.len() as u64;
-
         // ---- prober ----
+        let q1_planned = plan.targets.len() as u64;
         let prober_handle = ProberHandle::new();
-        let mut prober_config = ProberConfig::new(infra.zone.clone(), targets);
-        // The probe rate scales with the population so the in-flight
-        // working set keeps its real-world proportion to the cluster
-        // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
-        prober_config.rate_pps = config
-            .probe_rate_pps
-            .unwrap_or_else(|| ((spec.probe_rate_pps as f64 / config.scale).ceil() as u64).max(1));
-        prober_config.cluster_capacity = cluster_capacity;
+        let mut prober_config = ProberConfig::new(infra.zone.clone(), plan.targets);
+        prober_config.rate_pps = plan.rate_pps;
+        prober_config.cluster_capacity = plan.cluster_capacity;
+        prober_config.base_cluster = plan.base_cluster;
         net.register(infra.prober, Prober::new(prober_config, prober_handle.clone()));
         net.set_timer_for(infra.prober, SimTime::ZERO, 0);
 
         // ---- run to completion ----
         net.run_until_idle();
 
-        // ---- assemble the dataset ----
+        // ---- collect ----
         let probe_stats = prober_handle.stats();
         debug_assert!(probe_stats.done, "scan did not drain");
         debug_assert_eq!(probe_stats.q1_sent, q1_planned);
@@ -206,30 +351,17 @@ impl Campaign {
         // stops (one minute per full cluster, pro-rated at scale).
         let load_secs = probe_stats.clusters_used as f64
             * orscope_authns::cluster::CLUSTER_LOAD_TIME.as_secs_f64()
-            * (cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
+            * (plan.cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
         let duration_secs = probe_stats.finished_at.as_secs_f64() + load_secs;
-        let captures = prober_handle.drain();
-        let dataset = Dataset::from_captures(
-            config.year,
-            config.scale,
-            probe_stats.q1_sent,
+        ShardOutcome {
+            probe_stats,
+            captures: prober_handle.drain(),
             q2,
             r1,
             duration_secs,
-            &captures,
-            probe_stats,
-        );
-
-        CampaignResult::new(
-            config.clone(),
-            spec,
-            dataset,
-            threat,
-            geo,
-            population,
-            *net.stats(),
-            auth_capture.drain(),
-        )
+            net_stats: *net.stats(),
+            auth_packets: auth_capture.drain(),
+        }
     }
 
     /// Builds the scan-ordered target list: all responders embedded in
@@ -271,6 +403,51 @@ impl Campaign {
             ordered.push(targets[idx as usize]);
         }
         ordered
+    }
+}
+
+/// Everything one shard needs to run independently: its slice of the
+/// population and targets plus derived knobs. Borrows the shard
+/// population, so shard threads are spawned inside `std::thread::scope`.
+struct ShardPlan<'a> {
+    /// Seed for this shard's `SimNet` (loss/duplication draws).
+    sim_seed: u64,
+    /// This shard's slice of the aggregate probe rate.
+    rate_pps: u64,
+    /// First subdomain cluster this shard allocates from.
+    base_cluster: u32,
+    /// Names per cluster (shared across shards).
+    cluster_capacity: u64,
+    /// This shard's targets, in global scan order.
+    targets: Vec<Ipv4Addr>,
+    /// The resolvers, off-port responders, and upstreams this shard owns.
+    population: &'a Population,
+}
+
+/// What one shard's simulation produced, pre-merge.
+struct ShardOutcome {
+    probe_stats: ProbeStats,
+    captures: Vec<R2Capture>,
+    q2: u64,
+    r1: u64,
+    duration_secs: f64,
+    net_stats: NetStats,
+    auth_packets: Vec<CapturedPacket>,
+}
+
+impl ShardOutcome {
+    /// Classifies this shard's captures into a per-shard dataset.
+    fn dataset(&self, config: &CampaignConfig) -> Dataset {
+        Dataset::from_captures(
+            config.year,
+            config.scale,
+            self.probe_stats.q1_sent,
+            self.q2,
+            self.r1,
+            self.duration_secs,
+            &self.captures,
+            self.probe_stats,
+        )
     }
 }
 
@@ -328,5 +505,57 @@ mod tests {
         let baseline = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
         assert_eq!(result.dataset().r2(), baseline.dataset().r2());
         assert_eq!(result.dataset().off_port_dropped, 20);
+    }
+
+    #[test]
+    fn sharded_campaign_matches_single_shard_counts() {
+        let single = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        for shards in [2, 4] {
+            let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
+            let sharded = Campaign::new(config).run();
+            assert_eq!(sharded.dataset().q1, single.dataset().q1, "{shards} shards");
+            assert_eq!(sharded.dataset().q2, single.dataset().q2, "{shards} shards");
+            assert_eq!(sharded.dataset().r1, single.dataset().r1, "{shards} shards");
+            assert_eq!(sharded.dataset().r2(), single.dataset().r2(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_is_deterministic() {
+        let run = || {
+            let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(4);
+            let result = Campaign::new(config).run();
+            (
+                result.dataset().r2(),
+                result.dataset().q2,
+                result.table3_measured().0,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_campaign_keeps_forwarder_flows_in_shard() {
+        // Forwarders relay to shared upstreams; if a forwarder and its
+        // upstream landed in different shards the relayed query would be
+        // unrouted and R2 would shrink.
+        let build = |shards: usize| {
+            let mut config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
+            config.forwarder_fraction = 0.25;
+            config.off_port_responders = 10;
+            Campaign::new(config).run()
+        };
+        let single = build(1);
+        let sharded = build(4);
+        assert_eq!(sharded.dataset().r2(), single.dataset().r2());
+        assert_eq!(sharded.dataset().q2, single.dataset().q2);
+        assert_eq!(sharded.dataset().off_port_dropped, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_shards_rejected() {
+        let config = CampaignConfig::new(Year::Y2018, 50_000.0).with_shards(0);
+        let _ = Campaign::new(config).run();
     }
 }

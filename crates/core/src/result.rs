@@ -372,6 +372,7 @@ impl CampaignResult {
             "year": self.spec.year.as_u16(),
             "scale": self.config.scale,
             "seed": self.config.seed,
+            "shards": self.config.shards,
             "q1": self.dataset.q1,
             "q2": self.dataset.q2,
             "r1": self.dataset.r1,

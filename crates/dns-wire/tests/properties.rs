@@ -20,6 +20,18 @@ fn name() -> impl Strategy<Value = Name> {
         .prop_map(|labels| Name::from_labels(labels.iter().map(String::as_bytes)).unwrap())
 }
 
+/// A strategy producing labels at the RFC 1035 maximum of 63 octets.
+fn max_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9][a-zA-Z0-9-]{61}[a-zA-Z0-9]").unwrap()
+}
+
+/// A strategy producing names built from maximum-length labels (1..=3 of
+/// them stays under the 255-octet name limit: 3 * 64 + 1 = 193).
+fn long_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(max_label(), 1..=3)
+        .prop_map(|labels| Name::from_labels(labels.iter().map(String::as_bytes)).unwrap())
+}
+
 /// A strategy over the typed rdata variants.
 fn rdata() -> impl Strategy<Value = RData> {
     prop_oneof![
@@ -137,6 +149,39 @@ proptest! {
         prop_assert_eq!(parsed, n);
     }
 
+    /// Qnames built from maximum-length (63-octet) labels roundtrip
+    /// through a full message encode/decode.
+    #[test]
+    fn max_length_label_qname_roundtrip(n in long_name(), id in any::<u16>()) {
+        let msg = Message::query(id, Question::a(n));
+        let wire = msg.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Max-length labels survive display+parse as well as the wire.
+    #[test]
+    fn max_length_label_display_parse_roundtrip(n in long_name()) {
+        let parsed: Name = n.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, n);
+    }
+
+    /// Every rcode value roundtrips through its wire nibble, and through
+    /// a full message header.
+    #[test]
+    fn rcode_roundtrip(raw in 0u8..16) {
+        let rcode = Rcode::from_u8(raw);
+        prop_assert_eq!(rcode.to_u8(), raw);
+        let msg = {
+            let mut m = Message::builder().id(1).rcode(rcode).build();
+            m.header_mut().set_response(true);
+            m
+        };
+        let wire = msg.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back.header().rcode(), rcode);
+    }
+
     /// Header bytes roundtrip for every flag/rcode combination.
     #[test]
     fn header_roundtrip(id in any::<u16>(), flags in any::<u16>(), counts in any::<[u16; 4]>()) {
@@ -152,4 +197,33 @@ proptest! {
         h.encode(&mut w);
         prop_assert_eq!(w.finish().unwrap(), raw);
     }
+}
+
+/// A name at exactly the 255-octet wire maximum (63+63+63+61 labels:
+/// 64 + 64 + 64 + 62 + 1 root = 255) roundtrips; one octet more is
+/// rejected at construction.
+#[test]
+fn name_at_the_255_octet_limit_roundtrips() {
+    let labels = [
+        "a".repeat(63),
+        "b".repeat(63),
+        "c".repeat(63),
+        "d".repeat(61),
+    ];
+    let name = Name::from_labels(labels.iter().map(String::as_bytes)).expect("255 octets is legal");
+    let msg = Message::query(9, Question::a(name.clone()));
+    let wire = msg.encode().unwrap();
+    let back = Message::decode(&wire).unwrap();
+    assert_eq!(back.first_question().unwrap().qname(), &name);
+
+    let too_long = [
+        "a".repeat(63),
+        "b".repeat(63),
+        "c".repeat(63),
+        "d".repeat(62),
+    ];
+    assert!(
+        Name::from_labels(too_long.iter().map(String::as_bytes)).is_err(),
+        "256 octets must be rejected"
+    );
 }

@@ -30,6 +30,20 @@ impl NetStats {
             self.lost as f64 / self.sent as f64
         }
     }
+
+    /// Folds another simulation's counters into this one. Sharded
+    /// campaigns run one `SimNet` per shard and sum the counters when
+    /// merging shard outcomes.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.duplicated += other.duplicated;
+        self.unrouted += other.unrouted;
+        self.timers_fired += other.timers_fired;
+        self.events += other.events;
+        self.bytes_delivered += other.bytes_delivered;
+    }
 }
 
 #[cfg(test)]
@@ -43,5 +57,41 @@ mod tests {
         s.sent = 100;
         s.lost = 25;
         assert!((s.loss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = NetStats {
+            sent: 1,
+            delivered: 2,
+            lost: 3,
+            duplicated: 4,
+            unrouted: 5,
+            timers_fired: 6,
+            events: 7,
+            bytes_delivered: 8,
+        };
+        let b = NetStats {
+            sent: 10,
+            delivered: 20,
+            lost: 30,
+            duplicated: 40,
+            unrouted: 50,
+            timers_fired: 60,
+            events: 70,
+            bytes_delivered: 80,
+        };
+        a.absorb(&b);
+        let want = NetStats {
+            sent: 11,
+            delivered: 22,
+            lost: 33,
+            duplicated: 44,
+            unrouted: 55,
+            timers_fired: 66,
+            events: 77,
+            bytes_delivered: 88,
+        };
+        assert_eq!(a, want);
     }
 }

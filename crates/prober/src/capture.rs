@@ -54,6 +54,23 @@ pub struct ProbeStats {
     pub done: bool,
 }
 
+impl ProbeStats {
+    /// Folds another shard's statistics into this one: counters sum,
+    /// `finished_at` takes the latest shard, and `done` holds only if
+    /// every absorbed shard finished.
+    pub fn absorb(&mut self, other: &ProbeStats) {
+        self.q1_sent += other.q1_sent;
+        self.r2_captured += other.r2_captured;
+        self.off_port_dropped += other.off_port_dropped;
+        self.unmatched += other.unmatched;
+        self.subdomains_fresh += other.subdomains_fresh;
+        self.subdomains_reused += other.subdomains_reused;
+        self.clusters_used += other.clusters_used;
+        self.finished_at = self.finished_at.max(other.finished_at);
+        self.done &= other.done;
+    }
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct Shared {
     pub(crate) captures: Vec<R2Capture>,
@@ -117,5 +134,45 @@ mod tests {
         assert_eq!(handle.r2_count(), 1);
         assert_eq!(handle.drain().len(), 1);
         assert_eq!(handle.r2_count(), 0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_tracks_latest_finish() {
+        let mut a = ProbeStats {
+            q1_sent: 10,
+            r2_captured: 3,
+            off_port_dropped: 1,
+            unmatched: 2,
+            subdomains_fresh: 8,
+            subdomains_reused: 2,
+            clusters_used: 1,
+            finished_at: SimTime::from_secs(5),
+            done: true,
+        };
+        let b = ProbeStats {
+            q1_sent: 7,
+            r2_captured: 4,
+            off_port_dropped: 0,
+            unmatched: 1,
+            subdomains_fresh: 6,
+            subdomains_reused: 1,
+            clusters_used: 2,
+            finished_at: SimTime::from_secs(9),
+            done: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.q1_sent, 17);
+        assert_eq!(a.r2_captured, 7);
+        assert_eq!(a.off_port_dropped, 1);
+        assert_eq!(a.unmatched, 3);
+        assert_eq!(a.subdomains_fresh, 14);
+        assert_eq!(a.subdomains_reused, 3);
+        assert_eq!(a.clusters_used, 3);
+        assert_eq!(a.finished_at, SimTime::from_secs(9));
+        assert!(a.done);
+
+        let unfinished = ProbeStats::default();
+        a.absorb(&unfinished);
+        assert!(!a.done, "an unfinished shard makes the merge unfinished");
     }
 }

@@ -24,6 +24,9 @@ pub struct ProberConfig {
     pub rate_pps: u64,
     /// Names per subdomain cluster.
     pub cluster_capacity: u64,
+    /// First cluster to allocate subdomains from. Sharded campaigns give
+    /// each shard a disjoint base so merged captures keep unique qnames.
+    pub base_cluster: u32,
     /// How long to wait for an R2 before recycling the subdomain.
     pub response_window: Duration,
 }
@@ -36,6 +39,7 @@ impl ProberConfig {
             targets,
             rate_pps: 100_000,
             cluster_capacity: orscope_authns::scheme::CLUSTER_CAPACITY,
+            base_cluster: 0,
             response_window: Duration::from_secs(2),
         }
     }
@@ -89,7 +93,7 @@ impl Prober {
     /// Creates a prober writing results through `handle`.
     pub fn new(config: ProberConfig, handle: ProberHandle) -> Self {
         let pacer = Pacer::new(config.rate_pps);
-        let generator = SubdomainGenerator::new(config.cluster_capacity);
+        let generator = SubdomainGenerator::with_base(config.cluster_capacity, config.base_cluster);
         Self {
             config,
             pacer,

@@ -25,6 +25,10 @@ pub struct SubdomainGenerator {
     cluster: u32,
     next_seq: u64,
     cluster_capacity: u64,
+    /// First cluster this generator may allocate from. Sharded scans
+    /// give each shard a disjoint cluster range so merged capture logs
+    /// keep globally unique qnames.
+    base_cluster: u32,
     reuse_pool: VecDeque<ProbeLabel>,
     fresh: u64,
     reused: u64,
@@ -39,14 +43,28 @@ impl SubdomainGenerator {
     /// Panics if `cluster_capacity` is zero or exceeds the scheme's
     /// seven-digit sequence space.
     pub fn new(cluster_capacity: u64) -> Self {
+        Self::with_base(cluster_capacity, 0)
+    }
+
+    /// Creates a generator allocating from cluster `base_cluster`
+    /// upward; [`Self::clusters_used`] counts relative to the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_capacity` is out of range (as
+    /// [`SubdomainGenerator::new`]) or `base_cluster` exceeds the
+    /// scheme's three-digit cluster space.
+    pub fn with_base(cluster_capacity: u64, base_cluster: u32) -> Self {
         assert!(
             (1..=orscope_authns::scheme::CLUSTER_CAPACITY).contains(&cluster_capacity),
             "cluster capacity {cluster_capacity} out of range"
         );
+        assert!(base_cluster <= 999, "base cluster {base_cluster} out of range");
         Self {
-            cluster: 0,
+            cluster: base_cluster,
             next_seq: 0,
             cluster_capacity,
+            base_cluster,
             reuse_pool: VecDeque::new(),
             fresh: 0,
             reused: 0,
@@ -91,13 +109,19 @@ impl SubdomainGenerator {
         self.reused
     }
 
-    /// Clusters touched so far (the paper's scan needed 4, not 800).
+    /// Clusters touched so far, counted from the base cluster (the
+    /// paper's scan needed 4, not 800).
     pub fn clusters_used(&self) -> u32 {
         if self.fresh == 0 {
             0
         } else {
-            self.cluster + 1
+            self.cluster - self.base_cluster + 1
         }
+    }
+
+    /// First cluster this generator allocates from.
+    pub fn base_cluster(&self) -> u32 {
+        self.base_cluster
     }
 
     /// Labels currently waiting for reuse.
@@ -220,5 +244,42 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_capacity_rejected() {
         let _ = SubdomainGenerator::new(0);
+    }
+
+    #[test]
+    fn base_cluster_offsets_allocation() {
+        let mut gen = SubdomainGenerator::with_base(10, 250);
+        assert_eq!(gen.base_cluster(), 250);
+        assert_eq!(gen.clusters_used(), 0);
+        assert_eq!(gen.next_label().to_string(), "or250.0000000");
+        assert_eq!(gen.clusters_used(), 1);
+    }
+
+    #[test]
+    fn clusters_used_counts_from_base() {
+        let mut gen = SubdomainGenerator::with_base(3, 500);
+        for _ in 0..4 {
+            gen.next_label();
+        }
+        assert_eq!(gen.cluster(), 501);
+        assert_eq!(gen.clusters_used(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "base cluster 1000 out of range")]
+    fn overflowing_base_cluster_rejected() {
+        let _ = SubdomainGenerator::with_base(10, 1000);
+    }
+
+    #[test]
+    fn disjoint_bases_never_collide() {
+        // Two shards with bases 0 and 500 allocate disjoint qnames.
+        let mut a = SubdomainGenerator::with_base(5, 0);
+        let mut b = SubdomainGenerator::with_base(5, 500);
+        let from_a: Vec<String> = (0..12).map(|_| a.next_label().to_string()).collect();
+        let from_b: Vec<String> = (0..12).map(|_| b.next_label().to_string()).collect();
+        for label in &from_a {
+            assert!(!from_b.contains(label), "collision at {label}");
+        }
     }
 }

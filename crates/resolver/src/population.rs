@@ -449,6 +449,59 @@ impl Population {
     pub fn count_by(&self, pred: impl Fn(&PlannedResolver) -> bool) -> u64 {
         self.resolvers.iter().filter(|r| pred(r)).count() as u64
     }
+
+    /// Partitions the population into `shards` disjoint sub-populations
+    /// for parallel campaign execution.
+    ///
+    /// Placement is by [`shard_index`] of each host's affinity address:
+    /// its own address, except for forwarders, which follow their
+    /// upstream so the forwarder -> upstream relay never crosses a shard
+    /// boundary. Within each shard the original generation order is
+    /// preserved, so `shard(1)` reproduces the population unchanged.
+    ///
+    /// The threat/geo seed lists (`malicious_answers`, `answer_orgs`)
+    /// describe answer *values*, not hosts; every shard receives a full
+    /// copy so each sub-population remains self-contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shard(&self, shards: usize) -> Vec<Population> {
+        assert!(shards > 0, "shard count must be positive");
+        let mut parts: Vec<Population> = (0..shards)
+            .map(|_| Population {
+                year: self.year,
+                scale: self.scale,
+                resolvers: Vec::new(),
+                malicious_answers: self.malicious_answers.clone(),
+                answer_orgs: self.answer_orgs.clone(),
+                off_port: Vec::new(),
+                upstreams: Vec::new(),
+            })
+            .collect();
+        for r in &self.resolvers {
+            let affinity = r.policy.upstream_addr().unwrap_or(r.addr);
+            parts[shard_index(affinity, shards)].resolvers.push(r.clone());
+        }
+        for r in &self.off_port {
+            parts[shard_index(r.addr, shards)].off_port.push(r.clone());
+        }
+        for r in &self.upstreams {
+            parts[shard_index(r.addr, shards)].upstreams.push(r.clone());
+        }
+        parts
+    }
+}
+
+/// The shard that owns `addr` in an `shards`-way partition.
+///
+/// A multiplicative mix of the address decides ownership, so assignment
+/// is uniform, independent of generation or scan order, and identical
+/// for every component that needs to agree on placement (population
+/// registration, target partitioning, silent fill).
+pub fn shard_index(addr: Ipv4Addr, shards: usize) -> usize {
+    let mixed = u64::from(u32::from(addr)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) % shards as u64) as usize
 }
 
 /// Deterministic synthesis of answer-value pools.
@@ -935,5 +988,81 @@ mod extreme_scale_tests {
             pop.count_by(|r| r.policy.malicious_category.is_some()),
             pop.malicious_answers.iter().map(|m| m.r2).sum::<u64>()
         );
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use crate::paper::Year;
+
+    fn forwarder_pop() -> Population {
+        let mut config = PopulationConfig::new(Year::Y2018, 5_000.0);
+        config.forwarder_fraction = 0.3;
+        config.off_port_responders = 10;
+        Population::generate(&config)
+    }
+
+    #[test]
+    fn shard_of_one_is_identity() {
+        let pop = forwarder_pop();
+        let parts = pop.shard(1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].resolvers, pop.resolvers);
+        assert_eq!(parts[0].off_port, pop.off_port);
+        assert_eq!(parts[0].upstreams, pop.upstreams);
+    }
+
+    #[test]
+    fn shards_partition_without_loss_or_overlap() {
+        let pop = forwarder_pop();
+        for n in [2usize, 4, 8] {
+            let parts = pop.shard(n);
+            assert_eq!(parts.len(), n);
+            let total: usize = parts.iter().map(|p| p.resolvers.len()).sum();
+            assert_eq!(total, pop.resolvers.len(), "{n} shards");
+            let off: usize = parts.iter().map(|p| p.off_port.len()).sum();
+            assert_eq!(off, pop.off_port.len());
+            let ups: usize = parts.iter().map(|p| p.upstreams.len()).sum();
+            assert_eq!(ups, pop.upstreams.len());
+            let mut seen = HashSet::new();
+            for part in &parts {
+                for r in part.resolvers.iter().chain(&part.off_port).chain(&part.upstreams) {
+                    assert!(seen.insert(r.addr), "{} assigned twice", r.addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forwarders_are_colocated_with_their_upstream() {
+        let pop = forwarder_pop();
+        assert!(!pop.upstreams.is_empty(), "fixture needs forwarders");
+        for n in [2usize, 4, 8] {
+            for part in pop.shard(n) {
+                let local: HashSet<Ipv4Addr> =
+                    part.upstreams.iter().map(|u| u.addr).collect();
+                for r in &part.resolvers {
+                    if let Some(up) = r.policy.upstream_addr() {
+                        assert!(
+                            local.contains(&up),
+                            "forwarder {} split from upstream {up} at {n} shards",
+                            r.addr
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_order_free() {
+        // The owner of an address depends on nothing but the address and
+        // the shard count.
+        let addr = Ipv4Addr::new(93, 184, 216, 34);
+        for n in [1usize, 2, 4, 8, 16] {
+            assert!(shard_index(addr, n) < n);
+            assert_eq!(shard_index(addr, n), shard_index(addr, n));
+        }
     }
 }

@@ -225,6 +225,17 @@ impl ResponsePolicy {
     pub fn forwards(&self) -> bool {
         matches!(self.action, ResponseAction::Forward(_))
     }
+
+    /// The upstream address a forwarder relays to, if any. Sharded
+    /// campaigns use this as the host's placement affinity: a forwarder
+    /// must live in the same partition as its upstream or the relayed
+    /// query would cross a shard boundary.
+    pub fn upstream_addr(&self) -> Option<Ipv4Addr> {
+        match &self.action {
+            ResponseAction::Forward(fp) => Some(fp.upstream),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
