@@ -90,6 +90,25 @@ impl Dataset {
     /// qnames from disjoint cluster ranges, which keeps the sort key
     /// unambiguous across shards.
     ///
+    /// # Examples
+    ///
+    /// Merging the same two shards in either order produces an
+    /// identical dataset:
+    ///
+    /// ```
+    /// use orscope_analysis::Dataset;
+    /// use orscope_prober::ProbeStats;
+    /// use orscope_resolver::paper::Year;
+    ///
+    /// let shard = |q1, q2| {
+    ///     Dataset::from_captures(Year::Y2018, 1000.0, q1, q2, q2, 60.0, &[], ProbeStats::default())
+    /// };
+    /// let ab = Dataset::merge(vec![shard(5, 3), shard(7, 4)]);
+    /// let ba = Dataset::merge(vec![shard(7, 4), shard(5, 3)]);
+    /// assert_eq!(ab.q1, 12);
+    /// assert_eq!((ab.q1, ab.q2, ab.r1), (ba.q1, ba.q2, ba.r1));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `shards` is empty or the shards disagree on year/scale.

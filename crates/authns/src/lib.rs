@@ -27,6 +27,7 @@ pub mod cluster;
 pub mod hierarchy;
 pub mod scheme;
 pub mod server;
+pub mod telemetry;
 pub mod zone;
 pub mod zonefile;
 
@@ -35,4 +36,5 @@ pub use cluster::ClusterZone;
 pub use hierarchy::{RootServer, TldServer};
 pub use scheme::{ground_truth, ProbeLabel};
 pub use server::AuthoritativeServer;
+pub use telemetry::AuthTelemetry;
 pub use zone::{Zone, ZoneAnswer};

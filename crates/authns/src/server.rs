@@ -9,6 +9,7 @@ use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 
 use crate::capture::CaptureHandle;
 use crate::cluster::ClusterZone;
+use crate::telemetry::AuthTelemetry;
 use crate::zone::ZoneAnswer;
 
 /// Response-rate-limiting configuration (BIND-style RRL): at most
@@ -59,6 +60,7 @@ pub struct AuthoritativeServer {
     rrl_state: HashMap<Ipv4Addr, (SimTime, u32)>,
     /// Responses suppressed by RRL.
     rrl_dropped: u64,
+    telemetry: AuthTelemetry,
 }
 
 impl AuthoritativeServer {
@@ -74,12 +76,19 @@ impl AuthoritativeServer {
             rrl: None,
             rrl_state: HashMap::new(),
             rrl_dropped: 0,
+            telemetry: AuthTelemetry::default(),
         }
     }
 
     /// Enables BIND-style response rate limiting.
     pub fn enable_rrl(&mut self, config: RrlConfig) -> &mut Self {
         self.rrl = Some(config);
+        self
+    }
+
+    /// Attaches pre-resolved telemetry handles (default: disabled).
+    pub fn set_telemetry(&mut self, telemetry: AuthTelemetry) -> &mut Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -139,11 +148,13 @@ impl AuthoritativeServer {
     pub fn respond(&mut self, query: &Message) -> Message {
         self.queries_served += 1;
         let Some(question) = query.first_question() else {
+            self.telemetry.record(None, Rcode::FormErr);
             return Message::builder()
                 .response_to(query)
                 .rcode(Rcode::FormErr)
                 .build();
         };
+        let qtype = question.qtype();
         if self.auto_advance {
             if let Some(label) =
                 crate::scheme::ProbeLabel::parse(question.qname(), self.zone.zone().origin())
@@ -181,7 +192,9 @@ impl AuthoritativeServer {
                 builder = builder.authoritative(false).rcode(Rcode::Refused);
             }
         }
-        builder.build()
+        let response = builder.build();
+        self.telemetry.record(Some(qtype), response.header().rcode());
+        response
     }
 }
 
@@ -210,6 +223,7 @@ impl Endpoint for AuthoritativeServer {
                 };
                 let mut m = Message::builder().id(id).rcode(Rcode::FormErr).build();
                 m.header_mut().set_response(true);
+                self.telemetry.record(None, Rcode::FormErr);
                 (m, Message::CLASSIC_UDP_LIMIT)
             }
         };

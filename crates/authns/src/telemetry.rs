@@ -1,0 +1,91 @@
+//! Telemetry wiring for the authoritative server.
+
+use orscope_dns_wire::{Rcode, RecordType};
+use orscope_telemetry::{Collector, Counter, Scope};
+
+/// Pre-resolved metric handles for one [`crate::AuthoritativeServer`].
+/// The default bundle is fully disabled.
+///
+/// Everything here is [`Scope::Global`]: which queries reach the
+/// authoritative server (and with what rcode they are answered) is
+/// per-flow deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct AuthTelemetry {
+    /// `auth.queries` — queries answered (Q2 in the paper's notation).
+    pub queries: Counter,
+    /// `auth.qtype_a` — A-type questions.
+    pub qtype_a: Counter,
+    /// `auth.qtype_any` — ANY questions (the amplification vector).
+    pub qtype_any: Counter,
+    /// `auth.qtype_txt` — TXT questions.
+    pub qtype_txt: Counter,
+    /// `auth.qtype_other` — every other (or absent) question type.
+    pub qtype_other: Counter,
+    /// `auth.rcode_noerror` — responses with rcode 0.
+    pub rcode_noerror: Counter,
+    /// `auth.rcode_nxdomain` — NXDomain responses.
+    pub rcode_nxdomain: Counter,
+    /// `auth.rcode_refused` — Refused responses (out-of-zone queries).
+    pub rcode_refused: Counter,
+    /// `auth.rcode_formerr` — FormErr responses (broken queries).
+    pub rcode_formerr: Counter,
+    /// `auth.rcode_other` — any other rcode.
+    pub rcode_other: Counter,
+}
+
+impl AuthTelemetry {
+    /// Resolves every handle against `collector`.
+    pub fn from_collector(collector: &Collector) -> Self {
+        Self {
+            queries: collector.counter(Scope::Global, "auth.queries"),
+            qtype_a: collector.counter(Scope::Global, "auth.qtype_a"),
+            qtype_any: collector.counter(Scope::Global, "auth.qtype_any"),
+            qtype_txt: collector.counter(Scope::Global, "auth.qtype_txt"),
+            qtype_other: collector.counter(Scope::Global, "auth.qtype_other"),
+            rcode_noerror: collector.counter(Scope::Global, "auth.rcode_noerror"),
+            rcode_nxdomain: collector.counter(Scope::Global, "auth.rcode_nxdomain"),
+            rcode_refused: collector.counter(Scope::Global, "auth.rcode_refused"),
+            rcode_formerr: collector.counter(Scope::Global, "auth.rcode_formerr"),
+            rcode_other: collector.counter(Scope::Global, "auth.rcode_other"),
+        }
+    }
+
+    /// Records one answered query: the question type (None when the
+    /// query carried no readable question) and the response rcode.
+    pub fn record(&self, qtype: Option<RecordType>, rcode: Rcode) {
+        self.queries.inc();
+        match qtype {
+            Some(RecordType::A) => self.qtype_a.inc(),
+            Some(RecordType::Any) => self.qtype_any.inc(),
+            Some(RecordType::Txt) => self.qtype_txt.inc(),
+            _ => self.qtype_other.inc(),
+        }
+        match rcode {
+            Rcode::NoError => self.rcode_noerror.inc(),
+            Rcode::NXDomain => self.rcode_nxdomain.inc(),
+            Rcode::Refused => self.rcode_refused.inc(),
+            Rcode::FormErr => self.rcode_formerr.inc(),
+            _ => self.rcode_other.inc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_qtype_and_rcode() {
+        let collector = Collector::new();
+        let telemetry = AuthTelemetry::from_collector(&collector);
+        telemetry.record(Some(RecordType::A), Rcode::NoError);
+        telemetry.record(Some(RecordType::Any), Rcode::NXDomain);
+        telemetry.record(None, Rcode::FormErr);
+        let snapshot = collector.snapshot();
+        assert_eq!(snapshot.counters["auth.queries"].value, 3);
+        assert_eq!(snapshot.counters["auth.qtype_a"].value, 1);
+        assert_eq!(snapshot.counters["auth.qtype_any"].value, 1);
+        assert_eq!(snapshot.counters["auth.qtype_other"].value, 1);
+        assert_eq!(snapshot.counters["auth.rcode_formerr"].value, 1);
+    }
+}

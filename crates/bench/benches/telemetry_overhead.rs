@@ -1,0 +1,59 @@
+//! Telemetry overhead: wall-clock for a scale-200 2018 campaign with the
+//! metric registry wired in versus fully disabled, written to
+//! `BENCH_telemetry.json` at the repo root. The instrumented hot paths
+//! cost one relaxed atomic add per recording, so the target is < 3%.
+//!
+//! Not a criterion harness: the deliverable is the JSON artifact, and a
+//! best-of-N `Instant` measurement keeps the runtime proportionate to a
+//! handful of full campaigns.
+
+use std::time::Instant;
+
+use orscope_core::{Campaign, CampaignConfig};
+use orscope_resolver::paper::Year;
+
+/// Scale 200 is the acceptance point: large enough that the simulator
+/// event loop (the instrumented surface) dominates setup and analysis.
+const SCALE: f64 = 200.0;
+const RUNS: u32 = 3;
+
+fn measure(telemetry: bool) -> (f64, u64) {
+    let mut best_ms = f64::INFINITY;
+    let mut r2 = 0;
+    for _ in 0..RUNS {
+        let config = CampaignConfig::new(Year::Y2018, SCALE).with_telemetry(telemetry);
+        let campaign = Campaign::new(config);
+        let start = Instant::now();
+        let result = campaign.run();
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        r2 = result.dataset().r2();
+    }
+    (best_ms, r2)
+}
+
+fn main() {
+    // Interleave-free ordering: the disabled baseline first, then the
+    // instrumented run, each best-of-N to shed scheduler noise.
+    let (off_ms, off_r2) = measure(false);
+    let (on_ms, on_r2) = measure(true);
+    assert_eq!(off_r2, on_r2, "telemetry changed the measured R2 count");
+    let overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    eprintln!("telemetry off: {off_ms:>8.1}ms");
+    eprintln!("telemetry on : {on_ms:>8.1}ms ({overhead_pct:+.2}%)");
+    let report = serde_json::json!({
+        "bench": "telemetry_overhead",
+        "year": 2018,
+        "scale": SCALE,
+        "runs_per_point": RUNS,
+        "measure": "best-of-N wall clock, full campaign",
+        "disabled_ms": off_ms,
+        "enabled_ms": on_ms,
+        "overhead_pct": overhead_pct,
+        "target_pct": 3.0,
+        "r2": on_r2,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").expect("write BENCH_telemetry.json");
+    eprintln!("wrote {path}");
+}

@@ -2,18 +2,42 @@
 //! and writes the paper-vs-measured report.
 //!
 //! ```sh
-//! cargo run --release -p orscope-bench --bin make_tables [SCALE] [OUT.json] [OUT.md]
+//! cargo run --release -p orscope-bench --bin make_tables \
+//!     [--shards N] [--telemetry OUT.jsonl] [--prometheus OUT.prom] \
+//!     [SCALE] [OUT.json] [OUT.md]
 //! ```
 //!
 //! `SCALE` defaults to 500 (both scans finish in a few seconds); the
 //! optional JSON path receives the machine-readable comparison and the
 //! optional markdown path the EXPERIMENTS-style tables.
+//!
+//! `--telemetry` writes the merged campaign telemetry as JSON lines
+//! (one metric per line, tagged with the scan year). The global-scope
+//! metrics in that export are byte-identical for every `--shards`
+//! value. `--prometheus` writes the full dump — including shard-scope
+//! diagnostics and phase spans — in Prometheus text format.
 
 use orscope_core::{Campaign, CampaignConfig};
 use orscope_resolver::paper::Year;
 
+/// Pulls `--name value` out of `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let index = args.iter().position(|a| a == name)?;
+    if index + 1 >= args.len() {
+        panic!("{name} needs a value");
+    }
+    args.remove(index);
+    Some(args.remove(index))
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shards: usize = take_flag(&mut args, "--shards")
+        .map(|s| s.parse().expect("--shards must be an integer"))
+        .unwrap_or(1);
+    let telemetry_path = take_flag(&mut args, "--telemetry");
+    let prometheus_path = take_flag(&mut args, "--prometheus");
+    let mut args = args.into_iter();
     let scale: f64 = args
         .next()
         .map(|s| s.parse().expect("SCALE must be a number"))
@@ -28,7 +52,8 @@ fn main() {
             .map(|year| {
                 scope.spawn(move || {
                     let started = std::time::Instant::now();
-                    let result = Campaign::new(CampaignConfig::new(year, scale)).run();
+                    let config = CampaignConfig::new(year, scale).with_shards(shards);
+                    let result = Campaign::new(config).run();
                     eprintln!(
                         "[{year}] simulated {} probes, {} responses in {:?}",
                         result.dataset().q1,
@@ -60,6 +85,26 @@ fn main() {
     }
     if let Some(path) = markdown_path {
         std::fs::write(&path, markdown).expect("write markdown");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = telemetry_path {
+        let mut out = String::new();
+        for result in &results {
+            let snapshot = result.telemetry().expect("telemetry on by default");
+            let year = u64::from(result.spec().year.as_u16());
+            out.push_str(&snapshot.to_jsonl_tagged(&[("year", year)]));
+        }
+        std::fs::write(&path, out).expect("write telemetry jsonl");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = prometheus_path {
+        let mut out = String::new();
+        for result in &results {
+            let snapshot = result.telemetry().expect("telemetry on by default");
+            let year = result.spec().year.as_u16().to_string();
+            out.push_str(&snapshot.to_prometheus_labeled(&[("year", &year)]));
+        }
+        std::fs::write(&path, out).expect("write prometheus dump");
         eprintln!("wrote {path}");
     }
 }

@@ -2,17 +2,20 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
 
 use orscope_analysis::Dataset;
 use orscope_authns::{
-    AuthoritativeServer, CaptureHandle, CapturedPacket, ClusterZone, RootServer, TldServer, Zone,
+    AuthTelemetry, AuthoritativeServer, CaptureHandle, CapturedPacket, ClusterZone, RootServer,
+    TldServer, Zone,
 };
 use orscope_ipspace::{AllowedSpace, ScanPermutation};
-use orscope_netsim::{HashLatency, NetStats, SimNet, SimTime};
-use orscope_prober::{ProbeStats, Prober, ProberConfig, ProberHandle, R2Capture};
+use orscope_netsim::{HashLatency, NetStats, NetTelemetry, SimNet, SimTime};
+use orscope_prober::{ProbeStats, Prober, ProberConfig, ProberHandle, ProberTelemetry, R2Capture};
 use orscope_resolver::paper::{Year, YearSpec};
 use orscope_resolver::population::{shard_index, Population, PopulationConfig};
-use orscope_resolver::{ProfiledResolver, ResolverConfig};
+use orscope_resolver::{ProfiledResolver, ResolverConfig, ResolverTelemetry};
+use orscope_telemetry::{Collector, TelemetrySnapshot};
 
 use crate::infra::{seed_geo_db, seed_threat_db, Infra};
 use crate::result::CampaignResult;
@@ -52,6 +55,10 @@ pub struct CampaignConfig {
     /// slice of the address space and runs on its own OS thread; results
     /// are merged afterwards. Must be in `1..=64`.
     pub shards: usize,
+    /// Whether to collect telemetry (metrics, phase spans) during the
+    /// run. On by default; the counters cost one relaxed atomic add per
+    /// recording. When off, [`CampaignResult::telemetry`] is `None`.
+    pub telemetry: bool,
     /// Infrastructure addresses.
     pub infra: Infra,
 }
@@ -71,6 +78,7 @@ impl CampaignConfig {
             full_q1: false,
             non_responder_factor: 2.0,
             shards: 1,
+            telemetry: true,
             infra: Infra::default(),
         }
     }
@@ -90,6 +98,12 @@ impl CampaignConfig {
     /// Sets the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables or disables telemetry collection.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -124,8 +138,9 @@ impl Campaign {
         pop_config.reserved_hosts = config.infra.addresses();
         pop_config.off_port_responders = config.off_port_responders;
         pop_config.forwarder_fraction = config.forwarder_fraction;
+        let build_started = Instant::now();
         let population = Population::generate(&pop_config);
-        self.run_with_population(population)
+        self.run_inner(population, Some(build_started.elapsed()))
     }
 
     /// Runs the campaign over a caller-supplied population (used by the
@@ -136,6 +151,13 @@ impl Campaign {
     ///
     /// Panics if the configuration is degenerate (zero/negative scale).
     pub fn run_with_population(&self, population: Population) -> CampaignResult {
+        self.run_inner(population, None)
+    }
+
+    /// Shared body of [`Campaign::run`] and
+    /// [`Campaign::run_with_population`]. `build_wall` is the wall-clock
+    /// time spent generating the population, when this call did so.
+    fn run_inner(&self, population: Population, build_wall: Option<Duration>) -> CampaignResult {
         let config = &self.config;
         assert!(
             (1..=64).contains(&config.shards),
@@ -143,6 +165,18 @@ impl Campaign {
             config.shards
         );
         let spec = YearSpec::get(config.year);
+        // Root collector: phase spans recorded here; per-shard metric
+        // snapshots are absorbed into it at merge time.
+        let collector = if config.telemetry {
+            Collector::new()
+        } else {
+            Collector::disabled()
+        };
+        if let Some(wall) = build_wall {
+            // Population building happens before the simulation starts,
+            // so it consumes no virtual time.
+            collector.record_span("phase.population_build", wall, 0);
+        }
         let threat = seed_threat_db(&population);
         let geo = seed_geo_db(&population);
 
@@ -170,7 +204,11 @@ impl Campaign {
                 targets,
                 population: &population,
             });
+            let analyze = collector.phase("phase.analyze");
             let dataset = outcome.dataset(config);
+            analyze.finish();
+            let mut telemetry = collector.snapshot();
+            telemetry.absorb(&outcome.telemetry);
             return CampaignResult::new(
                 config.clone(),
                 spec,
@@ -180,6 +218,7 @@ impl Campaign {
                 population,
                 outcome.net_stats,
                 outcome.auth_packets,
+                config.telemetry.then_some(telemetry),
             );
         }
 
@@ -245,15 +284,19 @@ impl Campaign {
         });
 
         // ---- merge ----
+        let analyze = collector.phase("phase.analyze");
         let dataset = Dataset::merge(
             outcomes
                 .iter()
                 .map(|outcome| outcome.dataset(config))
                 .collect(),
         );
+        analyze.finish();
+        let mut telemetry = collector.snapshot();
         let mut net_stats = NetStats::default();
         let mut auth_packets: Vec<CapturedPacket> = Vec::new();
         for outcome in outcomes {
+            telemetry.absorb(&outcome.telemetry);
             net_stats.absorb(&outcome.net_stats);
             auth_packets.extend(outcome.auth_packets);
         }
@@ -270,6 +313,7 @@ impl Campaign {
             population,
             net_stats,
             auth_packets,
+            config.telemetry.then_some(telemetry),
         )
     }
 
@@ -279,6 +323,14 @@ impl Campaign {
         let config = &self.config;
         let infra = &config.infra;
 
+        // Per-shard collector: lock-free on the hot path, merged
+        // order-insensitively into the root snapshot afterwards.
+        let collector = if config.telemetry {
+            Collector::new()
+        } else {
+            Collector::disabled()
+        };
+
         // ---- network & name-server hierarchy ----
         let mut net = SimNet::builder()
             .seed(plan.sim_seed)
@@ -287,6 +339,7 @@ impl Campaign {
             .latency(HashLatency::internet(config.seed))
             .loss_probability(config.loss_probability)
             .duplicate_probability(config.duplicate_probability)
+            .telemetry(NetTelemetry::from_collector(&collector))
             .build();
         let mut root = RootServer::new();
         root.delegate(
@@ -311,10 +364,12 @@ impl Campaign {
         }
         let mut auth = AuthoritativeServer::new(ClusterZone::new(zone), auth_capture.clone());
         auth.enable_auto_advance(plan.cluster_capacity);
+        auth.set_telemetry(AuthTelemetry::from_collector(&collector));
         net.register(infra.auth, auth);
 
         // ---- resolver population (this shard's slice) ----
         let resolver_config = ResolverConfig::new(infra.root);
+        let resolver_telemetry = ResolverTelemetry::from_collector(&collector);
         for planned in plan
             .population
             .resolvers
@@ -324,7 +379,8 @@ impl Campaign {
         {
             net.register(
                 planned.addr,
-                ProfiledResolver::new(planned.policy.clone(), resolver_config.clone()),
+                ProfiledResolver::new(planned.policy.clone(), resolver_config.clone())
+                    .with_telemetry(resolver_telemetry.clone()),
             );
         }
 
@@ -335,10 +391,15 @@ impl Campaign {
         prober_config.rate_pps = plan.rate_pps;
         prober_config.cluster_capacity = plan.cluster_capacity;
         prober_config.base_cluster = plan.base_cluster;
-        net.register(infra.prober, Prober::new(prober_config, prober_handle.clone()));
+        net.register(
+            infra.prober,
+            Prober::new(prober_config, prober_handle.clone())
+                .with_telemetry(ProberTelemetry::from_collector(&collector)),
+        );
         net.set_timer_for(infra.prober, SimTime::ZERO, 0);
 
         // ---- run to completion ----
+        let probe_span = collector.phase("phase.probe");
         net.run_until_idle();
 
         // ---- collect ----
@@ -353,6 +414,22 @@ impl Campaign {
             * orscope_authns::cluster::CLUSTER_LOAD_TIME.as_secs_f64()
             * (plan.cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
         let duration_secs = probe_stats.finished_at.as_secs_f64() + load_secs;
+        // Phase spans: the probe phase covers virtual time up to scan
+        // completion; the capture drain covers the tail in which late
+        // responses and retries settle. Both happen inside the single
+        // `run_until_idle` call, so the drain gets no wall share.
+        let probe_virt = probe_stats
+            .finished_at
+            .since(SimTime::ZERO)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        probe_span.finish_with_virtual(probe_virt);
+        let drain_virt = net
+            .now()
+            .since(probe_stats.finished_at)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        collector.record_span("phase.capture_drain", Duration::ZERO, drain_virt);
         ShardOutcome {
             probe_stats,
             captures: prober_handle.drain(),
@@ -361,6 +438,7 @@ impl Campaign {
             duration_secs,
             net_stats: *net.stats(),
             auth_packets: auth_capture.drain(),
+            telemetry: collector.snapshot(),
         }
     }
 
@@ -433,6 +511,7 @@ struct ShardOutcome {
     duration_secs: f64,
     net_stats: NetStats,
     auth_packets: Vec<CapturedPacket>,
+    telemetry: TelemetrySnapshot,
 }
 
 impl ShardOutcome {

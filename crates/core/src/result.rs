@@ -10,6 +10,7 @@ use orscope_geo::GeoDb;
 use orscope_netsim::NetStats;
 use orscope_resolver::paper::YearSpec;
 use orscope_resolver::population::Population;
+use orscope_telemetry::TelemetrySnapshot;
 use orscope_threatintel::ThreatDb;
 
 use crate::campaign::CampaignConfig;
@@ -25,6 +26,7 @@ pub struct CampaignResult {
     population: Population,
     net_stats: NetStats,
     auth_packets: Vec<CapturedPacket>,
+    telemetry: Option<TelemetrySnapshot>,
 }
 
 impl CampaignResult {
@@ -38,6 +40,7 @@ impl CampaignResult {
         population: Population,
         net_stats: NetStats,
         auth_packets: Vec<CapturedPacket>,
+        telemetry: Option<TelemetrySnapshot>,
     ) -> Self {
         Self {
             config,
@@ -48,6 +51,7 @@ impl CampaignResult {
             population,
             net_stats,
             auth_packets,
+            telemetry,
         }
     }
 
@@ -89,6 +93,14 @@ impl CampaignResult {
     /// The authoritative server's raw Q2/R1 capture.
     pub fn auth_packets(&self) -> &[CapturedPacket] {
         &self.auth_packets
+    }
+
+    /// The merged telemetry snapshot, when the campaign ran with
+    /// telemetry enabled (the [`CampaignConfig::telemetry`] default).
+    /// Global-scope metrics in it are shard-invariant; shard-scope
+    /// metrics and spans describe this particular execution.
+    pub fn telemetry(&self) -> Option<&TelemetrySnapshot> {
+        self.telemetry.as_ref()
     }
 
     /// Joins the prober and authoritative captures into per-probe flows

@@ -61,6 +61,7 @@ pub mod endpoint;
 pub mod latency;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use datagram::Datagram;
@@ -68,4 +69,5 @@ pub use endpoint::{Context, Endpoint};
 pub use latency::{FixedLatency, HashLatency, LatencyModel};
 pub use sim::{SimNet, SimNetBuilder};
 pub use stats::NetStats;
+pub use telemetry::NetTelemetry;
 pub use time::SimTime;

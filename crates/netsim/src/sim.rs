@@ -11,6 +11,7 @@ use crate::datagram::Datagram;
 use crate::endpoint::{Context, Endpoint};
 use crate::latency::{HashLatency, LatencyModel};
 use crate::stats::NetStats;
+use crate::telemetry::NetTelemetry;
 use crate::time::SimTime;
 
 /// An event in the queue. Ordering: by time, then by sequence number, so
@@ -52,6 +53,7 @@ pub struct SimNetBuilder {
     loss_probability: f64,
     duplicate_probability: f64,
     max_events: u64,
+    telemetry: NetTelemetry,
 }
 
 impl Default for SimNetBuilder {
@@ -62,6 +64,7 @@ impl Default for SimNetBuilder {
             loss_probability: 0.0,
             duplicate_probability: 0.0,
             max_events: u64::MAX,
+            telemetry: NetTelemetry::default(),
         }
     }
 }
@@ -117,6 +120,12 @@ impl SimNetBuilder {
         self
     }
 
+    /// Attaches pre-resolved telemetry handles (default: disabled).
+    pub fn telemetry(mut self, telemetry: NetTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the simulator.
     pub fn build(self) -> SimNet {
         SimNet {
@@ -130,6 +139,7 @@ impl SimNetBuilder {
             rng: ChaCha12Rng::seed_from_u64(self.seed ^ 0x6F72_7363_6F70_6521),
             stats: NetStats::default(),
             max_events: self.max_events,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -146,6 +156,7 @@ pub struct SimNet {
     rng: ChaCha12Rng,
     stats: NetStats,
     max_events: u64,
+    telemetry: NetTelemetry,
 }
 
 impl std::fmt::Debug for SimNet {
@@ -230,12 +241,17 @@ impl SimNet {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
+        self.telemetry
+            .event_queue_depth_hwm
+            .record_max(self.queue.len() as u64);
     }
 
     fn enqueue_datagram(&mut self, dgram: Datagram) {
         self.stats.sent += 1;
+        self.telemetry.datagrams_sent.inc();
         if self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability {
             self.stats.lost += 1;
+            self.telemetry.datagrams_lost.inc();
             return;
         }
         let delay = self.latency.latency(dgram.src, dgram.dst);
@@ -243,6 +259,7 @@ impl SimNet {
         if self.duplicate_probability > 0.0 && self.rng.gen::<f64>() < self.duplicate_probability {
             // The duplicate trails the original by a small reorder gap.
             self.stats.duplicated += 1;
+            self.telemetry.datagrams_duplicated.inc();
             let dup_at = at + std::time::Duration::from_millis(3);
             self.push_event(dup_at, EventKind::Deliver(dgram.clone()));
         }
@@ -261,16 +278,20 @@ impl SimNet {
         debug_assert!(event.at >= self.now, "time went backwards");
         self.now = event.at;
         self.stats.events += 1;
+        self.telemetry.events_processed.inc();
         match event.kind {
             EventKind::Deliver(dgram) => {
                 // Detach the endpoint so the handler can borrow the
                 // context mutably without aliasing the host table.
                 let Some(mut ep) = self.hosts.remove(&dgram.dst) else {
                     self.stats.unrouted += 1;
+                    self.telemetry.datagrams_unrouted.inc();
                     return true;
                 };
                 self.stats.delivered += 1;
                 self.stats.bytes_delivered += dgram.payload.len() as u64;
+                self.telemetry.datagrams_delivered.inc();
+                self.telemetry.bytes_delivered.add(dgram.payload.len() as u64);
                 let mut ctx = Context::new(self.now, dgram.dst, &mut self.rng);
                 ep.handle_datagram(&dgram, &mut ctx);
                 let Context {
@@ -284,6 +305,7 @@ impl SimNet {
                     return true;
                 };
                 self.stats.timers_fired += 1;
+                self.telemetry.timers_fired.inc();
                 let mut ctx = Context::new(self.now, host, &mut self.rng);
                 ep.handle_timer(token, &mut ctx);
                 let Context {

@@ -34,6 +34,21 @@ impl NetStats {
     /// Folds another simulation's counters into this one. Sharded
     /// campaigns run one `SimNet` per shard and sum the counters when
     /// merging shard outcomes.
+    ///
+    /// The merge is order-insensitive, so shards may finish (and be
+    /// absorbed) in any order:
+    ///
+    /// ```
+    /// use orscope_netsim::NetStats;
+    /// let a = NetStats { sent: 3, delivered: 2, ..NetStats::default() };
+    /// let b = NetStats { sent: 10, lost: 1, ..NetStats::default() };
+    /// let mut ab = a;
+    /// ab.absorb(&b);
+    /// let mut ba = b;
+    /// ba.absorb(&a);
+    /// assert_eq!(ab, ba);
+    /// assert_eq!(ab.sent, 13);
+    /// ```
     pub fn absorb(&mut self, other: &NetStats) {
         self.sent += other.sent;
         self.delivered += other.delivered;

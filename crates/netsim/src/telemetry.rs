@@ -1,0 +1,53 @@
+//! Telemetry wiring for the simulation engine.
+
+use orscope_telemetry::{Collector, Counter, Gauge, Scope};
+
+/// Pre-resolved metric handles for one [`crate::SimNet`]. Built once at
+/// wiring time from a [`Collector`]; the default bundle is fully
+/// disabled, so an uninstrumented simulator pays one `Option` branch per
+/// would-be recording.
+///
+/// Datagram counts mirror [`crate::NetStats`] field-for-field and are
+/// [`Scope::Global`]: for a failure-free configuration they are per-flow
+/// deterministic and therefore shard-invariant. Event-loop counts and
+/// the queue high-water mark depend on how hosts were partitioned, so
+/// they are [`Scope::Shard`].
+#[derive(Clone, Debug, Default)]
+pub struct NetTelemetry {
+    /// `net.datagrams_sent` — datagrams handed to the wire.
+    pub datagrams_sent: Counter,
+    /// `net.datagrams_lost` — datagrams dropped by the loss model.
+    pub datagrams_lost: Counter,
+    /// `net.datagrams_duplicated` — extra copies from the duplication model.
+    pub datagrams_duplicated: Counter,
+    /// `net.datagrams_delivered` — datagrams handed to an endpoint.
+    pub datagrams_delivered: Counter,
+    /// `net.datagrams_unrouted` — datagrams addressed to no host.
+    pub datagrams_unrouted: Counter,
+    /// `net.bytes_delivered` — payload bytes across delivered datagrams.
+    pub bytes_delivered: Counter,
+    /// `net.events_processed` — event-loop iterations (shard-scoped).
+    pub events_processed: Counter,
+    /// `net.timers_fired` — timer events dispatched (shard-scoped).
+    pub timers_fired: Counter,
+    /// `net.event_queue_depth_hwm` — queue depth high-water mark
+    /// (shard-scoped).
+    pub event_queue_depth_hwm: Gauge,
+}
+
+impl NetTelemetry {
+    /// Resolves every handle against `collector`.
+    pub fn from_collector(collector: &Collector) -> Self {
+        Self {
+            datagrams_sent: collector.counter(Scope::Global, "net.datagrams_sent"),
+            datagrams_lost: collector.counter(Scope::Global, "net.datagrams_lost"),
+            datagrams_duplicated: collector.counter(Scope::Global, "net.datagrams_duplicated"),
+            datagrams_delivered: collector.counter(Scope::Global, "net.datagrams_delivered"),
+            datagrams_unrouted: collector.counter(Scope::Global, "net.datagrams_unrouted"),
+            bytes_delivered: collector.counter(Scope::Global, "net.bytes_delivered"),
+            events_processed: collector.counter(Scope::Shard, "net.events_processed"),
+            timers_fired: collector.counter(Scope::Shard, "net.timers_fired"),
+            event_queue_depth_hwm: collector.gauge(Scope::Shard, "net.event_queue_depth_hwm"),
+        }
+    }
+}

@@ -28,9 +28,11 @@ pub mod pacer;
 pub mod pcap;
 pub mod scan;
 pub mod subdomain;
+pub mod telemetry;
 
 pub use capture::{ProbeStats, ProberHandle, R2Capture};
 pub use checkpoint::ScanCheckpoint;
 pub use pacer::Pacer;
 pub use scan::{Prober, ProberConfig};
 pub use subdomain::SubdomainGenerator;
+pub use telemetry::ProberTelemetry;

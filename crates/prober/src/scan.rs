@@ -12,6 +12,7 @@ use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 use crate::capture::{ProberHandle, R2Capture};
 use crate::pacer::Pacer;
 use crate::subdomain::SubdomainGenerator;
+use crate::telemetry::ProberTelemetry;
 
 /// Prober configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +69,7 @@ pub struct Prober {
     expiry: VecDeque<(SimTime, ProbeLabel)>,
     handle: ProberHandle,
     done: bool,
+    telemetry: ProberTelemetry,
 }
 
 impl Prober {
@@ -104,12 +106,20 @@ impl Prober {
             expiry: VecDeque::new(),
             handle,
             done: false,
+            telemetry: ProberTelemetry::default(),
         }
+    }
+
+    /// Attaches pre-resolved telemetry handles (default: disabled).
+    pub fn with_telemetry(mut self, telemetry: ProberTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sends one batch of Q1 probes.
     fn send_batch(&mut self, ctx: &mut Context<'_>) {
         let batch = self.pacer.next_batch() as usize;
+        self.telemetry.pacer_tokens_issued.add(batch as u64);
         let mut sent = 0u64;
         for _ in 0..batch {
             let Some(&target) = self.config.targets.get(self.next_target) else {
@@ -138,6 +148,8 @@ impl Prober {
         if sent > 0 {
             self.handle.inner.lock().stats.q1_sent += sent;
         }
+        self.telemetry.probes_sent.add(sent);
+        self.telemetry.pacer_tokens_unused.add(batch as u64 - sent);
     }
 
     /// Recycles subdomains whose response window has passed.
@@ -201,6 +213,7 @@ impl Endpoint for Prober {
         // ZMap only records responses from the scanned port (§V).
         if dgram.src_port != 53 {
             self.handle.inner.lock().stats.off_port_dropped += 1;
+            self.telemetry.off_port_dropped.inc();
             return;
         }
         // Tolerant decode: a full parse when possible, otherwise salvage
@@ -226,10 +239,15 @@ impl Endpoint for Prober {
         };
         let Some((label, qname)) = matched else {
             self.handle.inner.lock().stats.unmatched += 1;
+            self.telemetry.unmatched.inc();
             return;
         };
         let out = self.outstanding.remove(&label).expect("matched implies present");
         self.by_target.remove(&out.target);
+        self.telemetry.r2_captured.inc();
+        self.telemetry
+            .q1_r2_latency_ns
+            .record(ctx.now().since(out.sent_at).as_nanos() as u64);
         let mut shared = self.handle.inner.lock();
         shared.stats.r2_captured += 1;
         shared.captures.push(R2Capture {
@@ -247,6 +265,7 @@ impl Endpoint for Prober {
         if self.done {
             return;
         }
+        self.telemetry.pacer_ticks.inc();
         self.sweep_expired(ctx.now());
         self.send_batch(ctx);
         let targets_exhausted = self.next_target >= self.config.targets.len();

@@ -1,0 +1,48 @@
+//! Telemetry wiring for the scanning endpoint.
+
+use orscope_telemetry::{Collector, Counter, Histogram, Scope};
+
+/// Pre-resolved metric handles for one [`crate::Prober`]. The default
+/// bundle is fully disabled.
+///
+/// Probe and capture counts are [`Scope::Global`] (per-flow
+/// deterministic). Pacer token accounting depends on how targets were
+/// split across shards, so it is [`Scope::Shard`].
+#[derive(Clone, Debug, Default)]
+pub struct ProberTelemetry {
+    /// `prober.probes_sent` — Q1 probes put on the wire.
+    pub probes_sent: Counter,
+    /// `prober.r2_captured` — responses matched to an outstanding probe.
+    pub r2_captured: Counter,
+    /// `prober.off_port_dropped` — responses discarded for a non-53
+    /// source port.
+    pub off_port_dropped: Counter,
+    /// `prober.unmatched` — responses matching no outstanding probe.
+    pub unmatched: Counter,
+    /// `prober.q1_r2_latency_ns` — virtual-time Q1→R2 round trip.
+    pub q1_r2_latency_ns: Histogram,
+    /// `prober.pacer_tokens_issued` — send tokens granted by the pacer
+    /// (shard-scoped).
+    pub pacer_tokens_issued: Counter,
+    /// `prober.pacer_tokens_unused` — granted tokens not spent because
+    /// the target list ran dry (shard-scoped).
+    pub pacer_tokens_unused: Counter,
+    /// `prober.pacer_ticks` — scan timer ticks (shard-scoped).
+    pub pacer_ticks: Counter,
+}
+
+impl ProberTelemetry {
+    /// Resolves every handle against `collector`.
+    pub fn from_collector(collector: &Collector) -> Self {
+        Self {
+            probes_sent: collector.counter(Scope::Global, "prober.probes_sent"),
+            r2_captured: collector.counter(Scope::Global, "prober.r2_captured"),
+            off_port_dropped: collector.counter(Scope::Global, "prober.off_port_dropped"),
+            unmatched: collector.counter(Scope::Global, "prober.unmatched"),
+            q1_r2_latency_ns: collector.histogram(Scope::Global, "prober.q1_r2_latency_ns"),
+            pacer_tokens_issued: collector.counter(Scope::Shard, "prober.pacer_tokens_issued"),
+            pacer_tokens_unused: collector.counter(Scope::Shard, "prober.pacer_tokens_unused"),
+            pacer_ticks: collector.counter(Scope::Shard, "prober.pacer_ticks"),
+        }
+    }
+}

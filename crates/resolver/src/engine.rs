@@ -9,6 +9,7 @@ use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 
 use crate::cache::DnsCache;
 use crate::profile::{AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy};
+use crate::telemetry::ResolverTelemetry;
 
 /// Configuration shared by all recursing resolvers in a population.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +108,7 @@ pub struct ProfiledResolver {
     /// xorshift state for randomized transaction IDs.
     txn_rng: u32,
     stats: ResolverStats,
+    telemetry: ResolverTelemetry,
 }
 
 impl ProfiledResolver {
@@ -124,7 +126,14 @@ impl ProfiledResolver {
             next_txn: 1,
             txn_rng: 0x9E37_79B9,
             stats: ResolverStats::default(),
+            telemetry: ResolverTelemetry::default(),
         }
+    }
+
+    /// Attaches pre-resolved telemetry handles (default: disabled).
+    pub fn with_telemetry(mut self, telemetry: ResolverTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The behaviour profile.
@@ -490,6 +499,7 @@ impl ProfiledResolver {
                     };
                     let mut p = self.pending.remove(&txn).expect("pending exists");
                     if p.cname_chain.len() >= 8 {
+                        self.telemetry.recursion_depth.record(p.depth as u64);
                         self.stats.failures += 1;
                         self.answer_client(
                             p.client,
@@ -519,6 +529,7 @@ impl ProfiledResolver {
                 }
             }
             self.pending.remove(&txn);
+            self.telemetry.recursion_depth.record(pending.depth as u64);
             self.cache.insert(ctx.now(), records.clone());
             // Re-ask the answering server (resolver-farm duplication);
             // responses to these find no pending entry and are dropped.
@@ -569,6 +580,7 @@ impl ProfiledResolver {
                     _ => {
                         // NoData or referral overflow.
                         self.pending.remove(&txn);
+                        self.telemetry.recursion_depth.record(pending.depth as u64);
                         let rcode = if referral.is_some() {
                             self.stats.failures += 1;
                             Rcode::ServFail
@@ -594,6 +606,7 @@ impl ProfiledResolver {
             }
             Rcode::NXDomain => {
                 self.pending.remove(&txn);
+                self.telemetry.recursion_depth.record(pending.depth as u64);
                 self.negative.insert(
                     (pending.question.qname().clone(), pending.question.qtype().to_u16()),
                     (Rcode::NXDomain, ctx.now() + Self::negative_ttl(response)),
@@ -610,6 +623,7 @@ impl ProfiledResolver {
             }
             _ => {
                 self.pending.remove(&txn);
+                self.telemetry.recursion_depth.record(pending.depth as u64);
                 self.stats.failures += 1;
                 self.answer_client(
                     pending.client,
@@ -667,6 +681,10 @@ impl ProfiledResolver {
 
 impl Endpoint for ProfiledResolver {
     fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
+        // Stats-delta observer: snapshot the counters, dispatch, publish
+        // the difference. This instruments every increment site in the
+        // engine without threading handles through each of them.
+        let before = self.stats;
         let Ok(message) = Message::decode(&dgram.payload) else {
             return;
         };
@@ -675,9 +693,18 @@ impl Endpoint for ProfiledResolver {
         } else if dgram.dst_port == 53 {
             self.on_client_query(&message, dgram, ctx);
         }
+        self.telemetry.observe(&before, &self.stats);
     }
 
     fn handle_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let before = self.stats;
+        self.on_timer(token, ctx);
+        self.telemetry.observe(&before, &self.stats);
+    }
+}
+
+impl ProfiledResolver {
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
         let txn = token as u16;
         if let Some((client, client_id)) = self.forward_pending.remove(&txn) {
             // Upstream never answered the relay: ServFail, like dnsmasq.
@@ -708,6 +735,7 @@ impl Endpoint for ProfiledResolver {
                 return;
             };
             self.pending.remove(&txn);
+            self.telemetry.recursion_depth.record(pending.depth as u64);
             self.stats.failures += 1;
             self.answer_client(
                 pending.client,

@@ -27,8 +27,10 @@ pub mod paper;
 pub mod population;
 pub mod profile;
 pub mod scaling;
+pub mod telemetry;
 
 pub use cache::DnsCache;
 pub use engine::{ProfiledResolver, ResolverConfig};
 pub use population::{PlannedResolver, Population, PopulationConfig};
 pub use profile::{AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy};
+pub use telemetry::ResolverTelemetry;

@@ -1,0 +1,93 @@
+//! Telemetry wiring for the resolver engine.
+
+use orscope_telemetry::{Collector, Counter, Histogram, Scope};
+
+use crate::engine::ResolverStats;
+
+/// Pre-resolved metric handles shared by every [`crate::ProfiledResolver`]
+/// in a shard. The default bundle is fully disabled.
+///
+/// Rather than threading a handle into each of the engine's eleven
+/// counter-increment sites, the endpoint entry points snapshot
+/// [`ResolverStats`] before dispatch and feed the delta to
+/// [`ResolverTelemetry::observe`] afterwards — one `Copy` of a small
+/// struct per event, and zero atomics when nothing changed.
+///
+/// All resolver metrics are [`Scope::Global`]: which resolver answers a
+/// probe, how deep its referral chain runs, and whether its cache hits
+/// are per-flow deterministic, independent of the shard layout.
+#[derive(Clone, Debug, Default)]
+pub struct ResolverTelemetry {
+    /// `resolver.client_queries` — client queries received.
+    pub client_queries: Counter,
+    /// `resolver.responses_sent` — responses sent to clients.
+    pub responses_sent: Counter,
+    /// `resolver.upstream_queries` — queries sent to root/TLD/auth.
+    pub upstream_queries: Counter,
+    /// `resolver.failures` — resolutions ending in ServFail.
+    pub failures: Counter,
+    /// `resolver.cache_hits` — record-cache hits on client questions.
+    pub cache_hits: Counter,
+    /// `resolver.negative_hits` — RFC 2308 negative-cache hits.
+    pub negative_hits: Counter,
+    /// `resolver.forwarded` — queries relayed by forwarder profiles.
+    pub forwarded: Counter,
+    /// `resolver.recursion_depth` — referral-chain depth at completion.
+    pub recursion_depth: Histogram,
+}
+
+impl ResolverTelemetry {
+    /// Resolves every handle against `collector`.
+    pub fn from_collector(collector: &Collector) -> Self {
+        Self {
+            client_queries: collector.counter(Scope::Global, "resolver.client_queries"),
+            responses_sent: collector.counter(Scope::Global, "resolver.responses_sent"),
+            upstream_queries: collector.counter(Scope::Global, "resolver.upstream_queries"),
+            failures: collector.counter(Scope::Global, "resolver.failures"),
+            cache_hits: collector.counter(Scope::Global, "resolver.cache_hits"),
+            negative_hits: collector.counter(Scope::Global, "resolver.negative_hits"),
+            forwarded: collector.counter(Scope::Global, "resolver.forwarded"),
+            recursion_depth: collector.histogram(Scope::Global, "resolver.recursion_depth"),
+        }
+    }
+
+    /// Publishes the difference between two stats snapshots. `Counter::add`
+    /// skips zero deltas, so an event that touched no counter costs eight
+    /// branches and no atomics.
+    pub fn observe(&self, before: &ResolverStats, after: &ResolverStats) {
+        self.client_queries.add(after.client_queries - before.client_queries);
+        self.responses_sent.add(after.responses_sent - before.responses_sent);
+        self.upstream_queries.add(after.upstream_queries - before.upstream_queries);
+        self.failures.add(after.failures - before.failures);
+        self.cache_hits.add(after.cache_hits - before.cache_hits);
+        self.negative_hits.add(after.negative_hits - before.negative_hits);
+        self.forwarded.add(after.forwarded - before.forwarded);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_publishes_only_deltas() {
+        let collector = Collector::new();
+        let telemetry = ResolverTelemetry::from_collector(&collector);
+        let before = ResolverStats {
+            client_queries: 5,
+            cache_hits: 2,
+            ..ResolverStats::default()
+        };
+        let after = ResolverStats {
+            client_queries: 8,
+            cache_hits: 2,
+            responses_sent: 1,
+            ..ResolverStats::default()
+        };
+        telemetry.observe(&before, &after);
+        let snapshot = collector.snapshot();
+        assert_eq!(snapshot.counters["resolver.client_queries"].value, 3);
+        assert_eq!(snapshot.counters["resolver.responses_sent"].value, 1);
+        assert_eq!(snapshot.counters["resolver.cache_hits"].value, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The per-shard metric registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramCore, BUCKET_COUNT};
+use crate::snapshot::{HistogramSnapshot, MetricValue, SpanSnapshot, TelemetrySnapshot};
+use crate::span::PhaseSpan;
+
+/// Whether a metric is deterministic across shard layouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Per-flow deterministic: for a failure-free configuration the
+    /// merged value is byte-identical across shard counts, so the metric
+    /// joins the JSON-lines export.
+    Global,
+    /// Layout-dependent diagnostics (event counts, queue depths, pacer
+    /// ticks): exported only in the Prometheus-style dump.
+    Shard,
+}
+
+impl Scope {
+    /// The label value used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scope::Global => "global",
+            Scope::Shard => "shard",
+        }
+    }
+}
+
+/// Per-span accumulation: count of recordings plus the maximum wall and
+/// virtual duration seen (max, not sum, so merging parallel shards keeps
+/// slowest-shard semantics, like `Dataset::merge` does for duration).
+struct SpanCell {
+    count: AtomicU64,
+    wall_nanos: AtomicU64,
+    virt_nanos: AtomicU64,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, (Scope, Arc<AtomicU64>)>,
+    gauges: BTreeMap<String, (Scope, Arc<AtomicU64>)>,
+    histograms: BTreeMap<String, (Scope, Arc<HistogramCore>)>,
+    spans: BTreeMap<String, Arc<SpanCell>>,
+}
+
+/// A metric registry. Cloning shares the registry (it is a handle);
+/// instrumented crates request pre-resolved [`Counter`]/[`Gauge`]/
+/// [`Histogram`] handles once at wiring time and touch only atomics
+/// afterwards.
+///
+/// A collector built with [`Collector::disabled`] hands out no-op
+/// handles and snapshots to nothing, which is how the zero-overhead
+/// configuration (and the `telemetry_overhead` bench baseline) works.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Collector {
+    /// Same as [`Collector::new`]: enabled, with an empty registry.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// An enabled collector with an empty registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// A disabled collector: every handle it hands out is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-opens) the counter `name` under `scope`.
+    pub fn counter(&self, scope: Scope, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let mut registry = inner.lock().expect("registry poisoned");
+        let (existing, cell) = registry
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| (scope, Arc::new(AtomicU64::new(0))));
+        debug_assert_eq!(*existing, scope, "scope mismatch re-opening counter {name}");
+        Counter(Some(cell.clone()))
+    }
+
+    /// Registers (or re-opens) the high-water gauge `name` under `scope`.
+    pub fn gauge(&self, scope: Scope, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let mut registry = inner.lock().expect("registry poisoned");
+        let (existing, cell) = registry
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| (scope, Arc::new(AtomicU64::new(0))));
+        debug_assert_eq!(*existing, scope, "scope mismatch re-opening gauge {name}");
+        Gauge(Some(cell.clone()))
+    }
+
+    /// Registers (or re-opens) the histogram `name` under `scope`.
+    pub fn histogram(&self, scope: Scope, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::default();
+        };
+        let mut registry = inner.lock().expect("registry poisoned");
+        let (existing, core) = registry
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| (scope, Arc::new(HistogramCore::new())));
+        debug_assert_eq!(*existing, scope, "scope mismatch re-opening histogram {name}");
+        Histogram(Some(core.clone()))
+    }
+
+    /// Starts a phase span; finish it with
+    /// [`PhaseSpan::finish_with_virtual`] (or drop it) to record.
+    pub fn phase(&self, name: &str) -> PhaseSpan {
+        PhaseSpan::start(self.clone(), name)
+    }
+
+    /// Records one completed span: `wall` from a monotonic clock, plus
+    /// the virtual-time duration in SimNet nanoseconds.
+    pub fn record_span(&self, name: &str, wall: Duration, virt_nanos: u64) {
+        let Some(inner) = &self.inner else { return };
+        let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let mut registry = inner.lock().expect("registry poisoned");
+        let cell = registry.spans.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(SpanCell {
+                count: AtomicU64::new(0),
+                wall_nanos: AtomicU64::new(0),
+                virt_nanos: AtomicU64::new(0),
+            })
+        });
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.wall_nanos.fetch_max(wall_nanos, Ordering::Relaxed);
+        cell.virt_nanos.fetch_max(virt_nanos, Ordering::Relaxed);
+    }
+
+    /// Freezes the registry into an exportable snapshot. A disabled
+    /// collector snapshots to the empty snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snapshot = TelemetrySnapshot::default();
+        let Some(inner) = &self.inner else {
+            return snapshot;
+        };
+        let registry = inner.lock().expect("registry poisoned");
+        for (name, (scope, cell)) in &registry.counters {
+            snapshot.counters.insert(
+                name.clone(),
+                MetricValue {
+                    scope: *scope,
+                    value: cell.load(Ordering::Relaxed),
+                },
+            );
+        }
+        for (name, (scope, cell)) in &registry.gauges {
+            snapshot.gauges.insert(
+                name.clone(),
+                MetricValue {
+                    scope: *scope,
+                    value: cell.load(Ordering::Relaxed),
+                },
+            );
+        }
+        for (name, (scope, core)) in &registry.histograms {
+            let count = core.count.load(Ordering::Relaxed);
+            let mut buckets = vec![0u64; BUCKET_COUNT];
+            for (slot, bucket) in buckets.iter_mut().zip(&core.buckets) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            snapshot.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    scope: *scope,
+                    count,
+                    sum: core.sum.load(Ordering::Relaxed),
+                    min: if count == 0 {
+                        0
+                    } else {
+                        core.min.load(Ordering::Relaxed)
+                    },
+                    max: core.max.load(Ordering::Relaxed),
+                    buckets,
+                },
+            );
+        }
+        for (name, cell) in &registry.spans {
+            snapshot.spans.insert(
+                name.clone(),
+                SpanSnapshot {
+                    count: cell.count.load(Ordering::Relaxed),
+                    wall_nanos: cell.wall_nanos.load(Ordering::Relaxed),
+                    virt_nanos: cell.virt_nanos.load(Ordering::Relaxed),
+                },
+            );
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let collector = Collector::new();
+        let a = collector.counter(Scope::Global, "x");
+        let b = collector.counter(Scope::Global, "x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(collector.snapshot().counters["x"].value, 3);
+    }
+
+    #[test]
+    fn disabled_collector_snapshots_to_empty() {
+        let collector = Collector::disabled();
+        collector.counter(Scope::Global, "x").inc();
+        collector.histogram(Scope::Global, "h").record(9);
+        collector.record_span("s", Duration::from_millis(1), 5);
+        let snapshot = collector.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.histograms.is_empty());
+        assert!(snapshot.spans.is_empty());
+    }
+
+    #[test]
+    fn span_merges_by_max() {
+        let collector = Collector::new();
+        collector.record_span("phase.x", Duration::from_nanos(10), 100);
+        collector.record_span("phase.x", Duration::from_nanos(30), 40);
+        let span = &collector.snapshot().spans["phase.x"];
+        assert_eq!(span.count, 2);
+        assert_eq!(span.wall_nanos, 30);
+        assert_eq!(span.virt_nanos, 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let collector = Collector::new();
+        let _ = collector.histogram(Scope::Global, "h");
+        let h = &collector.snapshot().histograms["h"];
+        assert_eq!((h.count, h.min, h.max), (0, 0, 0));
+    }
+}

@@ -1,0 +1,487 @@
+//! Frozen telemetry: order-insensitive merging and the two exporters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::collector::Scope;
+use crate::metric::{bucket_bounds, BUCKET_COUNT};
+
+/// A counter or gauge value with its scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricValue {
+    /// Shard-invariance class.
+    pub scope: Scope,
+    /// The recorded value.
+    pub value: u64,
+}
+
+/// A frozen histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Shard-invariance class.
+    pub scope: Scope,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; see [`bucket_bounds`] for the ranges.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram under `scope`.
+    pub fn empty(scope: Scope) -> Self {
+        Self {
+            scope,
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; BUCKET_COUNT],
+        }
+    }
+
+    /// Builds a snapshot from raw samples (test and proptest helper).
+    pub fn from_samples(scope: Scope, samples: &[u64]) -> Self {
+        let mut snapshot = Self::empty(scope);
+        for &value in samples {
+            snapshot.buckets[crate::bucket_index(value)] += 1;
+            snapshot.count += 1;
+            snapshot.sum = snapshot.sum.wrapping_add(value);
+            snapshot.min = if snapshot.count == 1 {
+                value
+            } else {
+                snapshot.min.min(value)
+            };
+            snapshot.max = snapshot.max.max(value);
+        }
+        snapshot
+    }
+
+    /// Merges `other` in. Commutative and associative: bucket counts and
+    /// totals add, extremes take min/max, so any merge order produces
+    /// the same snapshot.
+    pub fn absorb(&mut self, other: &Self) {
+        debug_assert_eq!(self.scope, other.scope, "scope mismatch in absorb");
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// A frozen phase span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// Recordings merged in (one per shard for per-shard phases).
+    pub count: u64,
+    /// Maximum wall-clock duration in nanoseconds.
+    pub wall_nanos: u64,
+    /// Maximum SimNet virtual duration in nanoseconds.
+    pub virt_nanos: u64,
+}
+
+impl SpanSnapshot {
+    /// Merges `other` in: counts add, durations take the max (parallel
+    /// shards overlap in wall time, so the sum would be meaningless).
+    pub fn absorb(&mut self, other: &Self) {
+        self.count += other.count;
+        self.wall_nanos = self.wall_nanos.max(other.wall_nanos);
+        self.virt_nanos = self.virt_nanos.max(other.virt_nanos);
+    }
+}
+
+/// Everything a [`crate::Collector`] recorded, frozen for merging and
+/// export. `BTreeMap` keys give both exporters a deterministic order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, MetricValue>,
+    /// High-water gauges by name.
+    pub gauges: BTreeMap<String, MetricValue>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Phase spans by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Merges `other` in, order-insensitively (mirroring
+    /// `NetStats::absorb`): counters add, gauges keep the high-water
+    /// mark, histograms and spans merge via their own `absorb`.
+    ///
+    /// ```
+    /// use orscope_telemetry::{Collector, Scope};
+    /// let shard = |n: u64| {
+    ///     let c = Collector::new();
+    ///     c.counter(Scope::Global, "x").add(n);
+    ///     c.snapshot()
+    /// };
+    /// let (a, b) = (shard(3), shard(4));
+    /// let mut ab = a.clone();
+    /// ab.absorb(&b);
+    /// let mut ba = b.clone();
+    /// ba.absorb(&a);
+    /// assert_eq!(ab, ba);
+    /// assert_eq!(ab.counters["x"].value, 7);
+    /// ```
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        for (name, theirs) in &other.counters {
+            let mine = self.counters.entry(name.clone()).or_insert(MetricValue {
+                scope: theirs.scope,
+                value: 0,
+            });
+            debug_assert_eq!(mine.scope, theirs.scope, "scope mismatch for {name}");
+            mine.value += theirs.value;
+        }
+        for (name, theirs) in &other.gauges {
+            let mine = self.gauges.entry(name.clone()).or_insert(MetricValue {
+                scope: theirs.scope,
+                value: 0,
+            });
+            debug_assert_eq!(mine.scope, theirs.scope, "scope mismatch for {name}");
+            mine.value = mine.value.max(theirs.value);
+        }
+        for (name, theirs) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| HistogramSnapshot::empty(theirs.scope))
+                .absorb(theirs);
+        }
+        for (name, theirs) in &other.spans {
+            self.spans
+                .entry(name.clone())
+                .or_default()
+                .absorb(theirs);
+        }
+    }
+
+    /// The JSON-lines export: one object per [`Scope::Global`] metric,
+    /// in deterministic (sorted) order. Shard-scope diagnostics and
+    /// spans are deliberately excluded — they are layout- or wall-clock-
+    /// dependent, and this export is the surface the shard-invariance
+    /// guarantee covers.
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_tagged(&[])
+    }
+
+    /// [`Self::to_jsonl`] with extra numeric fields prefixed onto every
+    /// line (e.g. `("year", 2018)` when one file carries both scans).
+    pub fn to_jsonl_tagged(&self, tags: &[(&str, u64)]) -> String {
+        let mut out = String::new();
+        let tag_fragment: String = tags
+            .iter()
+            .map(|(key, value)| format!("{}:{value},", json_string(key)))
+            .collect();
+        for (name, metric) in &self.counters {
+            if metric.scope != Scope::Global {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{{{tag_fragment}\"kind\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_string(name),
+                metric.value
+            );
+        }
+        for (name, metric) in &self.gauges {
+            if metric.scope != Scope::Global {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{{{tag_fragment}\"kind\":\"gauge\",\"name\":{},\"value\":{}}}",
+                json_string(name),
+                metric.value
+            );
+        }
+        for (name, histogram) in &self.histograms {
+            if histogram.scope != Scope::Global {
+                continue;
+            }
+            let buckets: String = histogram
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, count)| **count > 0)
+                .map(|(index, count)| {
+                    let (low, high) = bucket_bounds(index);
+                    format!("[{low},{high},{count}]")
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                out,
+                "{{{tag_fragment}\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
+                 \"min\":{},\"max\":{},\"buckets\":[{buckets}]}}",
+                json_string(name),
+                histogram.count,
+                histogram.sum,
+                histogram.min,
+                histogram.max,
+            );
+        }
+        out
+    }
+
+    /// The Prometheus-style text dump: every metric of every scope plus
+    /// the phase spans, with a `scope` label distinguishing global from
+    /// per-shard diagnostics.
+    pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// [`Self::to_prometheus`] with extra labels on every series.
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let extra: String = labels
+            .iter()
+            .map(|(key, value)| format!("{key}=\"{value}\","))
+            .collect();
+        let mut out = String::new();
+        for (name, metric) in &self.counters {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} counter");
+            let _ = writeln!(
+                out,
+                "{prom}{{{extra}scope=\"{}\"}} {}",
+                metric.scope.as_str(),
+                metric.value
+            );
+        }
+        for (name, metric) in &self.gauges {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} gauge");
+            let _ = writeln!(
+                out,
+                "{prom}{{{extra}scope=\"{}\"}} {}",
+                metric.scope.as_str(),
+                metric.value
+            );
+        }
+        for (name, histogram) in &self.histograms {
+            let prom = prom_name(name);
+            let scope = histogram.scope.as_str();
+            let _ = writeln!(out, "# TYPE {prom} histogram");
+            let mut cumulative = 0u64;
+            for (index, count) in histogram.buckets.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let (_, high) = bucket_bounds(index);
+                let le = if high == u64::MAX {
+                    "+Inf".to_owned()
+                } else {
+                    high.to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{{extra}scope=\"{scope}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            if bucket_bounds(BUCKET_COUNT - 1).1 == u64::MAX
+                && histogram.buckets[BUCKET_COUNT - 1] == 0
+            {
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{{extra}scope=\"{scope}\",le=\"+Inf\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(out, "{prom}_sum{{{extra}scope=\"{scope}\"}} {}", histogram.sum);
+            let _ = writeln!(out, "{prom}_count{{{extra}scope=\"{scope}\"}} {}", histogram.count);
+        }
+        for (name, span) in &self.spans {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom}_wall_seconds gauge");
+            let _ = writeln!(
+                out,
+                "{prom}_wall_seconds{{{extra}}} {}",
+                span.wall_nanos as f64 / 1e9
+            );
+            let _ = writeln!(out, "# TYPE {prom}_virt_seconds gauge");
+            let _ = writeln!(
+                out,
+                "{prom}_virt_seconds{{{extra}}} {}",
+                span.virt_nanos as f64 / 1e9
+            );
+            let _ = writeln!(out, "# TYPE {prom}_count counter");
+            let _ = writeln!(out, "{prom}_count{{{extra}}} {}", span.count);
+        }
+        out
+    }
+}
+
+/// `name` as a Prometheus series name: `orscope_` prefix, with every
+/// non-alphanumeric byte flattened to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("orscope_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+/// `value` as a quoted JSON string (metric names are plain ASCII, but
+/// escaping keeps the exporter total).
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot.counters.insert(
+            "net.datagrams_sent".into(),
+            MetricValue {
+                scope: Scope::Global,
+                value: 12,
+            },
+        );
+        snapshot.counters.insert(
+            "net.events_processed".into(),
+            MetricValue {
+                scope: Scope::Shard,
+                value: 99,
+            },
+        );
+        snapshot.gauges.insert(
+            "net.event_queue_depth_hwm".into(),
+            MetricValue {
+                scope: Scope::Shard,
+                value: 5,
+            },
+        );
+        snapshot.histograms.insert(
+            "prober.q1_r2_latency_ns".into(),
+            HistogramSnapshot::from_samples(Scope::Global, &[3, 900, 900_000]),
+        );
+        snapshot.spans.insert(
+            "phase.probe".into(),
+            SpanSnapshot {
+                count: 1,
+                wall_nanos: 2_000_000,
+                virt_nanos: 3_000_000_000,
+            },
+        );
+        snapshot
+    }
+
+    #[test]
+    fn jsonl_exports_only_global_scope() {
+        let jsonl = sample().to_jsonl();
+        assert!(jsonl.contains("net.datagrams_sent"));
+        assert!(jsonl.contains("q1_r2_latency_ns"));
+        assert!(!jsonl.contains("events_processed"), "shard scope leaked");
+        assert!(!jsonl.contains("phase.probe"), "spans leaked into jsonl");
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_tags_prefix_every_line() {
+        let jsonl = sample().to_jsonl_tagged(&[("year", 2018)]);
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"year\":2018,"), "untagged line {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_includes_shard_scope_and_spans() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("orscope_net_events_processed{scope=\"shard\"} 99"));
+        assert!(text.contains("orscope_net_datagrams_sent{scope=\"global\"} 12"));
+        assert!(text.contains("orscope_phase_probe_virt_seconds{} 3"));
+        assert!(text.contains("orscope_prober_q1_r2_latency_ns_count{scope=\"global\"} 3"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn absorb_is_commutative_on_mixed_snapshots() {
+        let a = sample();
+        let mut b = TelemetrySnapshot::default();
+        b.counters.insert(
+            "net.datagrams_sent".into(),
+            MetricValue {
+                scope: Scope::Global,
+                value: 8,
+            },
+        );
+        b.histograms.insert(
+            "prober.q1_r2_latency_ns".into(),
+            HistogramSnapshot::from_samples(Scope::Global, &[1, u64::MAX]),
+        );
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters["net.datagrams_sent"].value, 20);
+        let histogram = &ab.histograms["prober.q1_r2_latency_ns"];
+        assert_eq!(histogram.count, 5);
+        assert_eq!(histogram.min, 1);
+        assert_eq!(histogram.max, u64::MAX);
+    }
+
+    #[test]
+    fn gauges_absorb_by_max() {
+        let mut a = TelemetrySnapshot::default();
+        a.gauges.insert(
+            "g".into(),
+            MetricValue {
+                scope: Scope::Shard,
+                value: 3,
+            },
+        );
+        let mut b = TelemetrySnapshot::default();
+        b.gauges.insert(
+            "g".into(),
+            MetricValue {
+                scope: Scope::Shard,
+                value: 9,
+            },
+        );
+        a.absorb(&b);
+        assert_eq!(a.gauges["g"].value, 9);
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the telemetry core: histogram merging is
+//! commutative and associative, and the log2 bucketing tiles the full
+//! `u64` range.
+
+use proptest::prelude::*;
+
+use orscope_telemetry::{bucket_bounds, bucket_index, HistogramSnapshot, Scope, BUCKET_COUNT};
+
+/// Builds a histogram snapshot directly from samples.
+fn histogram(samples: &[u64]) -> HistogramSnapshot {
+    HistogramSnapshot::from_samples(Scope::Global, samples)
+}
+
+/// `a.absorb(b)` as a value.
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.absorb(b);
+    out
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merging per-shard histograms must not care which shard finishes
+    /// first: `a + b == b + a`.
+    #[test]
+    fn histogram_absorb_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (histogram(&a), histogram(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    /// Nor how the merge tree is shaped: `(a + b) + c == a + (b + c)`.
+    #[test]
+    fn histogram_absorb_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (histogram(&a), histogram(&b), histogram(&c));
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc))
+        );
+    }
+
+    /// Merging all shards at once equals merging them pairwise, and the
+    /// result equals bucketing the concatenated sample stream directly.
+    #[test]
+    fn histogram_absorb_matches_concatenation(a in samples(), b in samples()) {
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged(&histogram(&a), &histogram(&b)), histogram(&all));
+    }
+
+    /// Every value lands in a bucket whose inclusive bounds contain it.
+    #[test]
+    fn bucket_bounds_round_trip(value in any::<u64>()) {
+        let index = bucket_index(value);
+        prop_assert!(index < BUCKET_COUNT);
+        let (low, high) = bucket_bounds(index);
+        prop_assert!(low <= value && value <= high);
+    }
+
+    /// Bucket boundaries themselves round-trip: the min and max of each
+    /// bucket map back to that bucket.
+    #[test]
+    fn bucket_extremes_round_trip(index in 0usize..BUCKET_COUNT) {
+        let (low, high) = bucket_bounds(index);
+        prop_assert_eq!(bucket_index(low), index);
+        prop_assert_eq!(bucket_index(high), index);
+    }
+}

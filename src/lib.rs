@@ -19,6 +19,7 @@
 //! - [`threatintel`] — the Cymon-like reputation database,
 //! - [`geo`] — the ip2location-like geolocation database,
 //! - [`analysis`] — classification and the Table II-X generators,
+//! - [`telemetry`] — metric registry, virtual-time spans, exporters,
 //! - [`core`] — end-to-end campaigns.
 //!
 //! # Example
@@ -40,4 +41,5 @@ pub use orscope_ipspace as ipspace;
 pub use orscope_netsim as netsim;
 pub use orscope_prober as prober;
 pub use orscope_resolver as resolver;
+pub use orscope_telemetry as telemetry;
 pub use orscope_threatintel as threatintel;

@@ -1,7 +1,8 @@
 //! The `orscope` command-line interface.
 //!
 //! ```text
-//! orscope campaign [--year 2018] [--scale 1000] [--seed N] [--full-q1] [--json FILE]
+//! orscope campaign [--year 2018] [--scale 1000] [--seed N] [--shards N] [--full-q1]
+//!                  [--json FILE] [--telemetry FILE]
 //! orscope tables   [--scale 500] [--json FILE]      # both years, all tables
 //! orscope trend    [--steps 6] [--scale 2000]       # 2013 -> 2018 series
 //! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
@@ -41,7 +42,8 @@ fn print_help() {
         "orscope — behavioral analysis of open DNS resolvers (DSN'19 reproduction)\n\
          \n\
          USAGE:\n\
-         \x20 orscope campaign [--year 2013|2018] [--scale S] [--seed N] [--full-q1] [--json FILE]\n\
+         \x20 orscope campaign [--year 2013|2018] [--scale S] [--seed N] [--shards N]\n\
+         \x20                  [--full-q1] [--json FILE] [--telemetry FILE]\n\
          \x20 orscope tables   [--scale S] [--json FILE]\n\
          \x20 orscope trend    [--steps N] [--scale S] [--seed N]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
@@ -90,7 +92,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let year = parse_year(args)?;
     let scale: f64 = parse_number(args, "--scale", 1_000.0)?;
     let seed: u64 = parse_number(args, "--seed", 0xD5A1_2019)?;
-    let mut config = CampaignConfig::new(year, scale).with_seed(seed);
+    let shards: usize = parse_number(args, "--shards", 1)?;
+    let mut config = CampaignConfig::new(year, scale)
+        .with_seed(seed)
+        .with_shards(shards);
     if args.iter().any(|a| a == "--full-q1") {
         config = config.with_full_q1();
     }
@@ -106,6 +111,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag_value(args, "--json")? {
         let blob = serde_json::to_string_pretty(&result.to_json()).expect("serializable");
         std::fs::write(&path, blob).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--telemetry")? {
+        let snapshot = result.telemetry().expect("telemetry on by default");
+        let jsonl = snapshot.to_jsonl_tagged(&[("year", u64::from(year.as_u16()))]);
+        std::fs::write(&path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())

@@ -1,0 +1,91 @@
+//! Telemetry must be an observer, not a participant: its global-scope
+//! export has to be byte-identical for every shard count, and turning
+//! it off must not change anything else about the run.
+
+use orscope_core::{Campaign, CampaignConfig};
+use orscope_resolver::paper::Year;
+
+fn run(shards: usize) -> orscope_core::CampaignResult {
+    let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
+    Campaign::new(config).run()
+}
+
+#[test]
+fn jsonl_export_is_byte_identical_across_shard_counts() {
+    let single = run(1);
+    let baseline = single
+        .telemetry()
+        .expect("telemetry on by default")
+        .to_jsonl();
+    assert!(!baseline.is_empty(), "telemetry export is empty");
+    // Sanity: the export actually carries the hot-path counters.
+    for name in [
+        "net.datagrams_sent",
+        "prober.probes_sent",
+        "prober.q1_r2_latency_ns",
+        "resolver.client_queries",
+        "auth.queries",
+    ] {
+        assert!(baseline.contains(name), "export lacks {name}:\n{baseline}");
+    }
+    for shards in [4, 8] {
+        let sharded = run(shards);
+        let export = sharded
+            .telemetry()
+            .expect("telemetry on by default")
+            .to_jsonl();
+        assert_eq!(
+            export, baseline,
+            "telemetry JSONL diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn counters_agree_with_the_simulator_stats() {
+    let result = run(4);
+    let snapshot = result.telemetry().expect("telemetry on by default");
+    let stats = result.net_stats();
+    assert_eq!(snapshot.counters["net.datagrams_sent"].value, stats.sent);
+    assert_eq!(snapshot.counters["net.datagrams_lost"].value, stats.lost);
+    assert_eq!(
+        snapshot.counters["net.datagrams_delivered"].value,
+        stats.delivered
+    );
+    // Every planned probe was recorded by the prober's own counter.
+    assert_eq!(
+        snapshot.counters["prober.probes_sent"].value,
+        result.dataset().q1
+    );
+    // The authoritative server saw exactly the Q2 queries.
+    assert_eq!(snapshot.counters["auth.queries"].value, result.dataset().q2);
+    // Every captured R2 contributed one latency sample.
+    assert_eq!(
+        snapshot.histograms["prober.q1_r2_latency_ns"].count,
+        result.dataset().r2()
+    );
+    // All four campaign phases were spanned.
+    for phase in [
+        "phase.population_build",
+        "phase.probe",
+        "phase.capture_drain",
+        "phase.analyze",
+    ] {
+        assert!(snapshot.spans.contains_key(phase), "missing span {phase}");
+    }
+    // Sharded runs record one probe span per shard, absorbed by max.
+    assert_eq!(snapshot.spans["phase.probe"].count, 4);
+}
+
+#[test]
+fn disabling_telemetry_removes_the_snapshot_and_changes_nothing_else() {
+    let on = run(1);
+    let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_telemetry(false);
+    let off = Campaign::new(config).run();
+    assert!(off.telemetry().is_none());
+    assert_eq!(
+        serde_json::to_string(&off.table_reports()).expect("tables serialize"),
+        serde_json::to_string(&on.table_reports()).expect("tables serialize"),
+        "telemetry changed the measured tables"
+    );
+}
