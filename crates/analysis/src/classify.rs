@@ -164,7 +164,10 @@ mod tests {
         }
     }
 
-    fn response(label: ProbeLabel, build: impl FnOnce(orscope_dns_wire::MessageBuilder) -> orscope_dns_wire::MessageBuilder) -> Vec<u8> {
+    fn response(
+        label: ProbeLabel,
+        build: impl FnOnce(orscope_dns_wire::MessageBuilder) -> orscope_dns_wire::MessageBuilder,
+    ) -> Vec<u8> {
         let query = Message::query(1, Question::a(label.qname(&zone())));
         let builder = Message::builder().response_to(&query);
         build(builder).build().encode().unwrap()

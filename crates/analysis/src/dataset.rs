@@ -187,20 +187,34 @@ mod tests {
     }
 
     fn shard(cluster: u32, n: u64, duration_secs: f64) -> Dataset {
-        let captures: Vec<R2Capture> =
-            (0..n).map(|i| capture(ProbeLabel::new(cluster, i), false)).collect();
+        let captures: Vec<R2Capture> = (0..n)
+            .map(|i| capture(ProbeLabel::new(cluster, i), false))
+            .collect();
         let stats = ProbeStats {
             q1_sent: n * 2,
             r2_captured: n,
             done: true,
             ..ProbeStats::default()
         };
-        Dataset::from_captures(Year::Y2018, 1000.0, n * 2, n, n, duration_secs, &captures, stats)
+        Dataset::from_captures(
+            Year::Y2018,
+            1000.0,
+            n * 2,
+            n,
+            n,
+            duration_secs,
+            &captures,
+            stats,
+        )
     }
 
     #[test]
     fn merge_sums_counts_and_takes_slowest_duration() {
-        let merged = Dataset::merge(vec![shard(0, 3, 60.0), shard(1, 2, 90.0), shard(2, 4, 30.0)]);
+        let merged = Dataset::merge(vec![
+            shard(0, 3, 60.0),
+            shard(1, 2, 90.0),
+            shard(2, 4, 30.0),
+        ]);
         assert_eq!(merged.q1, 18);
         assert_eq!(merged.q2, 9);
         assert_eq!(merged.r1, 9);
@@ -218,7 +232,10 @@ mod tests {
         reversed.reverse();
         let backward = Dataset::merge(reversed);
         let key = |ds: &Dataset| -> Vec<(String, Ipv4Addr)> {
-            ds.raw.iter().map(|c| (c.qname.to_string(), c.target)).collect()
+            ds.raw
+                .iter()
+                .map(|c| (c.qname.to_string(), c.target))
+                .collect()
         };
         assert_eq!(key(&forward), key(&backward));
         assert_eq!(forward.records.len(), backward.records.len());

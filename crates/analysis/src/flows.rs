@@ -61,14 +61,12 @@ impl FlowSet {
     /// Joins prober-side and server-side captures.
     ///
     /// `zone` is the measurement zone the probe names live under.
-    pub fn match_flows(
-        r2: &[R2Capture],
-        auth: &[CapturedPacket],
-        zone: &Name,
-    ) -> FlowSet {
+    pub fn match_flows(r2: &[R2Capture], auth: &[CapturedPacket], zone: &Name) -> FlowSet {
         let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::new();
         for capture in r2 {
-            let Some(label) = capture.label.or_else(|| ProbeLabel::parse(&capture.qname, zone))
+            let Some(label) = capture
+                .label
+                .or_else(|| ProbeLabel::parse(&capture.qname, zone))
             else {
                 continue; // empty-question responses joined elsewhere
             };

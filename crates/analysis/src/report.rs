@@ -152,7 +152,10 @@ impl TableReport {
             let _ = writeln!(
                 out,
                 "| {} | {:.0} | {:.0} | {:.3} |",
-                c.name, c.paper, c.measured, c.ratio()
+                c.name,
+                c.paper,
+                c.measured,
+                c.ratio()
             );
         }
         out

@@ -155,7 +155,13 @@ fn format_ratio(num: u64, den: u64) -> String {
 mod tests {
     use super::*;
 
-    fn summary(year: u16, responders: u64, strict: u64, incorrect: u64, malicious: u64) -> ScanSummary {
+    fn summary(
+        year: u16,
+        responders: u64,
+        strict: u64,
+        incorrect: u64,
+        malicious: u64,
+    ) -> ScanSummary {
         ScanSummary {
             year,
             responders,
@@ -198,9 +204,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of order")]
     fn chronology_enforced() {
-        let _ = TemporalSummary::new(
-            summary(2018, 1, 1, 1, 1),
-            summary(2013, 1, 1, 1, 1),
-        );
+        let _ = TemporalSummary::new(summary(2018, 1, 1, 1, 1), summary(2013, 1, 1, 1, 1));
     }
 }

@@ -195,10 +195,7 @@ impl FlagTable {
         Self { flag0, flag1 }
     }
 
-    fn paper_for(
-        spec: &YearSpec,
-        cell_flag: impl Fn(bool, bool) -> bool,
-    ) -> Self {
+    fn paper_for(spec: &YearSpec, cell_flag: impl Fn(bool, bool) -> bool) -> Self {
         let mut flag0 = AnswerBreakdown::default();
         let mut flag1 = AnswerBreakdown::default();
         for cell in &spec.flag_cells {
@@ -210,9 +207,7 @@ impl FlagTable {
             match cell.answer {
                 AnswerClass::None => side.wo += cell.count,
                 AnswerClass::Correct => side.w_corr += cell.count,
-                AnswerClass::Incorrect | AnswerClass::Malformed => {
-                    side.w_incorr += cell.count
-                }
+                AnswerClass::Incorrect | AnswerClass::Malformed => side.w_incorr += cell.count,
             }
         }
         for slice in &spec.incorrect.slices {
@@ -307,7 +302,13 @@ impl Table6 {
         }
         let rows = Rcode::TABLE_VI_ORDER
             .iter()
-            .map(|&rc| (rc, w.get(&rc).copied().unwrap_or(0), wo.get(&rc).copied().unwrap_or(0)))
+            .map(|&rc| {
+                (
+                    rc,
+                    w.get(&rc).copied().unwrap_or(0),
+                    wo.get(&rc).copied().unwrap_or(0),
+                )
+            })
             .collect();
         Self { rows }
     }
@@ -328,7 +329,13 @@ impl Table6 {
         *w.entry(Rcode::NoError).or_default() += incorrect;
         let rows = Rcode::TABLE_VI_ORDER
             .iter()
-            .map(|&rc| (rc, w.get(&rc).copied().unwrap_or(0), wo.get(&rc).copied().unwrap_or(0)))
+            .map(|&rc| {
+                (
+                    rc,
+                    w.get(&rc).copied().unwrap_or(0),
+                    wo.get(&rc).copied().unwrap_or(0),
+                )
+            })
             .collect();
         Self { rows }
     }
@@ -346,7 +353,11 @@ impl Table6 {
 impl fmt::Display for Table6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (rc, w, wo) in &self.rows {
-            writeln!(f, "  {rc:>9}: W {w:>10} | W/O {wo:>10} | total {:>10}", w + wo)?;
+            writeln!(
+                f,
+                "  {rc:>9}: W {w:>10} | W/O {wo:>10} | total {:>10}",
+                w + wo
+            )?;
         }
         Ok(())
     }
@@ -405,7 +416,12 @@ impl Table7 {
     /// The paper's published column.
     pub fn paper(spec: &YearSpec) -> Self {
         let inc = &spec.incorrect;
-        let top_mal: u64 = inc.top_ips.iter().filter(|t| t.category.is_some()).map(|t| t.count).sum();
+        let top_mal: u64 = inc
+            .top_ips
+            .iter()
+            .filter(|t| t.category.is_some())
+            .map(|t| t.count)
+            .sum();
         let top_total: u64 = inc.top_ips.iter().map(|t| t.count).sum();
         let mal_total: u64 = inc.malicious.iter().map(|m| m.r2).sum();
         let mal_unique: u64 = inc.malicious.iter().map(|m| m.unique_ips).sum();
@@ -429,9 +445,21 @@ impl Table7 {
 
 impl fmt::Display for Table7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "  IP     : {:>8} packets, {:>6} unique", self.ip_r2, self.ip_unique)?;
-        writeln!(f, "  URL    : {:>8} packets, {:>6} unique", self.url_r2, self.url_unique)?;
-        writeln!(f, "  string : {:>8} packets, {:>6} unique", self.string_r2, self.string_unique)?;
+        writeln!(
+            f,
+            "  IP     : {:>8} packets, {:>6} unique",
+            self.ip_r2, self.ip_unique
+        )?;
+        writeln!(
+            f,
+            "  URL    : {:>8} packets, {:>6} unique",
+            self.url_r2, self.url_unique
+        )?;
+        writeln!(
+            f,
+            "  string : {:>8} packets, {:>6} unique",
+            self.string_r2, self.string_unique
+        )?;
         writeln!(f, "  N/A    : {:>8} packets", self.na_r2)?;
         writeln!(f, "  Total  : {:>8} packets", self.total())
     }
@@ -619,7 +647,12 @@ impl fmt::Display for Table9 {
                 row.r2 as f64 / tr as f64 * 100.0
             )?;
         }
-        writeln!(f, "  Total             #IP {:>5}          | #R2 {:>7}", self.total_unique(), self.total_r2())
+        writeln!(
+            f,
+            "  Total             #IP {:>5}          | #R2 {:>7}",
+            self.total_unique(),
+            self.total_r2()
+        )
     }
 }
 
@@ -671,12 +704,22 @@ impl Table10 {
 impl fmt::Display for Table10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let t = self.total().max(1) as f64;
-        writeln!(f, "  RA0 {:>7} ({:.1}%) | RA1 {:>7} ({:.1}%)",
-            self.ra[0], self.ra[0] as f64 / t * 100.0,
-            self.ra[1], self.ra[1] as f64 / t * 100.0)?;
-        writeln!(f, "  AA0 {:>7} ({:.1}%) | AA1 {:>7} ({:.1}%)",
-            self.aa[0], self.aa[0] as f64 / t * 100.0,
-            self.aa[1], self.aa[1] as f64 / t * 100.0)?;
+        writeln!(
+            f,
+            "  RA0 {:>7} ({:.1}%) | RA1 {:>7} ({:.1}%)",
+            self.ra[0],
+            self.ra[0] as f64 / t * 100.0,
+            self.ra[1],
+            self.ra[1] as f64 / t * 100.0
+        )?;
+        writeln!(
+            f,
+            "  AA0 {:>7} ({:.1}%) | AA1 {:>7} ({:.1}%)",
+            self.aa[0],
+            self.aa[0] as f64 / t * 100.0,
+            self.aa[1],
+            self.aa[1] as f64 / t * 100.0
+        )?;
         writeln!(f, "  nonzero rcode: {}", self.nonzero_rcode)
     }
 }
@@ -871,7 +914,9 @@ mod tests {
         // defined formula: 78,279/231,368 = 33.83%.
         assert_eq!(t.0.flag1.w_incorr, 78_279);
         assert!((t.0.flag1.err_pct() - 33.833).abs() < 0.01);
-        assert!((t.0.flag1.w_incorr as f64 / t.0.flag1.total() as f64 * 100.0 - 20.539).abs() < 0.01);
+        assert!(
+            (t.0.flag1.w_incorr as f64 / t.0.flag1.total() as f64 * 100.0 - 20.539).abs() < 0.01
+        );
         let t = Table5::paper(&spec(Year::Y2018));
         assert_eq!(t.0.flag1.total(), 249_193);
         assert!((t.0.flag1.err_pct() - 78.938).abs() < 0.05);
@@ -968,7 +1013,9 @@ mod tests {
         assert!(Table9::paper(&spec).to_string().contains("Malware"));
         assert!(Table10::paper(&spec).to_string().contains("RA0"));
         assert!(CountryTable::paper(&spec).to_string().contains("US(21819)"));
-        assert!(EmptyQuestionReport::paper(&spec).to_string().contains("494"));
+        assert!(EmptyQuestionReport::paper(&spec)
+            .to_string()
+            .contains("494"));
     }
 
     #[test]
@@ -1135,6 +1182,9 @@ mod amplification_tests {
             &[],
             orscope_prober::ProbeStats::default(),
         );
-        assert_eq!(AmplificationTable::measured(&ds), AmplificationTable::default());
+        assert_eq!(
+            AmplificationTable::measured(&ds),
+            AmplificationTable::default()
+        );
     }
 }

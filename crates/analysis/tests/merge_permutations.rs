@@ -33,7 +33,11 @@ fn capture(label: ProbeLabel, target: Ipv4Addr, at_ms: u64, shape: Shape) -> R2C
         Shape::Correct => Message::builder()
             .response_to(&query)
             .recursion_available(true)
-            .answer(Record::in_class(qname.clone(), 60, RData::A(ground_truth(label))))
+            .answer(Record::in_class(
+                qname.clone(),
+                60,
+                RData::A(ground_truth(label)),
+            ))
             .build(),
         Shape::WrongIp => Message::builder()
             .response_to(&query)
@@ -75,11 +79,36 @@ fn shard(index: u32) -> Dataset {
     let base = Ipv4Addr::from(0x0A00_0000 + index * 0x100);
     let addr = |host: u32| Ipv4Addr::from(u32::from(base) + host + 1);
     let captures = vec![
-        capture(ProbeLabel::new(cluster, 0), addr(0), 10 + u64::from(index), Shape::Correct),
-        capture(ProbeLabel::new(cluster, 1), addr(1), 20 + u64::from(index), Shape::Correct),
-        capture(ProbeLabel::new(cluster, 2), addr(2), 30 + u64::from(index), Shape::WrongIp),
-        capture(ProbeLabel::new(cluster, 3), addr(3), 40 + u64::from(index), Shape::Refused),
-        capture(ProbeLabel::new(cluster, 4), addr(4), 50 + u64::from(index), Shape::EmptyQuestion),
+        capture(
+            ProbeLabel::new(cluster, 0),
+            addr(0),
+            10 + u64::from(index),
+            Shape::Correct,
+        ),
+        capture(
+            ProbeLabel::new(cluster, 1),
+            addr(1),
+            20 + u64::from(index),
+            Shape::Correct,
+        ),
+        capture(
+            ProbeLabel::new(cluster, 2),
+            addr(2),
+            30 + u64::from(index),
+            Shape::WrongIp,
+        ),
+        capture(
+            ProbeLabel::new(cluster, 3),
+            addr(3),
+            40 + u64::from(index),
+            Shape::Refused,
+        ),
+        capture(
+            ProbeLabel::new(cluster, 4),
+            addr(4),
+            50 + u64::from(index),
+            Shape::EmptyQuestion,
+        ),
     ];
     let stats = ProbeStats {
         q1_sent: 12,
@@ -141,7 +170,11 @@ fn every_permutation_of_three_shards_merges_identically() {
     for ordering in ORDERINGS {
         let permuted: Vec<Dataset> = ordering.iter().map(|&i| shards[i].clone()).collect();
         let merged = Dataset::merge(permuted);
-        assert_eq!(fingerprint(&merged), baseline, "ordering {ordering:?} diverged");
+        assert_eq!(
+            fingerprint(&merged),
+            baseline,
+            "ordering {ordering:?} diverged"
+        );
     }
 }
 

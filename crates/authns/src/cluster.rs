@@ -227,8 +227,10 @@ mod tests {
     #[test]
     fn static_zone_still_served() {
         let mut cz = cluster_zone();
-        cz.zone_mut()
-            .add_a("ns1.ucfsealresearch.net".parse().unwrap(), "45.77.1.1".parse().unwrap());
+        cz.zone_mut().add_a(
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            "45.77.1.1".parse().unwrap(),
+        );
         cz.load_cluster(0, 10);
         assert!(matches!(
             cz.lookup(&"ns1.ucfsealresearch.net".parse().unwrap(), RecordType::A),

@@ -60,7 +60,11 @@ impl DelegationTable {
         match self.find(question.qname()) {
             Some(d) => Message::builder()
                 .response_to(query)
-                .authority(Record::in_class(d.zone.clone(), 172_800, RData::Ns(d.ns.clone())))
+                .authority(Record::in_class(
+                    d.zone.clone(),
+                    172_800,
+                    RData::Ns(d.ns.clone()),
+                ))
                 .additional(Record::in_class(d.ns.clone(), 172_800, RData::A(d.glue)))
                 .build(),
             None => Message::builder()

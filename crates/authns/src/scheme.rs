@@ -61,8 +61,12 @@ impl ProbeLabel {
         let mut labels = qname.labels();
         // DNS names are case-insensitive (and DNS 0x20 clients scramble
         // case deliberately): normalize before parsing.
-        let first = std::str::from_utf8(labels.next()?).ok()?.to_ascii_lowercase();
-        let second = std::str::from_utf8(labels.next()?).ok()?.to_ascii_lowercase();
+        let first = std::str::from_utf8(labels.next()?)
+            .ok()?
+            .to_ascii_lowercase();
+        let second = std::str::from_utf8(labels.next()?)
+            .ok()?
+            .to_ascii_lowercase();
         let cluster_digits = first.strip_prefix("or")?;
         if cluster_digits.len() != 3 || second.len() != 7 {
             return None;
@@ -145,7 +149,10 @@ mod tests {
         // DNS 0x20 clients send scrambled case; the zone must still
         // recognize its own subdomains.
         let name: Name = "oR007.0000123.UcFsEaLreSEARCH.net".parse().unwrap();
-        assert_eq!(ProbeLabel::parse(&name, &zone()), Some(ProbeLabel::new(7, 123)));
+        assert_eq!(
+            ProbeLabel::parse(&name, &zone()),
+            Some(ProbeLabel::new(7, 123))
+        );
     }
 
     #[test]

@@ -168,7 +168,9 @@ impl AuthoritativeServer {
                     Some(active) => label.cluster == active + 1,
                 };
                 if advance {
-                    let load = self.zone.load_cluster(label.cluster, self.auto_cluster_size);
+                    let load = self
+                        .zone
+                        .load_cluster(label.cluster, self.auto_cluster_size);
                     self.load_time_secs += load.as_secs_f64();
                 }
             }
@@ -193,7 +195,8 @@ impl AuthoritativeServer {
             }
         }
         let response = builder.build();
-        self.telemetry.record(Some(qtype), response.header().rcode());
+        self.telemetry
+            .record(Some(qtype), response.header().rcode());
         response
     }
 }
@@ -467,10 +470,15 @@ mod rrl_tests {
         net.register(CLIENT, Counter(got.clone()));
         for i in 0..queries {
             let label = crate::scheme::ProbeLabel::new(0, i as u64);
-            let q = Message::query(i as u16, Question::a(
-                label.qname(&"ucfsealresearch.net".parse().unwrap()),
+            let q = Message::query(
+                i as u16,
+                Question::a(label.qname(&"ucfsealresearch.net".parse().unwrap())),
+            );
+            net.inject(Datagram::new(
+                (CLIENT, 40_000),
+                (SERVER, 53),
+                q.encode().unwrap(),
             ));
-            net.inject(Datagram::new((CLIENT, 40_000), (SERVER, 53), q.encode().unwrap()));
         }
         net.run_until_idle();
         (got.load(Ordering::Relaxed), queries as u64)

@@ -102,7 +102,8 @@ impl Zone {
             "{owner} is outside zone {}",
             self.origin
         );
-        self.ns.push(Record::in_class(owner, ttl, RData::Ns(target)));
+        self.ns
+            .push(Record::in_class(owner, ttl, RData::Ns(target)));
         self
     }
 

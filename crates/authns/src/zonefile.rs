@@ -137,8 +137,8 @@ pub fn parse(text: &str) -> Result<Zone, ZoneFileError> {
             .cloned()
             .ok_or_else(|| err(lineno, "missing record type"))?;
         tokens.remove(0);
-        let rdata = parse_rdata(&rtype, &tokens, &origin_name)
-            .map_err(|reason| err(lineno, reason))?;
+        let rdata =
+            parse_rdata(&rtype, &tokens, &origin_name).map_err(|reason| err(lineno, reason))?;
         match rdata {
             RData::Soa(s) => {
                 if soa.is_some() {
@@ -197,7 +197,14 @@ pub fn serialize(zone: &Zone) -> String {
         }
     }
     for rec in zone.records() {
-        let _ = writeln!(out, "{}. {} IN {} {}", rec.name(), rec.ttl(), rec.rtype(), rdata_text(rec.rdata()));
+        let _ = writeln!(
+            out,
+            "{}. {} IN {} {}",
+            rec.name(),
+            rec.ttl(),
+            rec.rtype(),
+            rdata_text(rec.rdata())
+        );
     }
     out
 }
@@ -275,7 +282,9 @@ fn resolve_name(token: &str, origin: &Name) -> Result<Name, String> {
 /// Parses the rdata tokens for `rtype`.
 fn parse_rdata(rtype: &str, tokens: &[String], origin: &Name) -> Result<RData, String> {
     let need = |i: usize| -> Result<&String, String> {
-        tokens.get(i).ok_or_else(|| format!("{rtype} rdata too short"))
+        tokens
+            .get(i)
+            .ok_or_else(|| format!("{rtype} rdata too short"))
     };
     match rtype {
         "A" => Ok(RData::A(
@@ -344,14 +353,20 @@ host6                 IN AAAA 2001:db8::7
     fn parses_sample_zone() {
         let zone = parse(SAMPLE).unwrap();
         assert_eq!(zone.origin().to_string(), "ucfsealresearch.net");
-        match zone.lookup(&"or000.0000001.ucfsealresearch.net".parse().unwrap(), RecordType::A) {
+        match zone.lookup(
+            &"or000.0000001.ucfsealresearch.net".parse().unwrap(),
+            RecordType::A,
+        ) {
             ZoneAnswer::Answer(recs) => {
                 assert_eq!(recs[0].rdata().as_a(), Some(Ipv4Addr::new(45, 77, 100, 2)));
                 assert_eq!(recs[0].ttl(), 60, "default TTL applied");
             }
             other => panic!("{other:?}"),
         }
-        match zone.lookup(&"www.ucfsealresearch.net".parse().unwrap(), RecordType::Cname) {
+        match zone.lookup(
+            &"www.ucfsealresearch.net".parse().unwrap(),
+            RecordType::Cname,
+        ) {
             ZoneAnswer::Answer(recs) => {
                 assert_eq!(
                     recs[0].rdata().to_string(),
@@ -362,7 +377,9 @@ host6                 IN AAAA 2001:db8::7
         }
         // Absolute name in MX stayed absolute.
         match zone.lookup(&"mail.ucfsealresearch.net".parse().unwrap(), RecordType::Mx) {
-            ZoneAnswer::Answer(recs) => assert!(recs[0].rdata().to_string().contains("mx.example.com")),
+            ZoneAnswer::Answer(recs) => {
+                assert!(recs[0].rdata().to_string().contains("mx.example.com"))
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -375,7 +392,10 @@ host6                 IN AAAA 2001:db8::7
         assert_eq!(back.origin(), zone.origin());
         assert_eq!(back.record_count(), zone.record_count());
         // Spot-check a record surviving the roundtrip.
-        for qname in ["or000.0000000.ucfsealresearch.net", "host6.ucfsealresearch.net"] {
+        for qname in [
+            "or000.0000000.ucfsealresearch.net",
+            "host6.ucfsealresearch.net",
+        ] {
             let q: Name = qname.parse().unwrap();
             let a = format!("{:?}", zone.lookup(&q, RecordType::Any));
             let b = format!("{:?}", back.lookup(&q, RecordType::Any));

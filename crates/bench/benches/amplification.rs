@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
     for qtype in [RecordType::A, RecordType::Any] {
         let query = Message::query(
             7,
-            Question::new("ucfsealresearch.net".parse().unwrap(), qtype, RecordClass::In),
+            Question::new(
+                "ucfsealresearch.net".parse().unwrap(),
+                qtype,
+                RecordClass::In,
+            ),
         );
         g.bench_function(format!("serve_{qtype}"), |b| {
             b.iter(|| {
@@ -38,7 +42,10 @@ fn bench(c: &mut Criterion) {
     }
     // Report the amplification factor once for the logs.
     let a = srv
-        .respond(&Message::query(1, Question::a("ucfsealresearch.net".parse().unwrap())))
+        .respond(&Message::query(
+            1,
+            Question::a("ucfsealresearch.net".parse().unwrap()),
+        ))
         .encode()
         .unwrap()
         .len();
@@ -50,7 +57,10 @@ fn bench(c: &mut Criterion) {
         .encode()
         .unwrap()
         .len();
-    eprintln!("amplification: A response {a} B, ANY response {any} B ({:.1}x)", any as f64 / a as f64);
+    eprintln!(
+        "amplification: A response {a} B, ANY response {any} B ({:.1}x)",
+        any as f64 / a as f64
+    );
     g.finish();
 }
 

@@ -10,7 +10,11 @@ fn sample_response() -> Message {
     Message::builder()
         .response_to(&query)
         .recursion_available(true)
-        .answer(Record::in_class(qname, 60, RData::A(Ipv4Addr::new(45, 76, 1, 2))))
+        .answer(Record::in_class(
+            qname,
+            60,
+            RData::A(Ipv4Addr::new(45, 76, 1, 2)),
+        ))
         .authority(Record::in_class(
             "ucfsealresearch.net".parse().unwrap(),
             3600,
@@ -35,9 +39,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("decode_response", |b| {
         b.iter(|| black_box(Message::decode(&wire).unwrap()))
     });
-    let query = Message::query(1, Question::a("or000.0000001.ucfsealresearch.net".parse().unwrap()));
+    let query = Message::query(
+        1,
+        Question::a("or000.0000001.ucfsealresearch.net".parse().unwrap()),
+    );
     let query_wire = query.encode().unwrap();
-    g.bench_function("encode_query", |b| b.iter(|| black_box(query.encode().unwrap())));
+    g.bench_function("encode_query", |b| {
+        b.iter(|| black_box(query.encode().unwrap()))
+    });
     g.bench_function("decode_query", |b| {
         b.iter(|| black_box(Message::decode(&query_wire).unwrap()))
     });

@@ -64,7 +64,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign thread"))
+            .collect()
     });
     let mut json_years = Vec::new();
     let mut markdown = String::new();
@@ -79,8 +82,11 @@ fn main() {
 
     if let Some(path) = json_path {
         let blob = serde_json::json!({ "scale": scale, "years": json_years });
-        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializable"))
-            .expect("write json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&blob).expect("serializable"),
+        )
+        .expect("write json");
         eprintln!("wrote {path}");
     }
     if let Some(path) = markdown_path {

@@ -180,9 +180,9 @@ impl Campaign {
         let threat = seed_threat_db(&population);
         let geo = seed_geo_db(&population);
 
-        let cluster_capacity =
-            ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale).round() as u64)
-                .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
+        let cluster_capacity = ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale)
+            .round() as u64)
+            .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
         // The probe rate scales with the population so the in-flight
         // working set keeps its real-world proportion to the cluster
         // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
@@ -266,8 +266,7 @@ impl Campaign {
                         // Decorrelate per-shard loss/duplication draws;
                         // shard 0 keeps the master seed so shards=1
                         // reproduces the classic run exactly.
-                        sim_seed: config.seed
-                            ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        sim_seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         rate_pps: (base_rate + u64::from(index < remainder)).max(1),
                         base_cluster: index as u32 * cluster_stride,
                         cluster_capacity,
@@ -595,7 +594,11 @@ mod tests {
             assert_eq!(sharded.dataset().q1, single.dataset().q1, "{shards} shards");
             assert_eq!(sharded.dataset().q2, single.dataset().q2, "{shards} shards");
             assert_eq!(sharded.dataset().r1, single.dataset().r1, "{shards} shards");
-            assert_eq!(sharded.dataset().r2(), single.dataset().r2(), "{shards} shards");
+            assert_eq!(
+                sharded.dataset().r2(),
+                single.dataset().r2(),
+                "{shards} shards"
+            );
         }
     }
 

@@ -85,7 +85,10 @@ pub fn seed_geo_db(population: &Population) -> GeoDb {
         if org == "private network" {
             continue; // intrinsic private-range handling answers these
         }
-        db.insert_exact(ip, GeoRecord::new(country_of_org(org), asn_of_org(org), org));
+        db.insert_exact(
+            ip,
+            GeoRecord::new(country_of_org(org), asn_of_org(org), org),
+        );
     }
     for resolver in &population.resolvers {
         if let Some(country) = resolver.country {

@@ -212,19 +212,42 @@ impl CampaignResult {
         let p3 = Table3::paper(spec).0;
         t3.push(Comparison::counts("W/O", p3.wo, self.up(m3.wo)));
         t3.push(Comparison::counts("W_corr", p3.w_corr, self.up(m3.w_corr)));
-        t3.push(Comparison::counts("W_incorr", p3.w_incorr, self.up(m3.w_incorr)));
+        t3.push(Comparison::counts(
+            "W_incorr",
+            p3.w_incorr,
+            self.up(m3.w_incorr),
+        ));
         t3.push(Comparison::ratios("Err%", p3.err_pct(), m3.err_pct()));
         reports.push(t3);
 
         // Tables IV and V.
         for (name, measured, paper) in [
-            ("Table IV (RA flag)", self.table4_measured().0, Table4::paper(spec).0),
-            ("Table V (AA flag)", self.table5_measured().0, Table5::paper(spec).0),
+            (
+                "Table IV (RA flag)",
+                self.table4_measured().0,
+                Table4::paper(spec).0,
+            ),
+            (
+                "Table V (AA flag)",
+                self.table5_measured().0,
+                Table5::paper(spec).0,
+            ),
         ] {
             let mut rep = TableReport::new(name);
-            for (bit, m, p) in [(0, measured.flag0, paper.flag0), (1, measured.flag1, paper.flag1)] {
-                rep.push(Comparison::counts(format!("bit{bit} W/O"), p.wo, self.up(m.wo)));
-                rep.push(Comparison::counts(format!("bit{bit} W_corr"), p.w_corr, self.up(m.w_corr)));
+            for (bit, m, p) in [
+                (0, measured.flag0, paper.flag0),
+                (1, measured.flag1, paper.flag1),
+            ] {
+                rep.push(Comparison::counts(
+                    format!("bit{bit} W/O"),
+                    p.wo,
+                    self.up(m.wo),
+                ));
+                rep.push(Comparison::counts(
+                    format!("bit{bit} W_corr"),
+                    p.w_corr,
+                    self.up(m.w_corr),
+                ));
                 rep.push(Comparison::counts(
                     format!("bit{bit} W_incorr"),
                     p.w_incorr,
@@ -241,7 +264,11 @@ impl CampaignResult {
         for (rcode, pw, pwo) in &p6.rows {
             let (mw, mwo) = m6.get(*rcode);
             t6.push(Comparison::counts(format!("{rcode} W"), *pw, self.up(mw)));
-            t6.push(Comparison::counts(format!("{rcode} W/O"), *pwo, self.up(mwo)));
+            t6.push(Comparison::counts(
+                format!("{rcode} W/O"),
+                *pwo,
+                self.up(mwo),
+            ));
         }
         reports.push(t6);
 
@@ -252,9 +279,17 @@ impl CampaignResult {
         t7.push(Comparison::counts("IP #R2", p7.ip_r2, self.up(m7.ip_r2)));
         // Unique-value counts do not scale linearly (they are capped by
         // the number of draws); reported for information only.
-        t7.push(Comparison::counts("IP #unique (sub-linear)", p7.ip_unique, self.up(m7.ip_unique)));
+        t7.push(Comparison::counts(
+            "IP #unique (sub-linear)",
+            p7.ip_unique,
+            self.up(m7.ip_unique),
+        ));
         t7.push(Comparison::counts("URL #R2", p7.url_r2, self.up(m7.url_r2)));
-        t7.push(Comparison::counts("string #R2", p7.string_r2, self.up(m7.string_r2)));
+        t7.push(Comparison::counts(
+            "string #R2",
+            p7.string_r2,
+            self.up(m7.string_r2),
+        ));
         t7.push(Comparison::counts("N/A #R2", p7.na_r2, self.up(m7.na_r2)));
         reports.push(t7);
 
@@ -335,7 +370,11 @@ impl CampaignResult {
         let me = self.empty_question_measured();
         let pe = EmptyQuestionReport::paper(spec);
         te.push(Comparison::counts("total", pe.total, self.up(me.total)));
-        te.push(Comparison::counts("with answer", pe.with_answer, self.up(me.with_answer)));
+        te.push(Comparison::counts(
+            "with answer",
+            pe.with_answer,
+            self.up(me.with_answer),
+        ));
         te.push(Comparison::counts("RA=1", pe.ra1, self.up(me.ra1)));
         reports.push(te);
 

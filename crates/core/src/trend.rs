@@ -116,7 +116,11 @@ pub fn run_trend(config: &TrendConfig) -> Vec<TrendPoint> {
     for step in 0..config.steps {
         let alpha = step as f64 / (config.steps - 1) as f64;
         // Scan machinery (rates, zone) follows the nearer endpoint.
-        let year = if alpha < 0.5 { Year::Y2013 } else { Year::Y2018 };
+        let year = if alpha < 0.5 {
+            Year::Y2013
+        } else {
+            Year::Y2018
+        };
         let campaign_config = CampaignConfig::new(year, config.scale).with_seed(config.seed);
         let population = interpolated_population(
             alpha,

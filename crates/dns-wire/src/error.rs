@@ -70,13 +70,19 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { offset, expected } => {
-                write!(f, "packet truncated at offset {offset} while reading {expected}")
+                write!(
+                    f,
+                    "packet truncated at offset {offset} while reading {expected}"
+                )
             }
             WireError::BadLabelType { byte, offset } => {
                 write!(f, "reserved label type byte {byte:#04x} at offset {offset}")
             }
             WireError::BadCompressionPointer { target, offset } => {
-                write!(f, "invalid compression pointer to {target} at offset {offset}")
+                write!(
+                    f,
+                    "invalid compression pointer to {target} at offset {offset}"
+                )
             }
             WireError::NameTooLong => write!(f, "domain name exceeds 255 octets"),
             WireError::LabelTooLong { len } => write!(f, "label of {len} octets exceeds 63"),

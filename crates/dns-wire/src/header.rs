@@ -512,7 +512,10 @@ mod tests {
 
     #[test]
     fn rcode_display_matches_table_vi_names() {
-        let names: Vec<String> = Rcode::TABLE_VI_ORDER.iter().map(|r| r.to_string()).collect();
+        let names: Vec<String> = Rcode::TABLE_VI_ORDER
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
         assert_eq!(
             names,
             vec![

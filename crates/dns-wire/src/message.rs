@@ -97,8 +97,12 @@ impl Message {
     pub fn clear_questions(&mut self) {
         self.questions.clear();
         let h = self.header;
-        self.header
-            .set_counts(0, h.answer_count(), h.authority_count(), h.additional_count());
+        self.header.set_counts(
+            0,
+            h.answer_count(),
+            h.authority_count(),
+            h.additional_count(),
+        );
     }
 
     /// Encodes the message to wire format with name compression.
@@ -299,7 +303,10 @@ mod tests {
     }
 
     fn sample_response() -> Message {
-        let query = Message::query(0xCAFE, Question::a(name("or000.0000042.ucfsealresearch.net")));
+        let query = Message::query(
+            0xCAFE,
+            Question::a(name("or000.0000042.ucfsealresearch.net")),
+        );
         Message::builder()
             .response_to(&query)
             .recursion_available(true)
@@ -358,7 +365,12 @@ mod tests {
             + msg.authorities()[0].name().wire_len() + 10
             + msg.authorities()[0].name().wire_len() + 4 // ns rdata approx
             + msg.additionals()[0].name().wire_len() + 10 + 4;
-        assert!(wire.len() < uncompressed, "{} >= {}", wire.len(), uncompressed);
+        assert!(
+            wire.len() < uncompressed,
+            "{} >= {}",
+            wire.len(),
+            uncompressed
+        );
     }
 
     #[test]
@@ -399,11 +411,10 @@ mod tests {
 
     #[test]
     fn response_echoes_question_and_id() {
-        let query = Message::query(0x5555, Question::new(
-            name("any.example"),
-            RecordType::Any,
-            RecordClass::In,
-        ));
+        let query = Message::query(
+            0x5555,
+            Question::new(name("any.example"), RecordType::Any, RecordClass::In),
+        );
         let resp = Message::builder().response_to(&query).build();
         assert_eq!(resp.header().id(), 0x5555);
         assert!(resp.header().is_response());
@@ -429,7 +440,8 @@ impl Message {
     /// Adds an OPT record advertising `udp_size` (client side of EDNS).
     pub fn set_edns_udp_size(&mut self, udp_size: u16) {
         // Remove any previous OPT first.
-        self.additionals.retain(|r| r.rtype() != crate::record::RecordType::Opt);
+        self.additionals
+            .retain(|r| r.rtype() != crate::record::RecordType::Opt);
         self.additionals.push(Record::new(
             crate::name::Name::root(),
             crate::record::RecordClass::Other(udp_size),
@@ -540,7 +552,9 @@ mod edns_tests {
             builder = builder.answer(Record::in_class(
                 name("big.example"),
                 60,
-                RData::Txt(vec![format!("payload-{i:02}-{}", "x".repeat(40)).into_bytes()]),
+                RData::Txt(vec![
+                    format!("payload-{i:02}-{}", "x".repeat(40)).into_bytes()
+                ]),
             ));
         }
         let full = builder.build();

@@ -247,10 +247,7 @@ impl Name {
 
 /// ASCII case-insensitive label equality.
 fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 /// Lowercased `.`-joined suffix, used as the compression-map key.

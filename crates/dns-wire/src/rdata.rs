@@ -365,10 +365,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
-        assert_eq!(
-            RData::Txt(vec![b"OK".to_vec()]).to_string(),
-            "\"OK\""
-        );
+        assert_eq!(RData::Txt(vec![b"OK".to_vec()]).to_string(), "\"OK\"");
         assert_eq!(
             RData::Unknown {
                 rtype: 9,

@@ -62,7 +62,11 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads exactly `len` bytes.
-    pub fn read_slice(&mut self, len: usize, expected: &'static str) -> Result<&'a [u8], WireError> {
+    pub fn read_slice(
+        &mut self,
+        len: usize,
+        expected: &'static str,
+    ) -> Result<&'a [u8], WireError> {
         if self.remaining() < len {
             return Err(WireError::Truncated {
                 offset: self.pos,

@@ -39,9 +39,25 @@ fn rdata() -> impl Strategy<Value = RData> {
         name().prop_map(RData::Ns),
         name().prop_map(RData::Cname),
         name().prop_map(RData::Ptr),
-        (name(), name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        (
+            name(),
+            name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+                RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
             }),
         (any::<u16>(), name()).prop_map(|(preference, exchange)| RData::Mx {
             preference,
@@ -68,9 +84,8 @@ fn record() -> impl Strategy<Value = Record> {
 }
 
 fn question() -> impl Strategy<Value = Question> {
-    (name(), any::<u16>(), prop_oneof![Just(1u16), Just(255u16)]).prop_map(|(n, t, c)| {
-        Question::new(n, RecordType::from_u16(t), RecordClass::from_u16(c))
-    })
+    (name(), any::<u16>(), prop_oneof![Just(1u16), Just(255u16)])
+        .prop_map(|(n, t, c)| Question::new(n, RecordType::from_u16(t), RecordClass::from_u16(c)))
 }
 
 fn message() -> impl Strategy<Value = Message> {

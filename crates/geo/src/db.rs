@@ -238,7 +238,11 @@ impl GeoDb {
             return Err("unknown geo-db format".into());
         }
         let mut db = GeoDb::new();
-        for entry in value.get("exact").and_then(|e| e.as_array()).ok_or("missing exact")? {
+        for entry in value
+            .get("exact")
+            .and_then(|e| e.as_array())
+            .ok_or("missing exact")?
+        {
             let ip: Ipv4Addr = entry
                 .get("ip")
                 .and_then(|v| v.as_str())
@@ -246,12 +250,19 @@ impl GeoDb {
                 .parse()
                 .map_err(|e| format!("bad ip: {e}"))?;
             let record = serde_json::from_value(
-                entry.get("record").cloned().ok_or("exact entry without record")?,
+                entry
+                    .get("record")
+                    .cloned()
+                    .ok_or("exact entry without record")?,
             )
             .map_err(|e| format!("bad record: {e}"))?;
             db.insert_exact(ip, record);
         }
-        for entry in value.get("ranges").and_then(|e| e.as_array()).ok_or("missing ranges")? {
+        for entry in value
+            .get("ranges")
+            .and_then(|e| e.as_array())
+            .ok_or("missing ranges")?
+        {
             let parse_ip = |key: &str| -> Result<Ipv4Addr, String> {
                 entry
                     .get(key)
@@ -261,7 +272,10 @@ impl GeoDb {
                     .map_err(|e| format!("bad {key}: {e}"))
             };
             let record = serde_json::from_value(
-                entry.get("record").cloned().ok_or("range entry without record")?,
+                entry
+                    .get("record")
+                    .cloned()
+                    .ok_or("range entry without record")?,
             )
             .map_err(|e| format!("bad record: {e}"))?;
             db.insert_range(parse_ip("first")?, parse_ip("last")?, record);

@@ -172,7 +172,10 @@ mod tests {
         let space = AllowedSpace::new(&Blocklist::new());
         assert_eq!(space.len(), 1 << 32);
         assert_eq!(space.nth(0), Some(Ipv4Addr::new(0, 0, 0, 0)));
-        assert_eq!(space.nth((1 << 32) - 1), Some(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(
+            space.nth((1 << 32) - 1),
+            Some(Ipv4Addr::new(255, 255, 255, 255))
+        );
         assert_eq!(space.rank(Ipv4Addr::new(0, 0, 1, 0)), Some(256));
     }
 

@@ -179,8 +179,7 @@ pub fn primitive_root(p: u64, preference: u64) -> u64 {
     }
     let order = p - 1;
     let factors = distinct_prime_factors(order);
-    let is_generator =
-        |g: u64| -> bool { factors.iter().all(|&q| pow_mod(g, order / q, p) != 1) };
+    let is_generator = |g: u64| -> bool { factors.iter().all(|&q| pow_mod(g, order / q, p) != 1) };
     let start = 2 + preference % (p - 3).max(1);
     let mut g = start;
     loop {
@@ -242,7 +241,10 @@ mod tests {
         assert_eq!(distinct_prime_factors(2), vec![2]);
         assert_eq!(distinct_prime_factors(12), vec![2, 3]);
         assert_eq!(distinct_prime_factors(97), vec![97]);
-        assert_eq!(distinct_prime_factors(2 * 3 * 5 * 7 * 11), vec![2, 3, 5, 7, 11]);
+        assert_eq!(
+            distinct_prime_factors(2 * 3 * 5 * 7 * 11),
+            vec![2, 3, 5, 7, 11]
+        );
         // (2^32 + 15) - 1 = 2 * 3 * 5 * 131 * 364289 * 3
         let fs = distinct_prime_factors((1u64 << 32) + 14);
         let mut check = 1u64;

@@ -24,11 +24,7 @@ pub struct Datagram {
 
 impl Datagram {
     /// Creates a datagram from `(addr, port)` pairs and a payload.
-    pub fn new(
-        src: (Ipv4Addr, u16),
-        dst: (Ipv4Addr, u16),
-        payload: impl Into<Bytes>,
-    ) -> Self {
+    pub fn new(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), payload: impl Into<Bytes>) -> Self {
         Self {
             src: src.0,
             src_port: src.1,

@@ -97,7 +97,10 @@ impl SimNetBuilder {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn loss_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -109,7 +112,10 @@ impl SimNetBuilder {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn duplicate_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "duplicate probability {p} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability {p} not in [0,1]"
+        );
         self.duplicate_probability = p;
         self
     }
@@ -291,7 +297,9 @@ impl SimNet {
                 self.stats.delivered += 1;
                 self.stats.bytes_delivered += dgram.payload.len() as u64;
                 self.telemetry.datagrams_delivered.inc();
-                self.telemetry.bytes_delivered.add(dgram.payload.len() as u64);
+                self.telemetry
+                    .bytes_delivered
+                    .add(dgram.payload.len() as u64);
                 let mut ctx = Context::new(self.now, dgram.dst, &mut self.rng);
                 ep.handle_datagram(&dgram, &mut ctx);
                 let Context {
@@ -391,7 +399,14 @@ mod tests {
     const CLIENT: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
     const SERVER: Ipv4Addr = Ipv4Addr::new(2, 0, 0, 2);
 
-    fn ping_setup(loss: f64, count: u32) -> (SimNet, Arc<AtomicU64>, Arc<parking_lot::Mutex<Vec<SimTime>>>) {
+    fn ping_setup(
+        loss: f64,
+        count: u32,
+    ) -> (
+        SimNet,
+        Arc<AtomicU64>,
+        Arc<parking_lot::Mutex<Vec<SimTime>>>,
+    ) {
         let replies = Arc::new(AtomicU64::new(0));
         let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let mut net = SimNet::builder()
@@ -504,7 +519,12 @@ mod tests {
         }
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let mut net = SimNet::builder().seed(5).build();
-        net.register(CLIENT, Recorder { order: order.clone() });
+        net.register(
+            CLIENT,
+            Recorder {
+                order: order.clone(),
+            },
+        );
         for token in [3u64, 1, 4, 1, 5] {
             net.set_timer_for(CLIENT, SimTime::from_secs(1), token);
         }
@@ -547,7 +567,11 @@ mod duplication_tests {
         let dst = Ipv4Addr::new(2, 0, 0, 2);
         net.register(dst, Count(got.clone()));
         for i in 0..10u16 {
-            net.inject(Datagram::new((Ipv4Addr::new(1, 0, 0, 1), i), (dst, 53), vec![1]));
+            net.inject(Datagram::new(
+                (Ipv4Addr::new(1, 0, 0, 1), i),
+                (dst, 53),
+                vec![1],
+            ));
         }
         net.run_until_idle();
         assert_eq!(got.load(Ordering::Relaxed), 20);
@@ -566,7 +590,11 @@ mod duplication_tests {
             let dst = Ipv4Addr::new(2, 0, 0, 2);
             net.register(dst, Count(got.clone()));
             for i in 0..100u16 {
-                net.inject(Datagram::new((Ipv4Addr::new(1, 0, 0, 1), i), (dst, 53), vec![1]));
+                net.inject(Datagram::new(
+                    (Ipv4Addr::new(1, 0, 0, 1), i),
+                    (dst, 53),
+                    vec![1],
+                ));
             }
             net.run_until_idle();
             got.load(Ordering::Relaxed)

@@ -29,11 +29,7 @@ impl Endpoint for Echo {
     }
 }
 
-fn run_sim(
-    seed: u64,
-    loss: f64,
-    packets: &[(u32, u16, u8)],
-) -> (u64, u64, u64) {
+fn run_sim(seed: u64, loss: f64, packets: &[(u32, u16, u8)]) -> (u64, u64, u64) {
     let mut net = SimNet::builder()
         .seed(seed)
         .latency(FixedLatency(Duration::from_millis(7)))

@@ -133,7 +133,11 @@ impl Prober {
             let id = (label.seq as u16) ^ ((label.cluster as u16) << 10);
             let query = Message::query(id, Question::a(qname));
             let Ok(wire) = query.encode() else { continue };
-            ctx.send(Datagram::new((ctx.local_addr(), 61_000), (target, 53), wire));
+            ctx.send(Datagram::new(
+                (ctx.local_addr(), 61_000),
+                (target, 53),
+                wire,
+            ));
             self.outstanding.insert(
                 label,
                 Outstanding {
@@ -242,7 +246,10 @@ impl Endpoint for Prober {
             self.telemetry.unmatched.inc();
             return;
         };
-        let out = self.outstanding.remove(&label).expect("matched implies present");
+        let out = self
+            .outstanding
+            .remove(&label)
+            .expect("matched implies present");
         self.by_target.remove(&out.target);
         self.telemetry.r2_captured.inc();
         self.telemetry
@@ -304,7 +311,9 @@ mod tests {
     struct FixedAnswer(Ipv4Addr);
     impl Endpoint for FixedAnswer {
         fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
-            let Ok(query) = Message::decode(&dgram.payload) else { return };
+            let Ok(query) = Message::decode(&dgram.payload) else {
+                return;
+            };
             let qname = query.first_question().unwrap().qname().clone();
             let resp = Message::builder()
                 .response_to(&query)
@@ -319,7 +328,9 @@ mod tests {
     struct OffPort;
     impl Endpoint for OffPort {
         fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
-            let Ok(query) = Message::decode(&dgram.payload) else { return };
+            let Ok(query) = Message::decode(&dgram.payload) else {
+                return;
+            };
             let resp = Message::builder()
                 .response_to(&query)
                 .rcode(Rcode::Refused)
@@ -360,12 +371,17 @@ mod tests {
         assert_eq!(captures[0].target, responder);
         assert!(captures[0].at > captures[0].sent_at);
         let msg = Message::decode(&captures[0].payload).unwrap();
-        assert_eq!(msg.answers()[0].rdata().as_a(), Some(Ipv4Addr::new(1, 2, 3, 4)));
+        assert_eq!(
+            msg.answers()[0].rdata().as_a(),
+            Some(Ipv4Addr::new(1, 2, 3, 4))
+        );
     }
 
     #[test]
     fn unanswered_subdomains_are_recycled() {
-        let silent: Vec<Ipv4Addr> = (0..50u32).map(|i| Ipv4Addr::from(0x0900_0000 + i)).collect();
+        let silent: Vec<Ipv4Addr> = (0..50u32)
+            .map(|i| Ipv4Addr::from(0x0900_0000 + i))
+            .collect();
         let handle = scan(silent, |_| {});
         let stats = handle.stats();
         assert_eq!(stats.q1_sent, 50);
@@ -384,7 +400,9 @@ mod tests {
     fn reuse_reduces_fresh_allocation_on_long_scans() {
         // 2,000 silent targets at 1k pps = 2 seconds of scanning with a
         // 200ms window: late probes must reuse early names.
-        let silent: Vec<Ipv4Addr> = (0..2_000u32).map(|i| Ipv4Addr::from(0x0900_0000 + i)).collect();
+        let silent: Vec<Ipv4Addr> = (0..2_000u32)
+            .map(|i| Ipv4Addr::from(0x0900_0000 + i))
+            .collect();
         let handle = scan(silent, |_| {});
         let stats = handle.stats();
         assert_eq!(stats.q1_sent, 2_000);
@@ -412,7 +430,9 @@ mod tests {
         struct EmptyQuestion;
         impl Endpoint for EmptyQuestion {
             fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
-                let Ok(query) = Message::decode(&dgram.payload) else { return };
+                let Ok(query) = Message::decode(&dgram.payload) else {
+                    return;
+                };
                 let mut resp = Message::builder()
                     .response_to(&query)
                     .rcode(Rcode::ServFail)
@@ -437,7 +457,9 @@ mod tests {
         struct WrongQname;
         impl Endpoint for WrongQname {
             fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
-                let Ok(query) = Message::decode(&dgram.payload) else { return };
+                let Ok(query) = Message::decode(&dgram.payload) else {
+                    return;
+                };
                 let resp = Message::builder()
                     .id(query.header().id())
                     .question(Question::a("evil.example.com".parse().unwrap()))

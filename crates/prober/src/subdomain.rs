@@ -59,7 +59,10 @@ impl SubdomainGenerator {
             (1..=orscope_authns::scheme::CLUSTER_CAPACITY).contains(&cluster_capacity),
             "cluster capacity {cluster_capacity} out of range"
         );
-        assert!(base_cluster <= 999, "base cluster {base_cluster} out of range");
+        assert!(
+            base_cluster <= 999,
+            "base cluster {base_cluster} out of range"
+        );
         Self {
             cluster: base_cluster,
             next_seq: 0,
@@ -155,7 +158,13 @@ impl SubdomainGenerator {
     ///
     /// Panics on out-of-range cursor values, as [`SubdomainGenerator::new`]
     /// would.
-    pub fn restore(cluster: u32, next_seq: u64, cluster_capacity: u64, fresh: u64, reused: u64) -> Self {
+    pub fn restore(
+        cluster: u32,
+        next_seq: u64,
+        cluster_capacity: u64,
+        fresh: u64,
+        reused: u64,
+    ) -> Self {
         assert!(cluster <= 999, "cluster out of range");
         assert!(next_seq <= cluster_capacity, "sequence beyond capacity");
         let mut generator = Self::new(cluster_capacity);
@@ -175,7 +184,10 @@ mod tests {
     fn sequential_fresh_allocation() {
         let mut gen = SubdomainGenerator::new(10);
         let labels: Vec<String> = (0..3).map(|_| gen.next_label().to_string()).collect();
-        assert_eq!(labels, vec!["or000.0000000", "or000.0000001", "or000.0000002"]);
+        assert_eq!(
+            labels,
+            vec!["or000.0000000", "or000.0000001", "or000.0000002"]
+        );
         assert_eq!(gen.fresh(), 3);
         assert_eq!(gen.clusters_used(), 1);
     }

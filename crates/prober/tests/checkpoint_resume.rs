@@ -15,18 +15,28 @@ impl Endpoint for Answerer {
         let Ok(query) = Message::decode(&dgram.payload) else {
             return;
         };
-        let qname = query.first_question().expect("probe has question").qname().clone();
+        let qname = query
+            .first_question()
+            .expect("probe has question")
+            .qname()
+            .clone();
         let resp = Message::builder()
             .response_to(&query)
             .recursion_available(true)
-            .answer(Record::in_class(qname, 60, RData::A(Ipv4Addr::new(1, 2, 3, 4))))
+            .answer(Record::in_class(
+                qname,
+                60,
+                RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+            ))
             .build();
         ctx.send(dgram.reply(resp.encode().expect("encodable")));
     }
 }
 
 fn targets() -> Vec<Ipv4Addr> {
-    (0..400u32).map(|i| Ipv4Addr::from(0x0900_0000 + i)).collect()
+    (0..400u32)
+        .map(|i| Ipv4Addr::from(0x0900_0000 + i))
+        .collect()
 }
 
 fn config() -> ProberConfig {
@@ -65,7 +75,11 @@ fn interrupted_scan_resumes_to_full_coverage() {
     // 400 targets at 100 pps = 4 s; stop at 2 s.
     net.run_until(SimTime::from_secs(2));
     let stats_mid = handle.stats();
-    assert!(stats_mid.q1_sent > 100 && stats_mid.q1_sent < 300, "{}", stats_mid.q1_sent);
+    assert!(
+        stats_mid.q1_sent > 100 && stats_mid.q1_sent < 300,
+        "{}",
+        stats_mid.q1_sent
+    );
     assert!(!stats_mid.done);
 
     // Checkpoint the live endpoint through the downcast hook.
@@ -109,7 +123,10 @@ fn interrupted_scan_resumes_to_full_coverage() {
     let phase1_hits: std::collections::HashSet<Ipv4Addr> =
         handle.captures().iter().map(|c| c.target).collect();
     let union: std::collections::HashSet<_> = phase1_hits.union(&phase2_hits).copied().collect();
-    assert_eq!(union, responders, "every responder covered across the restart");
+    assert_eq!(
+        union, responders,
+        "every responder covered across the restart"
+    );
     // The resumed scan did not redo finished work: its fresh Q1 volume
     // is bounded by the remaining targets plus the in-flight window.
     let resumed_q1 = final_stats.q1_sent - checkpoint.q1_sent;

@@ -75,7 +75,11 @@ impl DnsCache {
         let ttl = records.iter().map(Record::ttl).min().unwrap_or(0);
         let key = (first.name().clone(), first.rtype().to_u16());
         let expires = now + std::time::Duration::from_secs(ttl as u64);
-        if self.entries.insert(key.clone(), Entry { records, expires }).is_none() {
+        if self
+            .entries
+            .insert(key.clone(), Entry { records, expires })
+            .is_none()
+        {
             self.order.push_back(key);
             while self.entries.len() > self.capacity {
                 if let Some(oldest) = self.order.pop_front() {
@@ -157,8 +161,12 @@ mod tests {
         let mut cache = DnsCache::new(4);
         cache.insert(SimTime::ZERO, vec![rec("a.example", 30, 1)]);
         let name: Name = "a.example".parse().unwrap();
-        assert!(cache.get(&name, RecordType::A, SimTime::from_secs(29)).is_some());
-        assert!(cache.get(&name, RecordType::A, SimTime::from_secs(30)).is_none());
+        assert!(cache
+            .get(&name, RecordType::A, SimTime::from_secs(29))
+            .is_some());
+        assert!(cache
+            .get(&name, RecordType::A, SimTime::from_secs(30))
+            .is_none());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
@@ -168,7 +176,9 @@ mod tests {
         let mut cache = DnsCache::new(4);
         cache.insert(SimTime::ZERO, vec![rec("a.example", 100, 1)]);
         let name: Name = "a.example".parse().unwrap();
-        let got = cache.get(&name, RecordType::A, SimTime::from_secs(40)).unwrap();
+        let got = cache
+            .get(&name, RecordType::A, SimTime::from_secs(40))
+            .unwrap();
         assert_eq!(got[0].ttl(), 60);
     }
 
@@ -180,7 +190,9 @@ mod tests {
             vec![rec("a.example", 10, 1), rec("a.example", 100, 2)],
         );
         let name: Name = "a.example".parse().unwrap();
-        assert!(cache.get(&name, RecordType::A, SimTime::from_secs(11)).is_none());
+        assert!(cache
+            .get(&name, RecordType::A, SimTime::from_secs(11))
+            .is_none());
     }
 
     #[test]
@@ -212,7 +224,9 @@ mod tests {
         cache.insert(SimTime::from_secs(5), vec![rec("a.example", 10, 1)]);
         let name: Name = "a.example".parse().unwrap();
         // Refreshed at t=5 with ttl 10 -> expires t=15.
-        assert!(cache.get(&name, RecordType::A, SimTime::from_secs(14)).is_some());
+        assert!(cache
+            .get(&name, RecordType::A, SimTime::from_secs(14))
+            .is_some());
         assert_eq!(cache.len(), 1);
     }
 

@@ -8,7 +8,9 @@ use orscope_dns_wire::{Message, Name, Question, RData, Rcode, Record};
 use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 
 use crate::cache::DnsCache;
-use crate::profile::{AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy};
+use crate::profile::{
+    AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy,
+};
 use crate::telemetry::ResolverTelemetry;
 
 /// Configuration shared by all recursing resolvers in a population.
@@ -183,7 +185,10 @@ impl ProfiledResolver {
         // (Takano et al.). Answered from configuration, refused without.
         if let Some(question) = query.first_question() {
             if question.qclass() == orscope_dns_wire::RecordClass::Ch
-                && question.qname().to_string().eq_ignore_ascii_case("version.bind")
+                && question
+                    .qname()
+                    .to_string()
+                    .eq_ignore_ascii_case("version.bind")
             {
                 let response = match &self.policy.version_banner {
                     Some(banner) => Message::builder()
@@ -285,8 +290,9 @@ impl ProfiledResolver {
                 }
                 // Cache check: unique probe names never hit, but repeat
                 // clients of an open resolver would.
-                if let Some(records) =
-                    self.cache.get(question.qname(), question.qtype(), ctx.now())
+                if let Some(records) = self
+                    .cache
+                    .get(question.qname(), question.qtype(), ctx.now())
                 {
                     self.stats.cache_hits += 1;
                     self.answer_client(
@@ -433,16 +439,19 @@ impl ProfiledResolver {
             .authorities()
             .iter()
             .find_map(|rec| match rec.rdata() {
-                RData::Soa(soa) => Some(Duration::from_secs(
-                    soa.minimum.min(rec.ttl()) as u64,
-                )),
+                RData::Soa(soa) => Some(Duration::from_secs(soa.minimum.min(rec.ttl()) as u64)),
                 _ => None,
             })
             .unwrap_or(Duration::from_secs(300))
     }
 
     /// Handles a response from an upstream server.
-    fn on_upstream_response(&mut self, response: &Message, dgram: &Datagram, ctx: &mut Context<'_>) {
+    fn on_upstream_response(
+        &mut self,
+        response: &Message,
+        dgram: &Datagram,
+        ctx: &mut Context<'_>,
+    ) {
         let txn = response.header().id();
         if let Some((client, client_id)) = self.forward_pending.remove(&txn) {
             self.relay_response(response, client, client_id, ctx);
@@ -558,16 +567,16 @@ impl ProfiledResolver {
                         return None;
                     };
                     let glue = response.additionals().iter().find_map(|add| {
-                        (add.name() == ns_name).then(|| add.rdata().as_a()).flatten()
+                        (add.name() == ns_name)
+                            .then(|| add.rdata().as_a())
+                            .flatten()
                     })?;
                     Some((auth.name().clone(), auth.ttl(), glue))
                 });
                 match referral {
                     Some((zone, ttl, glue)) if pending.depth < self.config.max_referrals => {
-                        self.zone_servers.insert(
-                            zone,
-                            (glue, ctx.now() + Duration::from_secs(ttl as u64)),
-                        );
+                        self.zone_servers
+                            .insert(zone, (glue, ctx.now() + Duration::from_secs(ttl as u64)));
                         let mut p = self.pending.remove(&txn).expect("pending exists");
                         p.server = glue;
                         p.depth += 1;
@@ -587,7 +596,10 @@ impl ProfiledResolver {
                         } else {
                             // NoData: negatively cacheable (RFC 2308).
                             self.negative.insert(
-                                (pending.question.qname().clone(), pending.question.qtype().to_u16()),
+                                (
+                                    pending.question.qname().clone(),
+                                    pending.question.qtype().to_u16(),
+                                ),
                                 (Rcode::NoError, ctx.now() + Self::negative_ttl(response)),
                             );
                             Rcode::NoError // NoData: empty NoError answer
@@ -608,7 +620,10 @@ impl ProfiledResolver {
                 self.pending.remove(&txn);
                 self.telemetry.recursion_depth.record(pending.depth as u64);
                 self.negative.insert(
-                    (pending.question.qname().clone(), pending.question.qtype().to_u16()),
+                    (
+                        pending.question.qname().clone(),
+                        pending.question.qtype().to_u16(),
+                    ),
                     (Rcode::NXDomain, ctx.now() + Self::negative_ttl(response)),
                 );
                 self.answer_client(
@@ -708,7 +723,10 @@ impl ProfiledResolver {
         let txn = token as u16;
         if let Some((client, client_id)) = self.forward_pending.remove(&txn) {
             // Upstream never answered the relay: ServFail, like dnsmasq.
-            let mut out = Message::builder().id(client_id).rcode(Rcode::ServFail).build();
+            let mut out = Message::builder()
+                .id(client_id)
+                .rcode(Rcode::ServFail)
+                .build();
             out.header_mut().set_response(true);
             if let Ok(wire) = out.encode() {
                 self.stats.failures += 1;
@@ -832,16 +850,30 @@ mod tests {
             .latency(FixedLatency(Duration::from_millis(5)))
             .build();
         let mut root = RootServer::new();
-        root.delegate("net".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), TLD);
+        root.delegate(
+            "net".parse().unwrap(),
+            "a.gtld-servers.net".parse().unwrap(),
+            TLD,
+        );
         net.register(ROOT, root);
         let mut tld = TldServer::new();
-        tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap(), AUTH);
+        tld.delegate(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            AUTH,
+        );
         net.register(TLD, tld);
         let capture = CaptureHandle::new();
-        let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap()));
+        let mut cz = ClusterZone::new(Zone::new(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        ));
         cz.load_cluster(0, 100_000);
         net.register(AUTH, AuthoritativeServer::new(cz, capture.clone()));
-        net.register(RESOLVER, ProfiledResolver::new(policy, ResolverConfig::new(ROOT)));
+        net.register(
+            RESOLVER,
+            ProfiledResolver::new(policy, ResolverConfig::new(ROOT)),
+        );
         (net, capture)
     }
 
@@ -969,8 +1001,12 @@ mod tests {
     #[test]
     fn malicious_profile_redirects_with_lying_flags() {
         let bad = Ipv4Addr::new(208, 91, 197, 91);
-        let (mut net, capture) =
-            hierarchy(ResponsePolicy::malicious(bad, false, true, Category::Malware));
+        let (mut net, capture) = hierarchy(ResponsePolicy::malicious(
+            bad,
+            false,
+            true,
+            Category::Malware,
+        ));
         let responses = probe(&mut net, ProbeLabel::new(0, 3).qname(&zone_name()));
         let msg = Message::decode(&responses[0].payload).unwrap();
         assert_eq!(msg.answers()[0].rdata().as_a(), Some(bad));
@@ -984,12 +1020,14 @@ mod tests {
     fn url_and_text_answers() {
         type Check = fn(&Record) -> bool;
         let cases: Vec<(AnswerData, Check)> = vec![
-            (AnswerData::Url("u.dcoin.co".to_owned()), |r: &Record| {
-                matches!(r.rdata(), RData::Cname(n) if n.to_string() == "u.dcoin.co")
-            }),
-            (AnswerData::Text("wild".to_owned()), |r: &Record| {
-                matches!(r.rdata(), RData::Txt(segs) if segs[0] == b"wild")
-            }),
+            (
+                AnswerData::Url("u.dcoin.co".to_owned()),
+                |r: &Record| matches!(r.rdata(), RData::Cname(n) if n.to_string() == "u.dcoin.co"),
+            ),
+            (
+                AnswerData::Text("wild".to_owned()),
+                |r: &Record| matches!(r.rdata(), RData::Txt(segs) if segs[0] == b"wild"),
+            ),
         ];
         for (answer, check) in cases {
             let policy = ResponsePolicy {
@@ -1087,10 +1125,7 @@ mod tests {
         assert_eq!(capture.count(orscope_authns::Direction::Inbound), 1);
         let a = Message::decode(&first[0].payload).unwrap();
         let b = Message::decode(&second[0].payload).unwrap();
-        assert_eq!(
-            a.answers()[0].rdata().as_a(),
-            b.answers()[0].rdata().as_a()
-        );
+        assert_eq!(a.answers()[0].rdata().as_a(), b.answers()[0].rdata().as_a());
     }
 
     #[test]
@@ -1143,19 +1178,33 @@ mod forwarder_tests {
             .latency(FixedLatency(Duration::from_millis(5)))
             .build();
         let mut root = RootServer::new();
-        root.delegate("net".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), TLD);
+        root.delegate(
+            "net".parse().unwrap(),
+            "a.gtld-servers.net".parse().unwrap(),
+            TLD,
+        );
         net.register(ROOT, root);
         let mut tld = TldServer::new();
-        tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap(), AUTH);
+        tld.delegate(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            AUTH,
+        );
         net.register(TLD, tld);
-        let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap()));
+        let mut cz = ClusterZone::new(Zone::new(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        ));
         cz.load_cluster(0, 1000);
         net.register(AUTH, AuthoritativeServer::new(cz, CaptureHandle::new()));
         net.register(
             UPSTREAM,
             ProfiledResolver::new(ResponsePolicy::honest(), ResolverConfig::new(ROOT)),
         );
-        net.register(CPE, ProfiledResolver::new(policy, ResolverConfig::new(ROOT)));
+        net.register(
+            CPE,
+            ProfiledResolver::new(policy, ResolverConfig::new(ROOT)),
+        );
         let got = Arc::new(Mutex::new(Vec::new()));
         net.register(CLIENT, Collector(got.clone()));
         (net, got)
@@ -1180,7 +1229,10 @@ mod forwarder_tests {
         assert_eq!(responses.len(), 1);
         let msg = &responses[0];
         assert_eq!(msg.header().id(), 0x7777, "client id restored");
-        assert!(msg.header().recursion_available(), "upstream RA passed through");
+        assert!(
+            msg.header().recursion_available(),
+            "upstream RA passed through"
+        );
         assert_eq!(
             msg.answers()[0].rdata().as_a(),
             Some(orscope_authns::ground_truth(label))
@@ -1202,7 +1254,10 @@ mod forwarder_tests {
         let responses = got.lock();
         let msg = &responses[0];
         assert!(!msg.header().recursion_available(), "RA rewritten to 0");
-        assert!(!msg.answers().is_empty(), "answer intact: the RA0-with-answer cell");
+        assert!(
+            !msg.answers().is_empty(),
+            "answer intact: the RA0-with-answer cell"
+        );
     }
 
     #[test]
@@ -1253,7 +1308,9 @@ mod forwarder_tests {
         assert_eq!(second_cost, 2, "negative cache served the repeat");
         let responses = got.lock();
         assert_eq!(responses.len(), 2);
-        assert!(responses.iter().all(|m| m.header().rcode() == Rcode::NXDomain));
+        assert!(responses
+            .iter()
+            .all(|m| m.header().rcode() == Rcode::NXDomain));
     }
 
     #[test]
@@ -1314,10 +1371,18 @@ mod cname_tests {
             .latency(FixedLatency(Duration::from_millis(5)))
             .build();
         let mut root = RootServer::new();
-        root.delegate("net".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), TLD);
+        root.delegate(
+            "net".parse().unwrap(),
+            "a.gtld-servers.net".parse().unwrap(),
+            TLD,
+        );
         net.register(ROOT, root);
         let mut tld = TldServer::new();
-        tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap(), AUTH);
+        tld.delegate(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            AUTH,
+        );
         net.register(TLD, tld);
         let mut zone = Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap());
         extra_zone(&mut zone);
@@ -1432,7 +1497,11 @@ mod cname_tests {
         ));
         net.run_until_idle();
         let responses = got.lock();
-        assert_eq!(responses[0].answers().len(), 1, "CNAME itself is the answer");
+        assert_eq!(
+            responses[0].answers().len(),
+            1,
+            "CNAME itself is the answer"
+        );
         assert_eq!(responses[0].answers()[0].rtype(), RecordType::Cname);
     }
 }
@@ -1471,15 +1540,29 @@ mod version_and_snoop_tests {
             .latency(FixedLatency(Duration::from_millis(5)))
             .build();
         let mut root = RootServer::new();
-        root.delegate("net".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), TLD);
+        root.delegate(
+            "net".parse().unwrap(),
+            "a.gtld-servers.net".parse().unwrap(),
+            TLD,
+        );
         net.register(ROOT, root);
         let mut tld = TldServer::new();
-        tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap(), AUTH);
+        tld.delegate(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            AUTH,
+        );
         net.register(TLD, tld);
-        let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap()));
+        let mut cz = ClusterZone::new(Zone::new(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        ));
         cz.load_cluster(0, 1000);
         net.register(AUTH, AuthoritativeServer::new(cz, CaptureHandle::new()));
-        net.register(RESOLVER, ProfiledResolver::new(policy, ResolverConfig::new(ROOT)));
+        net.register(
+            RESOLVER,
+            ProfiledResolver::new(policy, ResolverConfig::new(ROOT)),
+        );
         let got = Arc::new(Mutex::new(Vec::new()));
         net.register(CLIENT, Collector(got.clone()));
         (net, got)
@@ -1603,19 +1686,33 @@ mod dns0x20_tests {
             .latency(FixedLatency(Duration::from_millis(5)))
             .build();
         let mut root = RootServer::new();
-        root.delegate("net".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), TLD);
+        root.delegate(
+            "net".parse().unwrap(),
+            "a.gtld-servers.net".parse().unwrap(),
+            TLD,
+        );
         net.register(ROOT, root);
         let mut tld = TldServer::new();
-        tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap(), AUTH);
+        tld.delegate(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+            AUTH,
+        );
         net.register(TLD, tld);
-        let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().unwrap()));
+        let mut cz = ClusterZone::new(Zone::new(
+            zone_name(),
+            "ns1.ucfsealresearch.net".parse().unwrap(),
+        ));
         cz.load_cluster(0, 100);
         net.register(AUTH, AuthoritativeServer::new(cz, CaptureHandle::new()));
         let config = ResolverConfig {
             dns0x20: true,
             ..ResolverConfig::new(ROOT)
         };
-        net.register(RESOLVER, ProfiledResolver::new(ResponsePolicy::honest(), config));
+        net.register(
+            RESOLVER,
+            ProfiledResolver::new(ResponsePolicy::honest(), config),
+        );
         let got = Arc::new(Mutex::new(Vec::new()));
         net.register(CLIENT, Collector(got.clone()));
         let label = ProbeLabel::new(0, 9);
@@ -1627,14 +1724,22 @@ mod dns0x20_tests {
         ));
         net.run_until_idle();
         let responses = got.lock();
-        assert_eq!(responses.len(), 1, "the echo validation accepted the genuine answer");
+        assert_eq!(
+            responses.len(),
+            1,
+            "the echo validation accepted the genuine answer"
+        );
         assert_eq!(
             responses[0].answers()[0].rdata().as_a(),
             Some(orscope_authns::ground_truth(label))
         );
         // The client sees its own original spelling echoed back.
         let original = label.qname(&zone_name());
-        assert!(responses[0].first_question().unwrap().qname().eq_bytes(&original));
+        assert!(responses[0]
+            .first_question()
+            .unwrap()
+            .qname()
+            .eq_bytes(&original));
     }
 
     #[test]
@@ -1652,7 +1757,10 @@ mod dns0x20_tests {
             retries: 0,
             ..ResolverConfig::new(ROOT)
         };
-        net.register(RESOLVER, ProfiledResolver::new(ResponsePolicy::honest(), config));
+        net.register(
+            RESOLVER,
+            ProfiledResolver::new(ResponsePolicy::honest(), config),
+        );
         let got = Arc::new(Mutex::new(Vec::new()));
         net.register(CLIENT, Collector(got.clone()));
         let label = ProbeLabel::new(0, 3);
@@ -1671,7 +1779,11 @@ mod dns0x20_tests {
             let mut forged = Message::builder()
                 .id(txn)
                 .question(Question::a(qname.clone()))
-                .answer(Record::in_class(qname.clone(), 60, RData::A(Ipv4Addr::new(6, 6, 6, 6))))
+                .answer(Record::in_class(
+                    qname.clone(),
+                    60,
+                    RData::A(Ipv4Addr::new(6, 6, 6, 6)),
+                ))
                 .build();
             forged.header_mut().set_response(true);
             net.inject(Datagram::new(

@@ -32,5 +32,7 @@ pub mod telemetry;
 pub use cache::DnsCache;
 pub use engine::{ProfiledResolver, ResolverConfig};
 pub use population::{PlannedResolver, Population, PopulationConfig};
-pub use profile::{AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy};
+pub use profile::{
+    AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy,
+};
 pub use telemetry::ResolverTelemetry;

@@ -316,39 +316,161 @@ fn spec_2018() -> YearSpec {
     let incorrect = IncorrectSpec {
         slices: vec![
             // Malicious first, per Table X's joint flag counts.
-            IncorrectSlice { ra: false, aa: true, pool: Malicious, count: 19_454 },
-            IncorrectSlice { ra: false, aa: false, pool: Malicious, count: 80 },
-            IncorrectSlice { ra: true, aa: false, pool: Malicious, count: 7_392 },
+            IncorrectSlice {
+                ra: false,
+                aa: true,
+                pool: Malicious,
+                count: 19_454,
+            },
+            IncorrectSlice {
+                ra: false,
+                aa: false,
+                pool: Malicious,
+                count: 80,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Malicious,
+                count: 7_392,
+            },
             // Benign wrong IPs fill the remaining flag budget.
-            IncorrectSlice { ra: false, aa: true, pool: BenignIp, count: 45_638 },
-            IncorrectSlice { ra: true, aa: true, pool: BenignIp, count: 28_960 },
-            IncorrectSlice { ra: true, aa: false, pool: BenignIp, count: 9_266 },
+            IncorrectSlice {
+                ra: false,
+                aa: true,
+                pool: BenignIp,
+                count: 45_638,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: true,
+                pool: BenignIp,
+                count: 28_960,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: BenignIp,
+                count: 9_266,
+            },
             // URL and string forms (placed in the plain RA1/AA0 cell).
-            IncorrectSlice { ra: true, aa: false, pool: Url, count: 231 },
-            IncorrectSlice { ra: true, aa: false, pool: Str, count: 72 },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Url,
+                count: 231,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Str,
+                count: 72,
+            },
         ],
         top_ips: vec![
-            TopIpEntry { ip: ip(216, 194, 64, 193), count: 23_692, category: None, org: "Tera-byte Dot Com" },
-            TopIpEntry { ip: ip(74, 220, 199, 15), count: 13_369, category: Some(Category::Malware), org: "Unified Layer" },
-            TopIpEntry { ip: ip(208, 91, 197, 91), count: 8_239, category: Some(Category::Malware), org: "Confluence Network Inc" },
-            TopIpEntry { ip: ip(141, 8, 225, 68), count: 1_197, category: Some(Category::Malware), org: "Rook Media GmbH" },
-            TopIpEntry { ip: ip(192, 168, 1, 1), count: 1_014, category: None, org: "private network" },
-            TopIpEntry { ip: ip(192, 168, 2, 1), count: 741, category: None, org: "private network" },
-            TopIpEntry { ip: ip(114, 44, 34, 86), count: 734, category: None, org: "Chunghwa Telecom" },
-            TopIpEntry { ip: ip(172, 30, 1, 254), count: 607, category: None, org: "private network" },
-            TopIpEntry { ip: ip(10, 0, 0, 1), count: 548, category: None, org: "private network" },
-            TopIpEntry { ip: ip(118, 166, 1, 6), count: 528, category: None, org: "Chunghwa Telecom" },
+            TopIpEntry {
+                ip: ip(216, 194, 64, 193),
+                count: 23_692,
+                category: None,
+                org: "Tera-byte Dot Com",
+            },
+            TopIpEntry {
+                ip: ip(74, 220, 199, 15),
+                count: 13_369,
+                category: Some(Category::Malware),
+                org: "Unified Layer",
+            },
+            TopIpEntry {
+                ip: ip(208, 91, 197, 91),
+                count: 8_239,
+                category: Some(Category::Malware),
+                org: "Confluence Network Inc",
+            },
+            TopIpEntry {
+                ip: ip(141, 8, 225, 68),
+                count: 1_197,
+                category: Some(Category::Malware),
+                org: "Rook Media GmbH",
+            },
+            TopIpEntry {
+                ip: ip(192, 168, 1, 1),
+                count: 1_014,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(192, 168, 2, 1),
+                count: 741,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(114, 44, 34, 86),
+                count: 734,
+                category: None,
+                org: "Chunghwa Telecom",
+            },
+            TopIpEntry {
+                ip: ip(172, 30, 1, 254),
+                count: 607,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(10, 0, 0, 1),
+                count: 548,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(118, 166, 1, 6),
+                count: 528,
+                category: None,
+                org: "Chunghwa Telecom",
+            },
         ],
         malicious: vec![
-            MaliciousCategorySpec { category: Category::Malware, unique_ips: 170, r2: 23_189 },
-            MaliciousCategorySpec { category: Category::Phishing, unique_ips: 125, r2: 2_878 },
-            MaliciousCategorySpec { category: Category::Spam, unique_ips: 15, r2: 44 },
-            MaliciousCategorySpec { category: Category::SshBruteforce, unique_ips: 10, r2: 323 },
-            MaliciousCategorySpec { category: Category::Scan, unique_ips: 9, r2: 388 },
-            MaliciousCategorySpec { category: Category::Botnet, unique_ips: 4, r2: 102 },
-            MaliciousCategorySpec { category: Category::EmailBruteforce, unique_ips: 2, r2: 2 },
+            MaliciousCategorySpec {
+                category: Category::Malware,
+                unique_ips: 170,
+                r2: 23_189,
+            },
+            MaliciousCategorySpec {
+                category: Category::Phishing,
+                unique_ips: 125,
+                r2: 2_878,
+            },
+            MaliciousCategorySpec {
+                category: Category::Spam,
+                unique_ips: 15,
+                r2: 44,
+            },
+            MaliciousCategorySpec {
+                category: Category::SshBruteforce,
+                unique_ips: 10,
+                r2: 323,
+            },
+            MaliciousCategorySpec {
+                category: Category::Scan,
+                unique_ips: 9,
+                r2: 388,
+            },
+            MaliciousCategorySpec {
+                category: Category::Botnet,
+                unique_ips: 4,
+                r2: 102,
+            },
+            MaliciousCategorySpec {
+                category: Category::EmailBruteforce,
+                unique_ips: 2,
+                r2: 2,
+            },
         ],
-        malicious_flags: vec![(false, true, 19_454), (false, false, 80), (true, false, 7_392)],
+        malicious_flags: vec![
+            (false, true, 19_454),
+            (false, false, 80),
+            (true, false, 7_392),
+        ],
         tail_ip_unique: 14_680,
         tail_ip_r2: 56_000,
         url_unique: 80,
@@ -372,12 +494,37 @@ fn spec_2018() -> YearSpec {
         // 13,049,863 / 2,752,562 = 4.7410...
         auth_dup_extra_fraction: 0.741,
         countries: vec![
-            ("US", 21_819), ("IN", 3_596), ("HK", 714), ("VG", 291), ("AE", 162),
-            ("CN", 146), ("DE", 31), ("PL", 24), ("RU", 18), ("BG", 16),
-            ("NL", 14), ("IE", 12), ("AU", 11), ("KY", 11), ("CA", 8),
-            ("FR", 7), ("GB", 7), ("JP", 7), ("CH", 6), ("PT", 6),
-            ("IT", 5), ("SG", 3), ("TR", 3), ("VN", 2), ("AR", 1),
-            ("AT", 1), ("ES", 1), ("JO", 1), ("LT", 1), ("MY", 1), ("UA", 1),
+            ("US", 21_819),
+            ("IN", 3_596),
+            ("HK", 714),
+            ("VG", 291),
+            ("AE", 162),
+            ("CN", 146),
+            ("DE", 31),
+            ("PL", 24),
+            ("RU", 18),
+            ("BG", 16),
+            ("NL", 14),
+            ("IE", 12),
+            ("AU", 11),
+            ("KY", 11),
+            ("CA", 8),
+            ("FR", 7),
+            ("GB", 7),
+            ("JP", 7),
+            ("CH", 6),
+            ("PT", 6),
+            ("IT", 5),
+            ("SG", 3),
+            ("TR", 3),
+            ("VN", 2),
+            ("AR", 1),
+            ("AT", 1),
+            ("ES", 1),
+            ("JO", 1),
+            ("LT", 1),
+            ("MY", 1),
+            ("UA", 1),
         ],
     }
 }
@@ -386,21 +533,49 @@ fn spec_2018() -> YearSpec {
 fn empty_question_2018() -> Vec<EmptyQuestionCell> {
     use crate::profile::AnswerData;
     let eq = |ra: bool, aa: bool, rcode: Rcode, answer: Option<AnswerData>, count: u64| {
-        EmptyQuestionCell { ra, aa, rcode, answer, count }
+        EmptyQuestionCell {
+            ra,
+            aa,
+            rcode,
+            answer,
+            count,
+        }
     };
     let mut cells = Vec::new();
     // 19 packets with (incorrect) answers, all RA=1 AA=0 rcode NoError:
     // 13 x 192.168.0.0/16, 1 x 10.0.0.0/8, 1 garbled string, 4 unrouted.
     for i in 0..13u8 {
-        cells.push(eq(true, false, Rcode::NoError,
-            Some(AnswerData::FixedIp(ip(192, 168, i, 1))), 1));
+        cells.push(eq(
+            true,
+            false,
+            Rcode::NoError,
+            Some(AnswerData::FixedIp(ip(192, 168, i, 1))),
+            1,
+        ));
     }
-    cells.push(eq(true, false, Rcode::NoError, Some(AnswerData::FixedIp(ip(10, 11, 12, 13))), 1));
-    cells.push(eq(true, false, Rcode::NoError, Some(AnswerData::Text("0000".to_owned())), 1));
+    cells.push(eq(
+        true,
+        false,
+        Rcode::NoError,
+        Some(AnswerData::FixedIp(ip(10, 11, 12, 13))),
+        1,
+    ));
+    cells.push(eq(
+        true,
+        false,
+        Rcode::NoError,
+        Some(AnswerData::Text("0000".to_owned())),
+        1,
+    ));
     for i in 0..4u8 {
         // Addresses "which could not be found in Whois".
-        cells.push(eq(true, false, Rcode::NoError,
-            Some(AnswerData::FixedIp(ip(185, 251, 200 + i, 9))), 1));
+        cells.push(eq(
+            true,
+            false,
+            Rcode::NoError,
+            Some(AnswerData::FixedIp(ip(185, 251, 200 + i, 9))),
+            1,
+        ));
     }
     // 475 without answers: RA1 165, RA0 310 (incl. the +7 of note 6);
     // rcodes: NoError 7, FormErr 1, ServFail 302, NXDomain 2, Refused 163;
@@ -441,36 +616,149 @@ fn spec_2013() -> YearSpec {
     ];
     let incorrect = IncorrectSpec {
         slices: vec![
-            IncorrectSlice { ra: false, aa: true, pool: Malicious, count: 12_874 },
-            IncorrectSlice { ra: false, aa: true, pool: BenignIp, count: 62_968 },
-            IncorrectSlice { ra: true, aa: true, pool: BenignIp, count: 2_437 },
-            IncorrectSlice { ra: true, aa: false, pool: BenignIp, count: 33_991 },
-            IncorrectSlice { ra: true, aa: false, pool: Url, count: 249 },
-            IncorrectSlice { ra: true, aa: false, pool: Str, count: 10 },
-            IncorrectSlice { ra: true, aa: false, pool: Malformed, count: 8_764 },
+            IncorrectSlice {
+                ra: false,
+                aa: true,
+                pool: Malicious,
+                count: 12_874,
+            },
+            IncorrectSlice {
+                ra: false,
+                aa: true,
+                pool: BenignIp,
+                count: 62_968,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: true,
+                pool: BenignIp,
+                count: 2_437,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: BenignIp,
+                count: 33_991,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Url,
+                count: 249,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Str,
+                count: 10,
+            },
+            IncorrectSlice {
+                ra: true,
+                aa: false,
+                pool: Malformed,
+                count: 8_764,
+            },
         ],
         // Reconstructed per note 7: explicit counts are the paper's;
         // ranks 2, 4, 6 and 10 are reconstructed to sum to 26,514.
         top_ips: vec![
-            TopIpEntry { ip: ip(74, 220, 199, 15), count: 9_651, category: Some(Category::Malware), org: "Unified Layer" },
-            TopIpEntry { ip: ip(192, 168, 1, 254), count: 5_200, category: None, org: "private network" },
-            TopIpEntry { ip: ip(20, 20, 20, 20), count: 5_100, category: None, org: "Microsoft Corporation" },
-            TopIpEntry { ip: ip(192, 168, 2, 1), count: 1_400, category: None, org: "private network" },
-            TopIpEntry { ip: ip(0, 0, 0, 0), count: 1_032, category: None, org: "private network" },
-            TopIpEntry { ip: ip(202, 106, 0, 20), count: 1_010, category: None, org: "China Unicom" },
-            TopIpEntry { ip: ip(173, 192, 59, 63), count: 995, category: None, org: "SoftLayer Technologies" },
-            TopIpEntry { ip: ip(221, 238, 203, 46), count: 811, category: None, org: "China Telecom" },
-            TopIpEntry { ip: ip(68, 87, 91, 199), count: 748, category: None, org: "Comcast Cable" },
-            TopIpEntry { ip: ip(192, 168, 1, 1), count: 567, category: None, org: "private network" },
+            TopIpEntry {
+                ip: ip(74, 220, 199, 15),
+                count: 9_651,
+                category: Some(Category::Malware),
+                org: "Unified Layer",
+            },
+            TopIpEntry {
+                ip: ip(192, 168, 1, 254),
+                count: 5_200,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(20, 20, 20, 20),
+                count: 5_100,
+                category: None,
+                org: "Microsoft Corporation",
+            },
+            TopIpEntry {
+                ip: ip(192, 168, 2, 1),
+                count: 1_400,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(0, 0, 0, 0),
+                count: 1_032,
+                category: None,
+                org: "private network",
+            },
+            TopIpEntry {
+                ip: ip(202, 106, 0, 20),
+                count: 1_010,
+                category: None,
+                org: "China Unicom",
+            },
+            TopIpEntry {
+                ip: ip(173, 192, 59, 63),
+                count: 995,
+                category: None,
+                org: "SoftLayer Technologies",
+            },
+            TopIpEntry {
+                ip: ip(221, 238, 203, 46),
+                count: 811,
+                category: None,
+                org: "China Telecom",
+            },
+            TopIpEntry {
+                ip: ip(68, 87, 91, 199),
+                count: 748,
+                category: None,
+                org: "Comcast Cable",
+            },
+            TopIpEntry {
+                ip: ip(192, 168, 1, 1),
+                count: 567,
+                category: None,
+                org: "private network",
+            },
         ],
         malicious: vec![
-            MaliciousCategorySpec { category: Category::Malware, unique_ips: 65, r2: 11_149 },
-            MaliciousCategorySpec { category: Category::Phishing, unique_ips: 19, r2: 1_092 },
-            MaliciousCategorySpec { category: Category::Spam, unique_ips: 4, r2: 67 },
-            MaliciousCategorySpec { category: Category::SshBruteforce, unique_ips: 2, r2: 2 },
-            MaliciousCategorySpec { category: Category::Scan, unique_ips: 8, r2: 493 },
-            MaliciousCategorySpec { category: Category::Botnet, unique_ips: 1, r2: 70 },
-            MaliciousCategorySpec { category: Category::EmailBruteforce, unique_ips: 1, r2: 1 },
+            MaliciousCategorySpec {
+                category: Category::Malware,
+                unique_ips: 65,
+                r2: 11_149,
+            },
+            MaliciousCategorySpec {
+                category: Category::Phishing,
+                unique_ips: 19,
+                r2: 1_092,
+            },
+            MaliciousCategorySpec {
+                category: Category::Spam,
+                unique_ips: 4,
+                r2: 67,
+            },
+            MaliciousCategorySpec {
+                category: Category::SshBruteforce,
+                unique_ips: 2,
+                r2: 2,
+            },
+            MaliciousCategorySpec {
+                category: Category::Scan,
+                unique_ips: 8,
+                r2: 493,
+            },
+            MaliciousCategorySpec {
+                category: Category::Botnet,
+                unique_ips: 1,
+                r2: 70,
+            },
+            MaliciousCategorySpec {
+                category: Category::EmailBruteforce,
+                unique_ips: 1,
+                r2: 1,
+            },
         ],
         // Table X exists only for 2018; 2013 malicious packets are placed
         // in the RA0/AA1 cell (the 2018 data shows malicious responses
@@ -498,13 +786,42 @@ fn spec_2013() -> YearSpec {
         // 38,079,578 / 11,671,589 = 3.2626...
         auth_dup_extra_fraction: 0.2626,
         countries: vec![
-            ("US", 12_616), ("TR", 91), ("VG", 28), ("PL", 24), ("IR", 18),
-            ("BR", 9), ("KR", 8), ("TW", 8), ("AR", 7), ("BG", 6),
-            ("ES", 5), ("PT", 5), ("AT", 4), ("CA", 4), ("DE", 4),
-            ("NL", 4), ("VN", 4), ("CH", 3), ("RU", 3), ("SA", 3),
-            ("AU", 2), ("ID", 2), ("KE", 2), ("SE", 2), ("CN", 1),
-            ("FR", 1), ("GB", 1), ("HK", 1), ("MA", 1), ("NA", 1),
-            ("NI", 1), ("PR", 1), ("SG", 1), ("TH", 1), ("VA", 1), ("ZA", 1),
+            ("US", 12_616),
+            ("TR", 91),
+            ("VG", 28),
+            ("PL", 24),
+            ("IR", 18),
+            ("BR", 9),
+            ("KR", 8),
+            ("TW", 8),
+            ("AR", 7),
+            ("BG", 6),
+            ("ES", 5),
+            ("PT", 5),
+            ("AT", 4),
+            ("CA", 4),
+            ("DE", 4),
+            ("NL", 4),
+            ("VN", 4),
+            ("CH", 3),
+            ("RU", 3),
+            ("SA", 3),
+            ("AU", 2),
+            ("ID", 2),
+            ("KE", 2),
+            ("SE", 2),
+            ("CN", 1),
+            ("FR", 1),
+            ("GB", 1),
+            ("HK", 1),
+            ("MA", 1),
+            ("NA", 1),
+            ("NI", 1),
+            ("PR", 1),
+            ("SG", 1),
+            ("TH", 1),
+            ("VA", 1),
+            ("ZA", 1),
         ],
     }
 }
@@ -520,8 +837,18 @@ mod tests {
         cells: impl Fn(&FlagCell) -> bool,
         slices: impl Fn(&IncorrectSlice) -> bool,
     ) -> u64 {
-        spec.flag_cells.iter().filter(|c| cells(c)).map(|c| c.count).sum::<u64>()
-            + spec.incorrect.slices.iter().filter(|s| slices(s)).map(|s| s.count).sum::<u64>()
+        spec.flag_cells
+            .iter()
+            .filter(|c| cells(c))
+            .map(|c| c.count)
+            .sum::<u64>()
+            + spec
+                .incorrect
+                .slices
+                .iter()
+                .filter(|s| slices(s))
+                .map(|s| s.count)
+                .sum::<u64>()
     }
 
     #[test]
@@ -568,14 +895,37 @@ mod tests {
     fn table_4_ra_marginals() {
         for (year, expect) in [
             // (RA0 W/O, RA0 corr, RA0 incorr, RA1 W/O, RA1 corr, RA1 incorr)
-            (Year::Y2013, (4_147_838u64, 166_108u64, 75_842u64, 719_403u64, 11_505_481u64, 45_451u64)),
-            (Year::Y2018, (3_434_415, 3_994, 65_172, 207_694, 2_748_568, 45_921)),
+            (
+                Year::Y2013,
+                (
+                    4_147_838u64,
+                    166_108u64,
+                    75_842u64,
+                    719_403u64,
+                    11_505_481u64,
+                    45_451u64,
+                ),
+            ),
+            (
+                Year::Y2018,
+                (3_434_415, 3_994, 65_172, 207_694, 2_748_568, 45_921),
+            ),
         ] {
             let s = YearSpec::get(year);
-            let wo = |ra: bool| marginal(&s,
-                |c| c.ra == ra && c.answer == AnswerClass::None, |_| false);
-            let corr = |ra: bool| marginal(&s,
-                |c| c.ra == ra && c.answer == AnswerClass::Correct, |_| false);
+            let wo = |ra: bool| {
+                marginal(
+                    &s,
+                    |c| c.ra == ra && c.answer == AnswerClass::None,
+                    |_| false,
+                )
+            };
+            let corr = |ra: bool| {
+                marginal(
+                    &s,
+                    |c| c.ra == ra && c.answer == AnswerClass::Correct,
+                    |_| false,
+                )
+            };
             let incorr = |ra: bool| marginal(&s, |_| false, |sl| sl.ra == ra);
             assert_eq!(wo(false), expect.0, "{year} RA0 W/O");
             assert_eq!(corr(false), expect.1, "{year} RA0 corr");
@@ -590,17 +940,40 @@ mod tests {
     fn table_5_aa_marginals() {
         for (year, expect) in [
             // (AA0 W/O, AA0 corr, AA0 incorr, AA1 W/O, AA1 corr, AA1 incorr)
-            (Year::Y2013, (4_717_485u64, 11_518_500u64, 43_014u64, 149_756u64, 153_089u64, 78_279u64)),
+            (
+                Year::Y2013,
+                (
+                    4_717_485u64,
+                    11_518_500u64,
+                    43_014u64,
+                    149_756u64,
+                    153_089u64,
+                    78_279u64,
+                ),
+            ),
             // AA0 W/O and corr use the Table III/IV-consistent values
             // (note 2): Table V prints 3,512,053 / 2,727,477, shifting
             // ten packets between the columns relative to Table III.
-            (Year::Y2018, (3_512_063, 2_727_467, 17_041, 130_046, 25_095, 94_052)),
+            (
+                Year::Y2018,
+                (3_512_063, 2_727_467, 17_041, 130_046, 25_095, 94_052),
+            ),
         ] {
             let s = YearSpec::get(year);
-            let wo = |aa: bool| marginal(&s,
-                |c| c.aa == aa && c.answer == AnswerClass::None, |_| false);
-            let corr = |aa: bool| marginal(&s,
-                |c| c.aa == aa && c.answer == AnswerClass::Correct, |_| false);
+            let wo = |aa: bool| {
+                marginal(
+                    &s,
+                    |c| c.aa == aa && c.answer == AnswerClass::None,
+                    |_| false,
+                )
+            };
+            let corr = |aa: bool| {
+                marginal(
+                    &s,
+                    |c| c.aa == aa && c.answer == AnswerClass::Correct,
+                    |_| false,
+                )
+            };
             let incorr = |aa: bool| marginal(&s, |_| false, |sl| sl.aa == aa);
             assert_eq!(wo(false), expect.0, "{year} AA0 W/O");
             assert_eq!(corr(false), expect.1, "{year} AA0 corr");
@@ -615,17 +988,26 @@ mod tests {
     fn table_6_rcode_marginals_2018() {
         let s = YearSpec::get(Year::Y2018);
         // With answer (incorrect slices are all NoError by construction).
-        let w = |rc: Rcode| marginal(&s,
-            |c| c.rcode == rc && matches!(c.answer, AnswerClass::Correct),
-            |_| rc == Rcode::NoError);
+        let w = |rc: Rcode| {
+            marginal(
+                &s,
+                |c| c.rcode == rc && matches!(c.answer, AnswerClass::Correct),
+                |_| rc == Rcode::NoError,
+            )
+        };
         assert_eq!(w(Rcode::NoError), 2_860_940);
         assert_eq!(w(Rcode::FormErr), 23);
         assert_eq!(w(Rcode::ServFail), 2_489);
         assert_eq!(w(Rcode::NXDomain), 10);
         assert_eq!(w(Rcode::Refused), 193);
         // Without answer.
-        let wo = |rc: Rcode| marginal(&s,
-            |c| c.rcode == rc && c.answer == AnswerClass::None, |_| false);
+        let wo = |rc: Rcode| {
+            marginal(
+                &s,
+                |c| c.rcode == rc && c.answer == AnswerClass::None,
+                |_| false,
+            )
+        };
         assert_eq!(wo(Rcode::NoError), 377_803);
         assert_eq!(wo(Rcode::FormErr), 233);
         assert_eq!(wo(Rcode::ServFail), 200_320);
@@ -640,16 +1022,25 @@ mod tests {
     #[test]
     fn table_6_rcode_marginals_2013() {
         let s = YearSpec::get(Year::Y2013);
-        let w = |rc: Rcode| marginal(&s,
-            |c| c.rcode == rc && matches!(c.answer, AnswerClass::Correct),
-            |_| rc == Rcode::NoError);
+        let w = |rc: Rcode| {
+            marginal(
+                &s,
+                |c| c.rcode == rc && matches!(c.answer, AnswerClass::Correct),
+                |_| rc == Rcode::NoError,
+            )
+        };
         // Derived NoError (note 4): Table III W minus the 14,005.
         assert_eq!(w(Rcode::NoError), 11_491_476 + 121_293 + 153_089 + 13_019);
         assert_eq!(w(Rcode::ServFail), 12_723);
         assert_eq!(w(Rcode::NXDomain), 10);
         assert_eq!(w(Rcode::Refused), 1_272);
-        let wo = |rc: Rcode| marginal(&s,
-            |c| c.rcode == rc && c.answer == AnswerClass::None, |_| false);
+        let wo = |rc: Rcode| {
+            marginal(
+                &s,
+                |c| c.rcode == rc && c.answer == AnswerClass::None,
+                |_| false,
+            )
+        };
         assert_eq!(wo(Rcode::NoError), 1_198_772);
         assert_eq!(wo(Rcode::FormErr), 453);
         assert_eq!(wo(Rcode::ServFail), 354_176);
@@ -666,7 +1057,12 @@ mod tests {
         let top_r2: u64 = s18.top_ips.iter().map(|t| t.count).sum();
         assert_eq!(top_r2, 50_669, "Table VIII total");
         // IP form: top + tail + malicious-not-in-top.
-        let top_mal: u64 = s18.top_ips.iter().filter(|t| t.category.is_some()).map(|t| t.count).sum();
+        let top_mal: u64 = s18
+            .top_ips
+            .iter()
+            .filter(|t| t.category.is_some())
+            .map(|t| t.count)
+            .sum();
         assert_eq!(top_mal, 22_805, "the paper's 'deceptive' top-10 subtotal");
         let mal_tail = 26_926 - top_mal;
         let ip_form = top_r2 + s18.tail_ip_r2 + mal_tail;
@@ -678,11 +1074,19 @@ mod tests {
         let s13 = YearSpec::get(Year::Y2013).incorrect;
         let top_r2: u64 = s13.top_ips.iter().map(|t| t.count).sum();
         assert_eq!(top_r2, 26_514);
-        let top_mal: u64 = s13.top_ips.iter().filter(|t| t.category.is_some()).map(|t| t.count).sum();
+        let top_mal: u64 = s13
+            .top_ips
+            .iter()
+            .filter(|t| t.category.is_some())
+            .map(|t| t.count)
+            .sum();
         assert_eq!(top_mal, 9_651);
         let ip_form = top_r2 + s13.tail_ip_r2 + (12_874 - top_mal);
         assert_eq!(ip_form, 112_270);
-        assert_eq!(ip_form + s13.url_r2 + s13.string_r2 + s13.malformed_r2, 121_293);
+        assert_eq!(
+            ip_form + s13.url_r2 + s13.string_r2 + s13.malformed_r2,
+            121_293
+        );
     }
 
     #[test]
@@ -708,7 +1112,10 @@ mod tests {
         assert_eq!(aa0, 7_472);
         assert_eq!(aa1, 19_454);
         // Malicious flag totals must match the Malicious slices.
-        let slice_total: u64 = s.incorrect.slices.iter()
+        let slice_total: u64 = s
+            .incorrect
+            .slices
+            .iter()
             .filter(|sl| sl.pool == IncorrectPool::Malicious)
             .map(|sl| sl.count)
             .sum();
@@ -731,19 +1138,40 @@ mod tests {
         for year in Year::ALL {
             let inc = YearSpec::get(year).incorrect;
             let slice_sum = |pool: IncorrectPool| -> u64 {
-                inc.slices.iter().filter(|s| s.pool == pool).map(|s| s.count).sum()
+                inc.slices
+                    .iter()
+                    .filter(|s| s.pool == pool)
+                    .map(|s| s.count)
+                    .sum()
             };
-            let top_benign: u64 = inc.top_ips.iter().filter(|t| t.category.is_none()).map(|t| t.count).sum();
+            let top_benign: u64 = inc
+                .top_ips
+                .iter()
+                .filter(|t| t.category.is_none())
+                .map(|t| t.count)
+                .sum();
             assert_eq!(
                 slice_sum(IncorrectPool::BenignIp),
                 top_benign + inc.tail_ip_r2,
                 "{year} benign pool"
             );
             let mal_total: u64 = inc.malicious.iter().map(|m| m.r2).sum();
-            assert_eq!(slice_sum(IncorrectPool::Malicious), mal_total, "{year} malicious pool");
+            assert_eq!(
+                slice_sum(IncorrectPool::Malicious),
+                mal_total,
+                "{year} malicious pool"
+            );
             assert_eq!(slice_sum(IncorrectPool::Url), inc.url_r2, "{year} url pool");
-            assert_eq!(slice_sum(IncorrectPool::Str), inc.string_r2, "{year} str pool");
-            assert_eq!(slice_sum(IncorrectPool::Malformed), inc.malformed_r2, "{year} malformed");
+            assert_eq!(
+                slice_sum(IncorrectPool::Str),
+                inc.string_r2,
+                "{year} str pool"
+            );
+            assert_eq!(
+                slice_sum(IncorrectPool::Malformed),
+                inc.malformed_r2,
+                "{year} malformed"
+            );
         }
     }
 
@@ -757,8 +1185,16 @@ mod tests {
             let w = incorr + s.answer_class_total(AnswerClass::Correct);
             incorr as f64 / w as f64 * 100.0
         };
-        assert!((rate(Year::Y2013) - 1.029).abs() < 0.01, "{}", rate(Year::Y2013));
-        assert!((rate(Year::Y2018) - 3.879).abs() < 0.01, "{}", rate(Year::Y2018));
+        assert!(
+            (rate(Year::Y2013) - 1.029).abs() < 0.01,
+            "{}",
+            rate(Year::Y2013)
+        );
+        assert!(
+            (rate(Year::Y2018) - 3.879).abs() < 0.01,
+            "{}",
+            rate(Year::Y2018)
+        );
     }
 
     #[test]
@@ -766,8 +1202,7 @@ mod tests {
         for year in Year::ALL {
             let s = YearSpec::get(year);
             let corr = s.answer_class_total(AnswerClass::Correct);
-            let expected_q2 = corr as f64
-                * (s.auth_dup_base as f64 + s.auth_dup_extra_fraction);
+            let expected_q2 = corr as f64 * (s.auth_dup_base as f64 + s.auth_dup_extra_fraction);
             let err = (expected_q2 - s.q2_r1 as f64).abs() / s.q2_r1 as f64;
             assert!(err < 0.001, "{year}: {expected_q2} vs {}", s.q2_r1);
         }
@@ -778,14 +1213,22 @@ mod tests {
         let cells = YearSpec::get(Year::Y2018).empty_question;
         let total: u64 = cells.iter().map(|c| c.count).sum();
         assert_eq!(total, 494);
-        let with_answer: u64 = cells.iter().filter(|c| c.answer.is_some()).map(|c| c.count).sum();
+        let with_answer: u64 = cells
+            .iter()
+            .filter(|c| c.answer.is_some())
+            .map(|c| c.count)
+            .sum();
         assert_eq!(with_answer, 19);
         let ra1: u64 = cells.iter().filter(|c| c.ra).map(|c| c.count).sum();
         assert_eq!(ra1, 184);
         let aa1: u64 = cells.iter().filter(|c| c.aa).map(|c| c.count).sum();
         assert_eq!(aa1, 2);
         let rcode = |rc: Rcode| -> u64 {
-            cells.iter().filter(|c| c.rcode == rc).map(|c| c.count).sum()
+            cells
+                .iter()
+                .filter(|c| c.rcode == rc)
+                .map(|c| c.count)
+                .sum()
         };
         assert_eq!(rcode(Rcode::NoError), 26);
         assert_eq!(rcode(Rcode::FormErr), 1);

@@ -170,8 +170,7 @@ impl Population {
             .filter(|(c, _)| c.answer == AnswerClass::Correct)
             .map(|(_, &n)| n)
             .sum();
-        let extra_budget =
-            (spec.auth_dup_extra_fraction * n_correct_scaled as f64).round() as u64;
+        let extra_budget = (spec.auth_dup_extra_fraction * n_correct_scaled as f64).round() as u64;
         let mut correct_seen = 0u64;
         let mut extras_given = 0u64;
         for (cell, &n) in spec.flag_cells.iter().zip(cell_counts) {
@@ -181,8 +180,8 @@ impl Population {
                         // Spread the +1 duplicates evenly over the
                         // correct population.
                         correct_seen += 1;
-                        let due = (spec.auth_dup_extra_fraction * correct_seen as f64).round()
-                            as u64;
+                        let due =
+                            (spec.auth_dup_extra_fraction * correct_seen as f64).round() as u64;
                         let dup = if extras_given < due && extras_given < extra_budget {
                             extras_given += 1;
                             spec.auth_dup_base + 1
@@ -481,7 +480,9 @@ impl Population {
             .collect();
         for r in &self.resolvers {
             let affinity = r.policy.upstream_addr().unwrap_or(r.addr);
-            parts[shard_index(affinity, shards)].resolvers.push(r.clone());
+            parts[shard_index(affinity, shards)]
+                .resolvers
+                .push(r.clone());
         }
         for r in &self.off_port {
             parts[shard_index(r.addr, shards)].off_port.push(r.clone());
@@ -699,8 +700,7 @@ fn scaled_unique(unique: u64, r2: u64, scaled_total: u64, scale: f64) -> u64 {
     if scaled_total == 0 || unique == 0 || r2 == 0 {
         return 0;
     }
-    ((unique as f64 / scale).round() as u64)
-        .clamp(1, scaled_total)
+    ((unique as f64 / scale).round() as u64).clamp(1, scaled_total)
 }
 
 /// Distributes `total` draws over `uniques` values, first values heavier.
@@ -888,9 +888,9 @@ mod tests {
     #[test]
     fn year_2013_has_malformed_responders() {
         let pop = population(Year::Y2013, 1000.0);
-        let malformed = pop.count_by(|r| {
-            matches!(&r.policy.action, ResponseAction::Immediate(imm) if imm.malformed_rdata)
-        });
+        let malformed = pop.count_by(
+            |r| matches!(&r.policy.action, ResponseAction::Immediate(imm) if imm.malformed_rdata),
+        );
         let expected = (8_764.0_f64 / 1000.0).round() as i64;
         assert!((malformed as i64 - expected).abs() <= 1, "{malformed}");
     }
@@ -925,8 +925,7 @@ mod forwarder_population_tests {
         assert_eq!(honest + forwarders, plain.count_by(|r| r.policy.recurses()));
         // Upstreams exist and are distinct from probed hosts.
         assert!(!pop.upstreams.is_empty());
-        let probed: std::collections::HashSet<_> =
-            pop.resolvers.iter().map(|r| r.addr).collect();
+        let probed: std::collections::HashSet<_> = pop.resolvers.iter().map(|r| r.addr).collect();
         for up in &pop.upstreams {
             assert!(!probed.contains(&up.addr));
             assert!(up.policy.recurses());
@@ -1027,7 +1026,12 @@ mod shard_tests {
             assert_eq!(ups, pop.upstreams.len());
             let mut seen = HashSet::new();
             for part in &parts {
-                for r in part.resolvers.iter().chain(&part.off_port).chain(&part.upstreams) {
+                for r in part
+                    .resolvers
+                    .iter()
+                    .chain(&part.off_port)
+                    .chain(&part.upstreams)
+                {
                     assert!(seen.insert(r.addr), "{} assigned twice", r.addr);
                 }
             }
@@ -1040,8 +1044,7 @@ mod shard_tests {
         assert!(!pop.upstreams.is_empty(), "fixture needs forwarders");
         for n in [2usize, 4, 8] {
             for part in pop.shard(n) {
-                let local: HashSet<Ipv4Addr> =
-                    part.upstreams.iter().map(|u| u.addr).collect();
+                let local: HashSet<Ipv4Addr> = part.upstreams.iter().map(|u| u.addr).collect();
                 for r in &part.resolvers {
                     if let Some(up) = r.policy.upstream_addr() {
                         assert!(

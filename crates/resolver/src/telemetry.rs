@@ -55,12 +55,16 @@ impl ResolverTelemetry {
     /// skips zero deltas, so an event that touched no counter costs eight
     /// branches and no atomics.
     pub fn observe(&self, before: &ResolverStats, after: &ResolverStats) {
-        self.client_queries.add(after.client_queries - before.client_queries);
-        self.responses_sent.add(after.responses_sent - before.responses_sent);
-        self.upstream_queries.add(after.upstream_queries - before.upstream_queries);
+        self.client_queries
+            .add(after.client_queries - before.client_queries);
+        self.responses_sent
+            .add(after.responses_sent - before.responses_sent);
+        self.upstream_queries
+            .add(after.upstream_queries - before.upstream_queries);
         self.failures.add(after.failures - before.failures);
         self.cache_hits.add(after.cache_hits - before.cache_hits);
-        self.negative_hits.add(after.negative_hits - before.negative_hits);
+        self.negative_hits
+            .add(after.negative_hits - before.negative_hits);
         self.forwarded.add(after.forwarded - before.forwarded);
     }
 }

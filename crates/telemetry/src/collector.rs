@@ -132,7 +132,10 @@ impl Collector {
             .histograms
             .entry(name.to_owned())
             .or_insert_with(|| (scope, Arc::new(HistogramCore::new())));
-        debug_assert_eq!(*existing, scope, "scope mismatch re-opening histogram {name}");
+        debug_assert_eq!(
+            *existing, scope,
+            "scope mismatch re-opening histogram {name}"
+        );
         Histogram(Some(core.clone()))
     }
 

@@ -73,7 +73,9 @@ impl Counter {
 
     /// Current value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
 
@@ -93,7 +95,9 @@ impl Gauge {
 
     /// Current value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
 
@@ -139,7 +143,9 @@ impl Histogram {
 
     /// Number of samples recorded (0 for a disabled handle).
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |core| core.count.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |core| core.count.load(Ordering::Relaxed))
     }
 }
 
@@ -177,7 +183,10 @@ mod tests {
     fn bounds_round_trip_extremes() {
         for value in [0u64, 1, 2, u64::MAX - 1, u64::MAX] {
             let (low, high) = bucket_bounds(bucket_index(value));
-            assert!(low <= value && value <= high, "{value} outside ({low}, {high})");
+            assert!(
+                low <= value && value <= high,
+                "{value} outside ({low}, {high})"
+            );
         }
     }
 

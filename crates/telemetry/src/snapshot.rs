@@ -163,10 +163,7 @@ impl TelemetrySnapshot {
                 .absorb(theirs);
         }
         for (name, theirs) in &other.spans {
-            self.spans
-                .entry(name.clone())
-                .or_default()
-                .absorb(theirs);
+            self.spans.entry(name.clone()).or_default().absorb(theirs);
         }
     }
 
@@ -301,8 +298,16 @@ impl TelemetrySnapshot {
                     "{prom}_bucket{{{extra}scope=\"{scope}\",le=\"+Inf\"}} {cumulative}"
                 );
             }
-            let _ = writeln!(out, "{prom}_sum{{{extra}scope=\"{scope}\"}} {}", histogram.sum);
-            let _ = writeln!(out, "{prom}_count{{{extra}scope=\"{scope}\"}} {}", histogram.count);
+            let _ = writeln!(
+                out,
+                "{prom}_sum{{{extra}scope=\"{scope}\"}} {}",
+                histogram.sum
+            );
+            let _ = writeln!(
+                out,
+                "{prom}_count{{{extra}scope=\"{scope}\"}} {}",
+                histogram.count
+            );
         }
         for (name, span) in &self.spans {
             let prom = prom_name(name);
@@ -408,7 +413,10 @@ mod tests {
         assert!(!jsonl.contains("events_processed"), "shard scope leaked");
         assert!(!jsonl.contains("phase.probe"), "spans leaked into jsonl");
         for line in jsonl.lines() {
-            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line {line}"
+            );
         }
     }
 

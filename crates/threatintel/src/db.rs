@@ -180,7 +180,10 @@ impl ThreatDb {
                 .parse()
                 .map_err(|e| format!("bad ip: {e}"))?;
             let reports: Vec<Report> = serde_json::from_value(
-                entry.get("reports").cloned().ok_or("entry without reports")?,
+                entry
+                    .get("reports")
+                    .cloned()
+                    .ok_or("entry without reports")?,
             )
             .map_err(|e| format!("bad reports for {ip}: {e}"))?;
             for report in reports {

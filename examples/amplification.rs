@@ -15,7 +15,9 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_dns_wire::{Message, Name, Question, RecordType};
 use orscope_netsim::{Context, Datagram, Endpoint, FixedLatency, SimNet, SimTime};
 use orscope_resolver::{ProfiledResolver, ResolverConfig, ResponsePolicy};
@@ -46,7 +48,11 @@ fn build_net() -> (SimNet, Arc<Mutex<u64>>) {
         .latency(FixedLatency(Duration::from_millis(10)))
         .build();
     let mut root = RootServer::new();
-    root.delegate("net".parse().expect("static"), "a.gtld-servers.net".parse().expect("static"), TLD);
+    root.delegate(
+        "net".parse().expect("static"),
+        "a.gtld-servers.net".parse().expect("static"),
+        TLD,
+    );
     net.register(ROOT, root);
     let mut tld = TldServer::new();
     tld.delegate(zone_name.clone(), ns_name.clone(), AUTH);
@@ -69,7 +75,12 @@ fn build_net() -> (SimNet, Arc<Mutex<u64>>) {
         ProfiledResolver::new(ResponsePolicy::honest(), ResolverConfig::new(ROOT)),
     );
     let bytes = Arc::new(Mutex::new(0u64));
-    net.register(VICTIM, Victim { bytes: bytes.clone() });
+    net.register(
+        VICTIM,
+        Victim {
+            bytes: bytes.clone(),
+        },
+    );
     (net, bytes)
 }
 

@@ -22,7 +22,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use orscope_authns::scheme::ProbeLabel;
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_dns_wire::{Message, Name, Question};
 use orscope_netsim::{Context, Datagram, Endpoint, FixedLatency, SimNet, SimTime};
 use orscope_resolver::{ProfiledResolver, ResolverConfig, ResponsePolicy};
@@ -69,12 +71,23 @@ fn main() {
         .latency(FixedLatency(Duration::from_millis(6)))
         .build();
     let mut root = RootServer::new();
-    root.delegate("net".parse().expect("static"), "a.gtld-servers.net".parse().expect("static"), TLD);
+    root.delegate(
+        "net".parse().expect("static"),
+        "a.gtld-servers.net".parse().expect("static"),
+        TLD,
+    );
     net.register(ROOT, root);
     let mut tld = TldServer::new();
-    tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().expect("static"), AUTH);
+    tld.delegate(
+        zone_name(),
+        "ns1.ucfsealresearch.net".parse().expect("static"),
+        AUTH,
+    );
     net.register(TLD, tld);
-    let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().expect("static")));
+    let mut cz = ClusterZone::new(Zone::new(
+        zone_name(),
+        "ns1.ucfsealresearch.net".parse().expect("static"),
+    ));
     cz.load_cluster(0, DOMAINS);
     net.register(AUTH, AuthoritativeServer::new(cz, CaptureHandle::new()));
 

@@ -26,7 +26,9 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use orscope_authns::scheme::ProbeLabel;
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_core::{Campaign, CampaignConfig};
 use orscope_dns_wire::{Message, Name, Question};
 use orscope_netsim::{Context, Datagram, Endpoint, HashLatency, SimNet, SimTime};
@@ -112,7 +114,11 @@ fn main() {
     let root_queries = Arc::new(Mutex::new(0u64));
     let root_sources = Arc::new(Mutex::new(HashMap::new()));
     let mut root = RootServer::new();
-    root.delegate("net".parse().expect("static"), "a.gtld-servers.net".parse().expect("static"), infra.tld);
+    root.delegate(
+        "net".parse().expect("static"),
+        "a.gtld-servers.net".parse().expect("static"),
+        infra.tld,
+    );
     net.register(
         infra.root,
         DitlTap {
@@ -126,7 +132,10 @@ fn main() {
     net.register(infra.tld, tld);
     let mut cz = ClusterZone::new(Zone::new(zone_name(), infra.auth_ns_name.clone()));
     cz.load_cluster(0, 500);
-    net.register(infra.auth, AuthoritativeServer::new(cz, CaptureHandle::new()));
+    net.register(
+        infra.auth,
+        AuthoritativeServer::new(cz, CaptureHandle::new()),
+    );
     let resolver_config = ResolverConfig::new(infra.root);
     for planned in &population.resolvers {
         net.register(
@@ -155,8 +164,8 @@ fn main() {
     let mut users_on_malicious = 0u64;
     for u in 0..USERS {
         let user_addr = Ipv4Addr::from(0x0C00_0000 + u as u32); // 12.0.0.x
-        // 6% of users are (unknowingly) configured onto a malicious
-        // resolver — the DNS-changer malware scenario.
+                                                                // 6% of users are (unknowingly) configured onto a malicious
+                                                                // resolver — the DNS-changer malware scenario.
         let resolver = if u % 16 == 0 && !malicious.is_empty() {
             users_on_malicious += 1;
             malicious[(u / 16) as usize % malicious.len()]
@@ -201,7 +210,10 @@ fn main() {
         wrong as f64 / answered.max(1) as f64 * 100.0
     );
     println!("  root-visible resolver queries  : {root_seen} (the DITL vantage)");
-    println!("  malicious resolvers at root    : {malicious_at_root} of {}", malicious.len());
+    println!(
+        "  malicious resolvers at root    : {malicious_at_root} of {}",
+        malicious.len()
+    );
     println!(
         "\nThe asymmetry is the finding: every query a victim sends to a\n\
          malicious resolver is answered from canned data, so the root —\n\

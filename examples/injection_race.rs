@@ -26,7 +26,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use orscope_authns::scheme::ProbeLabel;
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_dns_wire::{Message, Name, Question, RData, Record};
 use orscope_netsim::{Context, Datagram, Endpoint, FixedLatency, SimNet, SimTime};
 use orscope_resolver::{ProfiledResolver, ResolverConfig, ResponsePolicy};
@@ -70,7 +72,11 @@ impl Endpoint for Attacker {
             let txn = if self.sequential_window {
                 i + 1
             } else {
-                (wave as u16).wrapping_mul(64).wrapping_add(i).wrapping_mul(131).max(1)
+                (wave as u16)
+                    .wrapping_mul(64)
+                    .wrapping_add(i)
+                    .wrapping_mul(131)
+                    .max(1)
             };
             let mut forged = Message::builder()
                 .id(txn)
@@ -111,12 +117,23 @@ fn attempt(randomize_txn: bool, dns0x20: bool, trial: u64) -> Ipv4Addr {
         .latency(FixedLatency(Duration::from_millis(10)))
         .build();
     let mut root = RootServer::new();
-    root.delegate("net".parse().expect("static"), "a.gtld-servers.net".parse().expect("static"), TLD);
+    root.delegate(
+        "net".parse().expect("static"),
+        "a.gtld-servers.net".parse().expect("static"),
+        TLD,
+    );
     net.register(ROOT, root);
     let mut tld = TldServer::new();
-    tld.delegate(zone_name(), "ns1.ucfsealresearch.net".parse().expect("static"), AUTH);
+    tld.delegate(
+        zone_name(),
+        "ns1.ucfsealresearch.net".parse().expect("static"),
+        AUTH,
+    );
     net.register(TLD, tld);
-    let mut cz = ClusterZone::new(Zone::new(zone_name(), "ns1.ucfsealresearch.net".parse().expect("static")));
+    let mut cz = ClusterZone::new(Zone::new(
+        zone_name(),
+        "ns1.ucfsealresearch.net".parse().expect("static"),
+    ));
     cz.load_cluster(0, 1000);
     net.register(AUTH, AuthoritativeServer::new(cz, CaptureHandle::new()));
 
@@ -125,9 +142,17 @@ fn attempt(randomize_txn: bool, dns0x20: bool, trial: u64) -> Ipv4Addr {
         dns0x20,
         ..ResolverConfig::new(ROOT)
     };
-    net.register(RESOLVER, ProfiledResolver::new(ResponsePolicy::honest(), config));
+    net.register(
+        RESOLVER,
+        ProfiledResolver::new(ResponsePolicy::honest(), config),
+    );
     let answers = Arc::new(Mutex::new(Vec::new()));
-    net.register(CLIENT, Client { answers: answers.clone() });
+    net.register(
+        CLIENT,
+        Client {
+            answers: answers.clone(),
+        },
+    );
 
     // Unique name per trial so caches never carry over.
     let label = ProbeLabel::new(0, trial);
@@ -151,11 +176,7 @@ fn attempt(randomize_txn: bool, dns0x20: bool, trial: u64) -> Ipv4Addr {
     // racing the genuine authoritative answer (which needs ~70 ms of
     // root/TLD/auth round trips).
     for wave in 0..WAVES {
-        net.set_timer_for(
-            ATTACKER,
-            SimTime::from_nanos(wave * 5_000_000),
-            wave,
-        );
+        net.set_timer_for(ATTACKER, SimTime::from_nanos(wave * 5_000_000), wave);
     }
     net.run_until_idle();
 

@@ -46,7 +46,10 @@ fn main() {
             }
         }
     }
-    if let Some((&worst, &n)) = counts.iter().max_by_key(|(ip, &n)| (n, std::cmp::Reverse(**ip))) {
+    if let Some((&worst, &n)) = counts
+        .iter()
+        .max_by_key(|(ip, &n)| (n, std::cmp::Reverse(**ip)))
+    {
         let record = geo.lookup(worst);
         println!("== Reputation card (cf. Fig. 4) ==");
         println!("  address : {worst}");

@@ -17,7 +17,10 @@ fn main() {
     };
     let points = run_trend(&config);
 
-    println!("Open-resolver ecosystem, interpolated 2013 -> 2018 (1:{} scale)\n", config.scale);
+    println!(
+        "Open-resolver ecosystem, interpolated 2013 -> 2018 (1:{} scale)\n",
+        config.scale
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>10} {:>8} {:>10}",
         "year", "responders", "answers(W)", "wrong", "Err%", "malicious"
@@ -36,7 +39,12 @@ fn main() {
     for p in &points {
         let bar_r2 = (p.r2 as f64 / max_r2 * 40.0) as usize;
         let bar_mal = (p.malicious as f64 / max_mal * 40.0) as usize;
-        println!("  {:>6.0} {:#<bar_r2$}", p.year_label, "", bar_r2 = bar_r2.max(1));
+        println!(
+            "  {:>6.0} {:#<bar_r2$}",
+            p.year_label,
+            "",
+            bar_r2 = bar_r2.max(1)
+        );
         println!("         {:*<bar_mal$}", "", bar_mal = bar_mal.max(1));
     }
     println!(

@@ -15,7 +15,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use orscope_authns::scheme::ProbeLabel;
-use orscope_authns::{AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone};
+use orscope_authns::{
+    AuthoritativeServer, CaptureHandle, ClusterZone, RootServer, TldServer, Zone,
+};
 use orscope_dns_wire::{Message, Name, Question};
 use orscope_netsim::{Context, Datagram, Endpoint, FixedLatency, SimNet, SimTime};
 use orscope_resolver::{ProfiledResolver, ResolverConfig, ResponsePolicy};
@@ -105,12 +107,30 @@ fn main() {
         .build();
 
     let mut root = RootServer::new();
-    root.delegate("net".parse().expect("static"), "a.gtld-servers.net".parse().expect("static"), TLD);
-    net.register(ROOT, Tap { name: "root", inner: root, log: log.clone() });
+    root.delegate(
+        "net".parse().expect("static"),
+        "a.gtld-servers.net".parse().expect("static"),
+        TLD,
+    );
+    net.register(
+        ROOT,
+        Tap {
+            name: "root",
+            inner: root,
+            log: log.clone(),
+        },
+    );
 
     let mut tld = TldServer::new();
     tld.delegate(zone_name.clone(), ns_name.clone(), AUTH);
-    net.register(TLD, Tap { name: ".net TLD", inner: tld, log: log.clone() });
+    net.register(
+        TLD,
+        Tap {
+            name: ".net TLD",
+            inner: tld,
+            log: log.clone(),
+        },
+    );
 
     let capture = CaptureHandle::new();
     let mut zone = Zone::new(zone_name.clone(), ns_name.clone());

@@ -55,9 +55,15 @@ fn main() {
     let shrunk = t18.total() * 2 < t13.total();
     let err_up = t18.err_pct() > 3.0 * t13.err_pct();
     let mal_up = mal18 > mal13 * 3 / 2;
-    println!("  [{}] open-resolver population shrank dramatically", tick(shrunk));
+    println!(
+        "  [{}] open-resolver population shrank dramatically",
+        tick(shrunk)
+    );
     println!("  [{}] wrong-answer *rate* rose ~4x", tick(err_up));
-    println!("  [{}] malicious redirections increased despite the shrink", tick(mal_up));
+    println!(
+        "  [{}] malicious redirections increased despite the shrink",
+        tick(mal_up)
+    );
 
     println!("\n2013 malicious categories:\n{}", r13.table9_measured());
     println!("2018 malicious categories:\n{}", r18.table9_measured());

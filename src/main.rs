@@ -84,7 +84,9 @@ fn parse_number<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flag_value(args, name)? {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("{name}: bad number {raw:?}")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("{name}: bad number {raw:?}")),
     }
 }
 
@@ -132,8 +134,11 @@ fn cmd_tables(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = flag_value(args, "--json")? {
         let blob = serde_json::json!({ "scale": scale, "years": blobs });
-        std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serializable"))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&blob).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -233,8 +238,14 @@ mod tests {
 
     #[test]
     fn number_parsing() {
-        assert_eq!(parse_number(&args(&["--scale", "250"]), "--scale", 1.0).unwrap(), 250.0);
-        assert_eq!(parse_number::<f64>(&args(&[]), "--scale", 7.5).unwrap(), 7.5);
+        assert_eq!(
+            parse_number(&args(&["--scale", "250"]), "--scale", 1.0).unwrap(),
+            250.0
+        );
+        assert_eq!(
+            parse_number::<f64>(&args(&[]), "--scale", 7.5).unwrap(),
+            7.5
+        );
         assert!(parse_number::<u64>(&args(&["--seed", "xyz"]), "--seed", 0).is_err());
     }
 

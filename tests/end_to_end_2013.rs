@@ -51,7 +51,11 @@ fn table_5_2013_aa1_is_correct_heavy() {
     // correct than incorrect answers (153k vs 78k).
     let t = result().table5_measured().0;
     assert!(t.flag1.w_corr > t.flag1.w_incorr);
-    assert!((20.0..45.0).contains(&t.flag1.err_pct()), "{}", t.flag1.err_pct());
+    assert!(
+        (20.0..45.0).contains(&t.flag1.err_pct()),
+        "{}",
+        t.flag1.err_pct()
+    );
 }
 
 #[test]
@@ -69,7 +73,11 @@ fn table_6_2013_rcode_shape() {
 #[test]
 fn undecodable_packets_survive_the_pipeline() {
     let t7 = result().table7_measured();
-    assert!((up(t7.na_r2) as f64 / 8_764.0 - 1.0).abs() < 0.15, "N/A {}", t7.na_r2);
+    assert!(
+        (up(t7.na_r2) as f64 / 8_764.0 - 1.0).abs() < 0.15,
+        "N/A {}",
+        t7.na_r2
+    );
     // They count as incorrect in Table III (the paper's accounting).
     let t3 = result().table3_measured().0;
     assert!(up(t3.w_incorr) as f64 / 121_293.0 > 0.95);
@@ -118,10 +126,7 @@ fn top_wrong_answers_2013() {
     // still chart.
     let private = t8.rows.iter().filter(|r| r.reports == "N/A").count();
     assert!(private >= 1, "a private-network entry stays in the top 10");
-    assert!(t8
-        .rows
-        .iter()
-        .any(|r| r.ip.to_string() == "192.168.1.254"));
+    assert!(t8.rows.iter().any(|r| r.ip.to_string() == "192.168.1.254"));
     let reported = t8.rows.iter().filter(|r| r.reports == "Y").count();
     assert_eq!(reported, 1, "only one malicious entry in the 2013 top 10");
 }

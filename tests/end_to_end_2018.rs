@@ -87,7 +87,10 @@ fn table_6_rcode_shape() {
     let (noerror_w, _) = t.get(Rcode::NoError);
     let (servfail_w, _) = t.get(Rcode::ServFail);
     assert!(noerror_w > 500 * servfail_w.max(1));
-    assert!(servfail_w >= 1, "nonzero-rcode-with-answer survives scaling");
+    assert!(
+        servfail_w >= 1,
+        "nonzero-rcode-with-answer survives scaling"
+    );
     // NotAuth grew to ~80k in 2018.
     let (_, notauth_wo) = t.get(Rcode::NotAuth);
     assert!((up(notauth_wo) as f64 / 80_032.0 - 1.0).abs() < 0.05);
@@ -133,8 +136,16 @@ fn table_9_category_shape() {
 fn table_10_malicious_flag_inversion() {
     let t = result().table10_measured();
     let total = t.total() as f64;
-    assert!(t.ra[0] as f64 / total > 0.6, "RA0 share {}", t.ra[0] as f64 / total);
-    assert!(t.aa[1] as f64 / total > 0.6, "AA1 share {}", t.aa[1] as f64 / total);
+    assert!(
+        t.ra[0] as f64 / total > 0.6,
+        "RA0 share {}",
+        t.ra[0] as f64 / total
+    );
+    assert!(
+        t.aa[1] as f64 / total > 0.6,
+        "AA1 share {}",
+        t.aa[1] as f64 / total
+    );
     assert_eq!(t.nonzero_rcode, 0, "all malicious responses claim NoError");
 }
 
@@ -143,7 +154,11 @@ fn countries_us_dominates() {
     let t = result().countries_measured();
     let us = t.get("US") as f64;
     let total = t.total() as f64;
-    assert!((0.7..0.92).contains(&(us / total)), "US share {}", us / total);
+    assert!(
+        (0.7..0.92).contains(&(us / total)),
+        "US share {}",
+        us / total
+    );
     assert!(t.get("IN") > t.get("HK"), "India second in 2018");
 }
 
@@ -177,11 +192,7 @@ fn report_deviations_are_bounded() {
             // reproduce within 15% at this scale (smaller cells scale
             // to a handful of packets where rounding dominates).
             if comparison.paper >= 10_000.0 {
-                assert!(
-                    comparison.within(0.15),
-                    "{}: {comparison}",
-                    report.title
-                );
+                assert!(comparison.within(0.15), "{}: {comparison}", report.title);
             }
         }
     }
@@ -209,9 +220,7 @@ fn distribution_fit_is_tight() {
 
     // Table VI: the full rcode x answer-presence distribution.
     let (m6, p6) = (result().table6_measured(), Table6::paper(&spec));
-    let flat = |t: &Table6| -> Vec<u64> {
-        t.rows.iter().flat_map(|&(_, w, wo)| [w, wo]).collect()
-    };
+    let flat = |t: &Table6| -> Vec<u64> { t.rows.iter().flat_map(|&(_, w, wo)| [w, wo]).collect() };
     let tvd6 = total_variation(&flat(&p6), &flat(&m6));
     assert!(tvd6 < 0.01, "Table VI TVD {tvd6}");
 
@@ -276,13 +285,17 @@ fn calibration_is_robust_across_seeds() {
     // and value synthesis. Any seed must reproduce the same totals and
     // the same flag shapes.
     for seed in [1u64, 0xFEED_BEEF, u64::MAX / 3] {
-        let run = Campaign::new(
-            CampaignConfig::new(Year::Y2018, 5_000.0).with_seed(seed),
-        )
-        .run();
-        assert_eq!(run.dataset().r2(), (6_506_258.0_f64 / 5_000.0).round() as u64);
+        let run = Campaign::new(CampaignConfig::new(Year::Y2018, 5_000.0).with_seed(seed)).run();
+        assert_eq!(
+            run.dataset().r2(),
+            (6_506_258.0_f64 / 5_000.0).round() as u64
+        );
         let t3 = run.table3_measured().0;
-        assert!((t3.err_pct() - 3.879).abs() < 0.6, "seed {seed}: Err% {}", t3.err_pct());
+        assert!(
+            (t3.err_pct() - 3.879).abs() < 0.6,
+            "seed {seed}: Err% {}",
+            t3.err_pct()
+        );
         let t10 = run.table10_measured();
         if t10.total() > 0 {
             assert!(t10.aa[1] > t10.aa[0], "seed {seed}: AA inversion holds");

@@ -44,7 +44,9 @@ fn loss_makes_recursers_servfail_not_vanish() {
     let (_, servfail_wo) = t6.get(orscope_dns_wire::Rcode::ServFail);
     let lossy_share = servfail_wo as f64 / result.dataset().r2() as f64;
     let baseline = Campaign::new(config(5_000.0)).run();
-    let (_, base_servfail) = baseline.table6_measured().get(orscope_dns_wire::Rcode::ServFail);
+    let (_, base_servfail) = baseline
+        .table6_measured()
+        .get(orscope_dns_wire::Rcode::ServFail);
     let base_share = base_servfail as f64 / baseline.dataset().r2() as f64;
     assert!(
         lossy_share > 1.5 * base_share,

@@ -11,7 +11,17 @@ fn report_json_schema_is_stable() {
     let json = result.to_json();
 
     // Top-level fields.
-    for key in ["year", "scale", "seed", "q1", "q2", "r1", "r2", "duration_secs", "tables"] {
+    for key in [
+        "year",
+        "scale",
+        "seed",
+        "q1",
+        "q2",
+        "r1",
+        "r2",
+        "duration_secs",
+        "tables",
+    ] {
         assert!(json.get(key).is_some(), "missing {key}");
     }
     assert_eq!(json["year"], 2018);

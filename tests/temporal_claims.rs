@@ -103,7 +103,10 @@ fn us_share_fell_but_us_count_rose() {
     );
     assert!(share13 > 0.93, "2013 US share {share13}");
     assert!((0.7..0.9).contains(&share18), "2018 US share {share18}");
-    assert!(us18 > us13, "US raw count must still rise: {us13} -> {us18}");
+    assert!(
+        us18 > us13,
+        "US raw count must still rise: {us13} -> {us18}"
+    );
 }
 
 #[test]
