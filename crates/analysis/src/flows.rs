@@ -62,7 +62,10 @@ impl FlowSet {
     ///
     /// `zone` is the measurement zone the probe names live under.
     pub fn match_flows(r2: &[R2Capture], auth: &[CapturedPacket], zone: &Name) -> FlowSet {
-        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::new();
+        // Nearly every R2 carries a distinct label, so r2.len() is a
+        // tight lower bound that avoids rehash-and-move cycles while the
+        // map fills.
+        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::with_capacity(r2.len());
         for capture in r2 {
             let Some(label) = capture
                 .label
@@ -84,7 +87,7 @@ impl FlowSet {
         }
         let mut foreign = 0u64;
         for packet in auth {
-            match qname_of(&packet.payload).and_then(|q| ProbeLabel::parse(&q, zone)) {
+            match question_of(&packet.payload).and_then(|q| ProbeLabel::parse(q.qname(), zone)) {
                 Some(label) => {
                     let flow = by_label.entry(label).or_insert_with(|| Flow {
                         label,
@@ -154,16 +157,16 @@ impl FlowSet {
     }
 }
 
-/// Extracts the qname from a DNS payload, tolerating undecodable tails.
-fn qname_of(payload: &[u8]) -> Option<Name> {
+/// Extracts the first question from a DNS payload, tolerating
+/// undecodable tails. Callers borrow the qname out of the returned
+/// question rather than cloning it.
+fn question_of(payload: &[u8]) -> Option<Question> {
     let mut reader = Reader::new(payload);
     let header = Header::decode(&mut reader).ok()?;
     if header.question_count() == 0 {
         return None;
     }
-    Question::decode(&mut reader)
-        .ok()
-        .map(|q| q.qname().clone())
+    Question::decode(&mut reader).ok()
 }
 
 #[cfg(test)]

@@ -61,6 +61,9 @@ pub struct AuthoritativeServer {
     /// Responses suppressed by RRL.
     rrl_dropped: u64,
     telemetry: AuthTelemetry,
+    /// Reusable wire-encoding buffer; steady-state responses encode
+    /// without allocating.
+    scratch: Vec<u8>,
 }
 
 impl AuthoritativeServer {
@@ -77,6 +80,7 @@ impl AuthoritativeServer {
             rrl_state: HashMap::new(),
             rrl_dropped: 0,
             telemetry: AuthTelemetry::default(),
+            scratch: Vec::with_capacity(512),
         }
     }
 
@@ -233,10 +237,13 @@ impl Endpoint for AuthoritativeServer {
         // UDP responses are truncated to the client's advertised budget
         // (512 bytes for non-EDNS clients), with TC set — the size
         // behaviour §II-C's amplification discussion hinges on.
-        let Ok(wire) = response.encode_truncated(size_limit) else {
+        if response
+            .encode_truncated_into(size_limit, &mut self.scratch)
+            .is_err()
+        {
             return;
-        };
-        let reply = dgram.reply(wire);
+        }
+        let reply = dgram.reply(bytes::Bytes::copy_from_slice(&self.scratch));
         self.capture.record_outbound(ctx.now(), &reply);
         ctx.send(reply);
     }

@@ -10,7 +10,7 @@ use orscope_authns::{
     TldServer, Zone,
 };
 use orscope_ipspace::{AllowedSpace, ScanPermutation};
-use orscope_netsim::{HashLatency, NetStats, NetTelemetry, SimNet, SimTime};
+use orscope_netsim::{HashLatency, NetStats, NetTelemetry, SchedulerKind, SimNet, SimTime};
 use orscope_prober::{ProbeStats, Prober, ProberConfig, ProberHandle, ProberTelemetry, R2Capture};
 use orscope_resolver::paper::{Year, YearSpec};
 use orscope_resolver::population::{shard_index, Population, PopulationConfig};
@@ -59,6 +59,11 @@ pub struct CampaignConfig {
     /// run. On by default; the counters cost one relaxed atomic add per
     /// recording. When off, [`CampaignResult::telemetry`] is `None`.
     pub telemetry: bool,
+    /// Event-scheduler implementation for every shard's `SimNet`. The
+    /// default timing wheel and the reference binary heap produce
+    /// identical event orderings (see the scheduler-invariance tests);
+    /// the knob exists for oracle testing and benchmarking.
+    pub scheduler: SchedulerKind,
     /// Infrastructure addresses.
     pub infra: Infra,
 }
@@ -79,6 +84,7 @@ impl CampaignConfig {
             non_responder_factor: 2.0,
             shards: 1,
             telemetry: true,
+            scheduler: SchedulerKind::default(),
             infra: Infra::default(),
         }
     }
@@ -104,6 +110,12 @@ impl CampaignConfig {
     /// Enables or disables telemetry collection.
     pub fn with_telemetry(mut self, telemetry: bool) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Selects the event-scheduler implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -338,6 +350,7 @@ impl Campaign {
             .latency(HashLatency::internet(config.seed))
             .loss_probability(config.loss_probability)
             .duplicate_probability(config.duplicate_probability)
+            .scheduler(config.scheduler)
             .telemetry(NetTelemetry::from_collector(&collector))
             .build();
         let mut root = RootServer::new();

@@ -112,7 +112,34 @@ impl Message {
     /// Fails if the message exceeds 65,535 bytes or contains invalid
     /// names/rdata.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
-        let mut w = Writer::new();
+        let mut out = Vec::with_capacity(512);
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Encodes the message into `out`, reusing its allocation. `out` is
+    /// cleared first; on success it holds exactly the wire encoding.
+    /// Steady-state callers that keep a scratch buffer around encode
+    /// without allocating at all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Message::encode`]. The buffer's allocation survives the
+    /// error path (its contents are unspecified).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let mut w = Writer::with_buf(std::mem::take(out));
+        let result = self.encode_body(&mut w);
+        let size = w.len();
+        *out = w.into_buf();
+        result?;
+        if size > u16::MAX as usize {
+            return Err(WireError::MessageTooLong { size });
+        }
+        Ok(())
+    }
+
+    /// Writes header and all sections through `w`.
+    fn encode_body(&self, w: &mut Writer) -> Result<(), WireError> {
         let mut header = self.header;
         header.set_counts(
             self.questions.len() as u16,
@@ -120,9 +147,9 @@ impl Message {
             self.authorities.len() as u16,
             self.additionals.len() as u16,
         );
-        header.encode(&mut w);
+        header.encode(w);
         for q in &self.questions {
-            q.encode(&mut w)?;
+            q.encode(w)?;
         }
         for rec in self
             .answers
@@ -130,9 +157,9 @@ impl Message {
             .chain(&self.authorities)
             .chain(&self.additionals)
         {
-            rec.encode(&mut w)?;
+            rec.encode(w)?;
         }
-        w.finish()
+        Ok(())
     }
 
     /// Decodes a wire-format message.
@@ -486,9 +513,21 @@ impl Message {
     ///
     /// Propagates encoding errors (malformed names/rdata).
     pub fn encode_truncated(&self, limit: usize) -> Result<Vec<u8>, WireError> {
-        let wire = self.encode()?;
-        if wire.len() <= limit {
-            return Ok(wire);
+        let mut out = Vec::with_capacity(512);
+        self.encode_truncated_into(limit, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Message::encode_truncated`] into a reusable buffer, mirroring
+    /// [`Message::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (malformed names/rdata).
+    pub fn encode_truncated_into(&self, limit: usize, out: &mut Vec<u8>) -> Result<(), WireError> {
+        self.encode_into(out)?;
+        if out.len() <= limit {
+            return Ok(());
         }
         let mut clipped = self.clone();
         clipped.header_mut().set_truncated(true);
@@ -499,12 +538,12 @@ impl Message {
             {
                 break;
             }
-            let wire = clipped.encode()?;
-            if wire.len() <= limit {
-                return Ok(wire);
+            clipped.encode_into(out)?;
+            if out.len() <= limit {
+                return Ok(());
             }
         }
-        clipped.encode()
+        clipped.encode_into(out)
     }
 }
 

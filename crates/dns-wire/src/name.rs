@@ -14,7 +14,18 @@ pub const MAX_LABEL_LEN: usize = 63;
 /// at most 127 labels, so any legitimate chain is far shorter.
 const MAX_POINTER_HOPS: usize = 64;
 
+/// Label data (length-prefixed labels, no trailing root byte) fits in
+/// `MAX_NAME_LEN - 1` bytes.
+const INLINE_CAP: usize = MAX_NAME_LEN - 1;
+/// A name has at most 127 labels (each costs ≥ 2 wire bytes).
+const MAX_LABELS: usize = 127;
+
 /// A fully-qualified domain name, stored as a sequence of labels.
+///
+/// Labels live in a fixed inline buffer covering the 255-octet wire
+/// maximum (length-prefixed, like the wire format but without the root
+/// byte), so constructing, cloning, and decoding a `Name` never touches
+/// the heap.
 ///
 /// Comparison and hashing are ASCII case-insensitive, as required by
 /// RFC 1035 §2.3.3; the original spelling is preserved for display.
@@ -31,16 +42,37 @@ const MAX_POINTER_HOPS: usize = 64;
 /// assert!(a.is_subdomain_of(&"example.com".parse()?));
 /// # Ok::<(), orscope_dns_wire::ParseNameError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct Name {
-    /// Labels in most-significant-last order (`www`, `example`, `com`).
-    labels: Vec<Vec<u8>>,
+    /// Length-prefixed labels in wire order (`3www7example3com` for
+    /// `www.example.com`), without the trailing root byte.
+    buf: [u8; INLINE_CAP],
+    /// Bytes of `buf` in use.
+    len: u8,
+    /// Number of labels.
+    count: u8,
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Self::root()
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name(\"{self}\")")
+    }
 }
 
 impl Name {
     /// The root name (zero labels).
     pub fn root() -> Self {
-        Self { labels: Vec::new() }
+        Self {
+            buf: [0; INLINE_CAP],
+            len: 0,
+            count: 0,
+        }
     }
 
     /// Builds a name from label byte-strings.
@@ -54,7 +86,9 @@ impl Name {
         I: IntoIterator<Item = L>,
         L: AsRef<[u8]>,
     {
-        let mut out = Vec::new();
+        let mut out = Self::root();
+        let mut len = 0usize;
+        let mut count = 0usize;
         let mut wire_len = 1usize; // trailing root byte
         for label in labels {
             let label = label.as_ref();
@@ -65,56 +99,99 @@ impl Name {
                 return Err(ParseNameError::LabelTooLong(label.len()));
             }
             wire_len += 1 + label.len();
-            out.push(label.to_vec());
+            // Keep accumulating the would-be length past the cap so the
+            // error reports the full figure, but stop writing.
+            if wire_len <= MAX_NAME_LEN {
+                out.buf[len] = label.len() as u8;
+                out.buf[len + 1..len + 1 + label.len()].copy_from_slice(label);
+                len += 1 + label.len();
+                count += 1;
+            }
         }
         if wire_len > MAX_NAME_LEN {
             return Err(ParseNameError::NameTooLong(wire_len));
         }
-        Ok(Self { labels: out })
+        out.len = len as u8;
+        out.count = count as u8;
+        Ok(out)
+    }
+
+    /// The label data in wire layout (length-prefixed, no root byte).
+    #[inline]
+    fn data(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Byte offsets (into [`Name::data`]) where each label starts.
+    fn label_offsets(&self) -> ([u8; MAX_LABELS], usize) {
+        let mut offsets = [0u8; MAX_LABELS];
+        let mut n = 0usize;
+        let data = self.data();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            offsets[n] = pos as u8;
+            n += 1;
+            pos += 1 + data[pos] as usize;
+        }
+        (offsets, n)
+    }
+
+    /// The label starting at byte `offset` of [`Name::data`].
+    #[inline]
+    fn label_at(&self, offset: u8) -> &[u8] {
+        let pos = offset as usize;
+        let len = self.buf[pos] as usize;
+        &self.buf[pos + 1..pos + 1 + len]
     }
 
     /// Whether this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.count == 0
     }
 
     /// Number of labels.
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.count as usize
     }
 
     /// The labels, leftmost (most specific) first.
     pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
-        self.labels.iter().map(|l| l.as_slice())
+        LabelIter { rest: self.data() }
     }
 
     /// Length of the uncompressed wire encoding, including the root byte.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+        1 + self.len as usize
     }
 
     /// Whether `self` is equal to or a subdomain of `ancestor`.
     pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
-        if ancestor.labels.len() > self.labels.len() {
+        if ancestor.count > self.count {
             return false;
         }
-        self.labels
-            .iter()
-            .rev()
-            .zip(ancestor.labels.iter().rev())
-            .all(|(a, b)| eq_label(a, b))
+        let (self_offsets, self_n) = self.label_offsets();
+        let (anc_offsets, anc_n) = ancestor.label_offsets();
+        (0..anc_n).all(|k| {
+            eq_label(
+                self.label_at(self_offsets[self_n - 1 - k]),
+                ancestor.label_at(anc_offsets[anc_n - 1 - k]),
+            )
+        })
     }
 
     /// The name with its leftmost label removed (`www.example.com` ->
     /// `example.com`); `None` for the root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(Name {
-                labels: self.labels[1..].to_vec(),
-            })
+        if self.count == 0 {
+            return None;
         }
+        let skip = 1 + self.buf[0] as usize;
+        let mut out = Self::root();
+        let rest = &self.data()[skip..];
+        out.buf[..rest.len()].copy_from_slice(rest);
+        out.len = rest.len() as u8;
+        out.count = self.count - 1;
+        Some(out)
     }
 
     /// Prepends a label (`example.com` + `www` -> `www.example.com`).
@@ -123,17 +200,13 @@ impl Name {
     ///
     /// Same validation as [`Name::from_labels`].
     pub fn prepend(&self, label: &str) -> Result<Name, ParseNameError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.as_bytes().to_vec());
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        Name::from_labels(std::iter::once(label.as_bytes()).chain(self.labels()))
     }
 
     /// Byte-exact (case-sensitive) comparison, used by DNS 0x20
     /// validation where the mixed case *is* the entropy.
     pub fn eq_bytes(&self, other: &Name) -> bool {
-        self.labels.len() == other.labels.len()
-            && self.labels.iter().zip(&other.labels).all(|(a, b)| a == b)
+        self.data() == other.data()
     }
 
     /// Returns the name with its ASCII letters' case scrambled by the
@@ -141,48 +214,42 @@ impl Name {
     /// dns0x20): resolvers randomize query case and verify the echo,
     /// adding up to one bit of anti-spoofing entropy per letter.
     pub fn randomize_case(&self, mut entropy: u64) -> Name {
-        let labels = self
-            .labels
-            .iter()
-            .map(|label| {
-                label
-                    .iter()
-                    .map(|&b| {
-                        if b.is_ascii_alphabetic() {
-                            let flip = entropy & 1 == 1;
-                            entropy = entropy.rotate_right(1) ^ 0x9E37_79B9_7F4A_7C15;
-                            if flip {
-                                b.to_ascii_uppercase()
-                            } else {
-                                b.to_ascii_lowercase()
-                            }
-                        } else {
-                            b
-                        }
-                    })
-                    .collect::<Vec<u8>>()
-            })
-            .collect::<Vec<_>>();
-        Name { labels }
+        let mut out = self.clone();
+        let mut pos = 0usize;
+        while pos < out.len as usize {
+            let label_len = out.buf[pos] as usize;
+            for b in &mut out.buf[pos + 1..pos + 1 + label_len] {
+                if b.is_ascii_alphabetic() {
+                    let flip = entropy & 1 == 1;
+                    entropy = entropy.rotate_right(1) ^ 0x9E37_79B9_7F4A_7C15;
+                    *b = if flip {
+                        b.to_ascii_uppercase()
+                    } else {
+                        b.to_ascii_lowercase()
+                    };
+                }
+            }
+            pos += 1 + label_len;
+        }
+        out
     }
 
     /// Encodes the name, using message compression when the writer allows.
     pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
-        // Try to compress each suffix, registering the ones we emit.
-        for (i, _) in self.labels.iter().enumerate() {
-            let key = suffix_key(&self.labels[i..]);
-            if let Some(target) = w.compression_target(&key) {
+        let data = self.data();
+        let mut pos = 0usize;
+        // Try to compress each suffix against names already emitted,
+        // registering the offsets of the suffixes we write out.
+        while pos < data.len() {
+            if let Some(target) = find_compression_target(w, &data[pos..]) {
                 w.write_u16(0xC000 | target);
                 return Ok(());
             }
             let offset = w.len();
-            w.register_compression(key, offset);
-            let label = &self.labels[i];
-            if label.len() > MAX_LABEL_LEN {
-                return Err(WireError::LabelTooLong { len: label.len() });
-            }
-            w.write_u8(label.len() as u8);
-            w.write_slice(label);
+            w.register_compression_offset(offset);
+            let label_len = data[pos] as usize;
+            w.write_slice(&data[pos..pos + 1 + label_len]);
+            pos += 1 + label_len;
         }
         w.write_u8(0); // root
         Ok(())
@@ -198,15 +265,17 @@ impl Name {
     /// Reports truncation, reserved label types, malicious pointer chains
     /// (forward pointers or loops) and length violations distinctly.
     pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let mut labels = Vec::new();
+        let mut out = Self::root();
+        let mut len = 0usize;
+        let mut count = 0usize;
         let mut wire_len = 1usize;
         let mut hops = 0usize;
         // Position to restore after the first pointer jump.
         let mut resume: Option<usize> = None;
         loop {
             let offset = r.position();
-            let len = r.read_u8("name label length")?;
-            match len {
+            let byte = r.read_u8("name label length")?;
+            match byte {
                 0 => break,
                 l if l & 0xC0 == 0xC0 => {
                     let lo = r.read_u8("compression pointer")?;
@@ -234,14 +303,37 @@ impl Name {
                     if wire_len > MAX_NAME_LEN {
                         return Err(WireError::NameTooLong);
                     }
-                    labels.push(label.to_vec());
+                    out.buf[len] = l;
+                    out.buf[len + 1..len + 1 + label.len()].copy_from_slice(label);
+                    len += 1 + label.len();
+                    count += 1;
                 }
             }
         }
         if let Some(pos) = resume {
             r.seek(pos);
         }
-        Ok(Self { labels })
+        out.len = len as u8;
+        out.count = count as u8;
+        Ok(out)
+    }
+}
+
+struct LabelIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let len = self.rest[0] as usize;
+        let label = &self.rest[1..1 + len];
+        self.rest = &self.rest[1 + len..];
+        Some(label)
     }
 }
 
@@ -250,26 +342,66 @@ fn eq_label(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
-/// Lowercased `.`-joined suffix, used as the compression-map key.
-fn suffix_key(labels: &[Vec<u8>]) -> Vec<u8> {
-    let mut key = Vec::new();
-    for (i, label) in labels.iter().enumerate() {
-        if i > 0 {
-            key.push(b'.');
+/// Scans the writer's registered name offsets for one whose encoding
+/// equals `suffix` (length-prefixed labels, no root byte), ASCII
+/// case-insensitively. First registration wins, matching the emission
+/// order the old map-based scheme produced.
+fn find_compression_target(w: &Writer, suffix: &[u8]) -> Option<u16> {
+    let buf = w.bytes();
+    w.compression_targets()
+        .iter()
+        .copied()
+        .find(|&target| name_at_matches(buf, target as usize, suffix))
+}
+
+/// Whether the (possibly compressed) name encoded at `pos` in `buf`
+/// equals `suffix`, following pointers as a decoder would.
+fn name_at_matches(buf: &[u8], mut pos: usize, suffix: &[u8]) -> bool {
+    let mut s = 0usize;
+    let mut hops = 0usize;
+    loop {
+        // Follow any chain of (strictly backward) pointers.
+        while pos + 1 < buf.len() && buf[pos] & 0xC0 == 0xC0 {
+            let target = ((buf[pos] as usize & 0x3F) << 8) | buf[pos + 1] as usize;
+            if target >= pos {
+                return false;
+            }
+            hops += 1;
+            if hops > MAX_POINTER_HOPS {
+                return false;
+            }
+            pos = target;
         }
-        key.extend(label.iter().map(|b| b.to_ascii_lowercase()));
+        let Some(&len) = buf.get(pos) else {
+            return false;
+        };
+        if s == suffix.len() {
+            // Our suffix is exhausted: the emitted name must end here too.
+            return len == 0;
+        }
+        let want = suffix[s] as usize;
+        if len as usize != want || pos + 1 + want > buf.len() {
+            return false;
+        }
+        if !eq_label(&buf[pos + 1..pos + 1 + want], &suffix[s + 1..s + 1 + want]) {
+            return false;
+        }
+        pos += 1 + want;
+        s += 1 + want;
     }
-    key
 }
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
+        // Length bytes are ≤ 63 and thus below every ASCII letter, so a
+        // case-insensitive sweep over the raw layout compares label
+        // boundaries exactly and label bytes case-insensitively.
+        self.len == other.len
             && self
-                .labels
+                .data()
                 .iter()
-                .zip(&other.labels)
-                .all(|(a, b)| eq_label(a, b))
+                .zip(other.data())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 }
 
@@ -277,7 +409,7 @@ impl Eq for Name {}
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for label in &self.labels {
+        for label in self.labels() {
             for b in label {
                 state.write_u8(b.to_ascii_lowercase());
             }
@@ -296,28 +428,37 @@ impl Ord for Name {
     /// Canonical DNS ordering: compare label sequences right-to-left,
     /// case-insensitively (RFC 4034 §6.1 style).
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a: Vec<Vec<u8>> = self
-            .labels
-            .iter()
-            .rev()
-            .map(|l| l.to_ascii_lowercase())
-            .collect();
-        let b: Vec<Vec<u8>> = other
-            .labels
-            .iter()
-            .rev()
-            .map(|l| l.to_ascii_lowercase())
-            .collect();
-        a.cmp(&b)
+        let (self_offsets, self_n) = self.label_offsets();
+        let (other_offsets, other_n) = other.label_offsets();
+        for k in 0..self_n.min(other_n) {
+            let a = self.label_at(self_offsets[self_n - 1 - k]);
+            let b = other.label_at(other_offsets[other_n - 1 - k]);
+            let ord = cmp_label_ci(a, b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self_n.cmp(&other_n)
     }
+}
+
+/// ASCII case-insensitive lexicographic label comparison.
+fn cmp_label_ci(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.to_ascii_lowercase().cmp(&y.to_ascii_lowercase());
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
 }
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return write!(f, ".");
         }
-        for (i, label) in self.labels.iter().enumerate() {
+        for (i, label) in self.labels().enumerate() {
             if i > 0 {
                 write!(f, ".")?;
             }
@@ -413,6 +554,29 @@ mod tests {
     }
 
     #[test]
+    fn inline_storage_has_no_heap_parts() {
+        // The whole point of the representation: a Name is one flat
+        // value, so cloning or decoding it cannot allocate.
+        assert_eq!(std::mem::size_of::<Name>(), INLINE_CAP + 2);
+    }
+
+    #[test]
+    fn max_length_name_roundtrips() {
+        // 3 × 63-byte labels + 1 × 61-byte label: wire_len = 255 exactly.
+        let labels: Vec<String> = (0..3)
+            .map(|i| format!("{i}").repeat(63))
+            .chain(std::iter::once("x".repeat(61)))
+            .collect();
+        let n = Name::from_labels(labels.iter().map(String::as_bytes)).unwrap();
+        assert_eq!(n.wire_len(), 255);
+        let mut w = Writer::new();
+        n.encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        let back = Name::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(back.eq_bytes(&n));
+    }
+
+    #[test]
     fn subdomain_relation() {
         let zone = name("ucfsealresearch.net");
         assert!(name("or000.0000001.ucfsealresearch.net").is_subdomain_of(&zone));
@@ -475,6 +639,25 @@ mod tests {
         name("EXAMPLE.com").encode(&mut w).unwrap();
         let buf = w.finish().unwrap();
         assert_eq!(buf.len(), first + 2, "case difference must still compress");
+    }
+
+    #[test]
+    fn compression_matches_through_pointer_chains() {
+        // Third name must compress against a suffix that is itself
+        // partially encoded via a pointer.
+        let mut w = Writer::new();
+        name("www.example.com").encode(&mut w).unwrap();
+        name("mail.example.com").encode(&mut w).unwrap();
+        let before = w.len();
+        name("smtp.mail.example.com").encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        // Fourth name: 1+4 ("smtp") + 2 (pointer to "mail.example.com").
+        assert_eq!(buf.len(), before + 7);
+        let mut r = Reader::new(&buf);
+        assert_eq!(Name::decode(&mut r).unwrap(), name("www.example.com"));
+        assert_eq!(Name::decode(&mut r).unwrap(), name("mail.example.com"));
+        assert_eq!(Name::decode(&mut r).unwrap(), name("smtp.mail.example.com"));
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]
@@ -589,10 +772,10 @@ impl Name {
             c.to_string(),
             b.to_string(),
             a.to_string(),
-            "in-addr".to_owned(),
-            "arpa".to_owned(),
+            "in-addr".to_string(),
+            "arpa".to_string(),
         ];
-        Name::from_labels(labels.iter().map(String::as_bytes)).expect("octet labels are valid")
+        Name::from_labels(labels).expect("octet labels are valid")
     }
 }
 
@@ -607,5 +790,11 @@ mod reverse_tests {
         assert!(ptr.is_subdomain_of(&"in-addr.arpa".parse().unwrap()));
         let zero = Name::reverse_pointer(std::net::Ipv4Addr::new(0, 0, 0, 0));
         assert_eq!(zero.to_string(), "0.0.0.0.in-addr.arpa");
+    }
+
+    #[test]
+    fn reverse_pointer_three_digit_octets() {
+        let ptr = Name::reverse_pointer(std::net::Ipv4Addr::new(208, 91, 197, 255));
+        assert_eq!(ptr.to_string(), "255.197.91.208.in-addr.arpa");
     }
 }

@@ -29,6 +29,13 @@ pub struct Soa {
 
 /// Typed rdata. Unknown types are carried opaquely so that captures of
 /// nonstandard responses survive a decode/encode roundtrip.
+///
+/// `Soa` dwarfs the other variants because [`Name`] stores its labels
+/// inline (two of them: ~530 bytes). That is deliberate: boxing the
+/// variant would put a heap allocation back into every SOA-bearing
+/// response the resolver and authoritative server build on the hot
+/// path, defeating the inline-name design.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RData {
     /// An IPv4 address.

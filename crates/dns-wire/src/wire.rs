@@ -79,25 +79,53 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Compression targets tracked per message. DNS messages in this
+/// workspace carry a handful of distinct names; once the fixed table is
+/// full, later names are simply emitted uncompressed (graceful
+/// degradation, never an error).
+const MAX_COMPRESSION_TARGETS: usize = 64;
+
 /// An appending writer that tracks name-compression targets.
-#[derive(Debug, Default)]
+///
+/// Instead of keying a heap-allocated map by suffix text, the writer
+/// records the *offsets* at which name encodings start; `Name::encode`
+/// matches candidate suffixes by walking the already-emitted bytes
+/// (following pointers like a decoder would). This keeps the encode path
+/// free of per-name allocations.
+#[derive(Debug)]
 pub struct Writer {
     buf: Vec<u8>,
-    /// Map from an already-emitted (lowercased) name suffix to its offset,
-    /// used for RFC 1035 §4.1.4 message compression. Offsets must fit the
-    /// 14-bit pointer field.
-    compression: std::collections::HashMap<Vec<u8>, u16>,
+    /// Offsets (RFC 1035 §4.1.4 pointer targets) of names already
+    /// emitted, in emission order. Only offsets that fit the 14-bit
+    /// pointer field are stored.
+    targets: [u16; MAX_COMPRESSION_TARGETS],
+    targets_len: usize,
     /// When false, names are emitted without compression pointers (some
     /// rdata, e.g. inside OPT, must not be compressed).
     compression_enabled: bool,
 }
 
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Writer {
     /// Creates an empty writer with compression enabled.
     pub fn new() -> Self {
+        Self::with_buf(Vec::with_capacity(512))
+    }
+
+    /// Creates a writer that reuses `buf`'s allocation, clearing any
+    /// previous contents. Pair with [`Writer::into_buf`] to recycle a
+    /// scratch buffer across messages without reallocating.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
         Self {
-            buf: Vec::with_capacity(512),
-            compression: std::collections::HashMap::new(),
+            buf,
+            targets: [0; MAX_COMPRESSION_TARGETS],
+            targets_len: 0,
             compression_enabled: true,
         }
     }
@@ -152,20 +180,30 @@ impl Writer {
         self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
     }
 
-    /// Looks up a compression target for a (lowercased) suffix key.
-    pub fn compression_target(&self, key: &[u8]) -> Option<u16> {
+    /// The bytes written so far (compression candidates match against
+    /// this).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Offsets of name encodings registered for compression, in emission
+    /// order. Empty while compression is disabled.
+    pub fn compression_targets(&self) -> &[u16] {
         if self.compression_enabled {
-            self.compression.get(key).copied()
+            &self.targets[..self.targets_len]
         } else {
-            None
+            &[]
         }
     }
 
-    /// Registers the current suffix at `offset` for future compression,
-    /// if the offset still fits in a 14-bit pointer.
-    pub fn register_compression(&mut self, key: Vec<u8>, offset: usize) {
-        if self.compression_enabled && offset < 0x3FFF {
-            self.compression.entry(key).or_insert(offset as u16);
+    /// Registers `offset` as the start of a name encoding for future
+    /// compression, if it fits in a 14-bit pointer and the table has
+    /// room.
+    pub fn register_compression_offset(&mut self, offset: usize) {
+        if self.compression_enabled && offset < 0x3FFF && self.targets_len < MAX_COMPRESSION_TARGETS
+        {
+            self.targets[self.targets_len] = offset as u16;
+            self.targets_len += 1;
         }
     }
 
@@ -177,6 +215,12 @@ impl Writer {
             });
         }
         Ok(self.buf)
+    }
+
+    /// Recovers the underlying buffer regardless of length, for callers
+    /// that restore a reusable scratch allocation on the error path.
+    pub fn into_buf(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -241,11 +285,36 @@ mod tests {
     #[test]
     fn compression_registry_respects_pointer_range() {
         let mut w = Writer::new();
-        w.register_compression(b"example".to_vec(), 0x4000); // too far
-        assert_eq!(w.compression_target(b"example"), None);
-        w.register_compression(b"example".to_vec(), 12);
-        assert_eq!(w.compression_target(b"example"), Some(12));
+        w.register_compression_offset(0x4000); // too far for a pointer
+        assert_eq!(w.compression_targets(), &[] as &[u16]);
+        w.register_compression_offset(12);
+        assert_eq!(w.compression_targets(), &[12]);
         w.set_compression(false);
-        assert_eq!(w.compression_target(b"example"), None);
+        assert_eq!(w.compression_targets(), &[] as &[u16]);
+        w.set_compression(true);
+        assert_eq!(w.compression_targets(), &[12]);
+    }
+
+    #[test]
+    fn compression_registry_degrades_when_full() {
+        let mut w = Writer::new();
+        for i in 0..2 * MAX_COMPRESSION_TARGETS {
+            w.register_compression_offset(i);
+        }
+        assert_eq!(w.compression_targets().len(), MAX_COMPRESSION_TARGETS);
+        assert_eq!(w.compression_targets()[0], 0);
+    }
+
+    #[test]
+    fn with_buf_reuses_allocation() {
+        let mut scratch = Vec::with_capacity(4096);
+        scratch.extend_from_slice(b"stale");
+        let ptr = scratch.as_ptr();
+        let mut w = Writer::with_buf(scratch);
+        assert!(w.is_empty());
+        w.write_u16(0xBEEF);
+        let out = w.into_buf();
+        assert_eq!(out, vec![0xBE, 0xEF]);
+        assert_eq!(out.as_ptr(), ptr, "allocation must be recycled");
     }
 }

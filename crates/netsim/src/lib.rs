@@ -58,7 +58,9 @@
 
 pub mod datagram;
 pub mod endpoint;
+mod fxhash;
 pub mod latency;
+pub mod scheduler;
 pub mod sim;
 pub mod stats;
 pub mod telemetry;
@@ -67,6 +69,7 @@ pub mod time;
 pub use datagram::Datagram;
 pub use endpoint::{Context, Endpoint};
 pub use latency::{FixedLatency, HashLatency, LatencyModel};
+pub use scheduler::SchedulerKind;
 pub use sim::{SimNet, SimNetBuilder};
 pub use stats::NetStats;
 pub use telemetry::NetTelemetry;

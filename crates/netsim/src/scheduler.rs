@@ -1,0 +1,569 @@
+//! Event scheduling: a hierarchical timing wheel, with the legacy binary
+//! heap kept behind a [`SchedulerKind`] knob.
+//!
+//! Every simulated packet pays one scheduler push and one pop, so the
+//! queue dominates event-loop cost once campaigns reach millions of
+//! in-flight datagrams. A global `BinaryHeap` makes both operations
+//! O(log n) with poor locality; the timing wheel makes the common case —
+//! events scheduled milliseconds ahead — O(1) amortized, at millisecond
+//! tick granularity.
+//!
+//! # Determinism
+//!
+//! The wheel must reproduce the heap's `(at, seq)` total order exactly,
+//! or seeded runs and the shard-invariance suite would diverge. Three
+//! facts make the orderings bit-identical:
+//!
+//! 1. Slots partition time into disjoint, monotonically visited tick
+//!    ranges, so events in different ticks pop in `at` order.
+//! 2. All events sharing a tick are drained into a small `ready` heap
+//!    ordered by `(at, seq)`, so intra-tick ties pop in submission order.
+//! 3. New events are never scheduled in the past (`SimNet` clamps to
+//!    `now`), so an event pushed mid-drain with `tick <= cursor` lands in
+//!    the `ready` heap and still sorts correctly against its peers.
+//!
+//! The `properties` integration test runs both schedulers side by side
+//! over arbitrary insertion sequences and asserts identical pop order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+use crate::datagram::Datagram;
+use crate::time::SimTime;
+
+/// Dense index of a registered host in the simulator's slab table.
+///
+/// Resolved once when an event is enqueued, so delivery indexes straight
+/// into the slab instead of rehashing the destination address.
+pub(crate) type HostId = u32;
+
+/// Sentinel: the destination was not registered at enqueue time. The
+/// simulator re-resolves at delivery so that hosts registered after the
+/// packet was sent still receive it (matching the old per-delivery
+/// lookup semantics).
+pub(crate) const HOST_UNRESOLVED: HostId = u32::MAX;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver a datagram to the host slab slot `host`.
+    Deliver { dgram: Datagram, host: HostId },
+    /// Fire timer `token` on the host slab slot `host`.
+    Timer {
+        addr: Ipv4Addr,
+        host: HostId,
+        token: u64,
+    },
+}
+
+/// An event in the queue. Ordering: by time, then by sequence number, so
+/// simultaneous events fire in submission order (deterministic).
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Which event-queue implementation a [`crate::SimNet`] runs on.
+///
+/// Both produce bit-identical event orderings; the heap is retained so
+/// oracle tests can prove that, and as a fallback while the wheel is
+/// young.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (the default).
+    #[default]
+    Wheel,
+    /// The legacy global binary heap.
+    Heap,
+}
+
+/// The event queue behind [`crate::SimNet`], selected by [`SchedulerKind`].
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    Heap(BinaryHeap<Reverse<Event>>),
+    Wheel(TimingWheel),
+}
+
+impl EventQueue {
+    pub(crate) fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            SchedulerKind::Wheel => EventQueue::Wheel(TimingWheel::new()),
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: Event) {
+        match self {
+            EventQueue::Heap(heap) => heap.push(Reverse(event)),
+            EventQueue::Wheel(wheel) => wheel.push(event),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(heap) => heap.pop().map(|Reverse(event)| event),
+            EventQueue::Wheel(wheel) => wheel.pop(),
+        }
+    }
+
+    /// Virtual time of the next event, without popping it.
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(heap) => heap.peek().map(|Reverse(event)| event.at),
+            EventQueue::Wheel(wheel) => wheel.next_at(),
+        }
+    }
+
+    /// Number of pending events (exact — telemetry reports true depth).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(heap) => heap.len(),
+            EventQueue::Wheel(wheel) => wheel.len(),
+        }
+    }
+}
+
+/// Raw event-queue handle for microbenchmarks and oracle tests.
+///
+/// Bypasses `SimNet` dispatch — endpoint detachment, statistics, the
+/// failure-injection RNG — so the queue's own push/pop cost can be
+/// measured in isolation. Events are timer-shaped; the `(at, seq)`
+/// ordering contract is exactly what [`crate::SimNet`] observes. Not
+/// part of the simulation API proper: nothing outside benches and
+/// tests should need it.
+#[derive(Debug)]
+pub struct RawQueue {
+    queue: EventQueue,
+    seq: u64,
+}
+
+impl RawQueue {
+    /// Creates an empty queue of the given kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        Self {
+            queue: EventQueue::new(kind),
+            seq: 0,
+        }
+    }
+
+    /// Enqueues a timer-shaped event at `at`; ties pop in push order.
+    pub fn push(&mut self, at: SimTime) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq,
+            kind: EventKind::Timer {
+                addr: Ipv4Addr::UNSPECIFIED,
+                host: HOST_UNRESOLVED,
+                token: seq,
+            },
+        });
+    }
+
+    /// Pops the next pending event as `(at, seq)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.queue.pop().map(|event| (event.at, event.seq))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Wheel tick granularity: 1 ms of virtual time.
+const TICK_NANOS: u64 = 1_000_000;
+
+/// Inner wheel: 256 one-tick slots (tick bits `0..8`).
+const L0_SLOTS: usize = 256;
+/// Upper wheels: 64 slots each, covering tick bits `8..14`, `14..20`,
+/// and `20..26`. Together the levels span 2^26 ticks ≈ 18.6 hours of
+/// virtual time ahead of the cursor; anything further sits in
+/// `overflow` until the cursor approaches.
+const UPPER_SLOTS: usize = 64;
+const UPPER_LEVELS: usize = 3;
+
+/// A four-level hashed hierarchical timing wheel with an overflow list.
+///
+/// `cursor` is the last tick whose slot was drained. An event placed at
+/// tick `t` lives in the finest level whose current block contains both
+/// `t` and the cursor; cascading at block boundaries re-files events
+/// downward until they reach the inner wheel and, finally, the `ready`
+/// heap that hands them out in `(at, seq)` order.
+pub(crate) struct TimingWheel {
+    cursor: u64,
+    level0: Vec<Vec<Event>>,
+    upper: [Vec<Vec<Event>>; UPPER_LEVELS],
+    overflow: Vec<Event>,
+    ready: BinaryHeap<Reverse<Event>>,
+    /// Reusable scratch for cascading drains, so re-filing events does
+    /// not shed and re-grow slot capacity every block boundary.
+    spill: Vec<Event>,
+    /// Events held in `level0` + `upper` + `overflow` (not `ready`).
+    stored: usize,
+    /// Per-level occupancy (`[level0, upper0, upper1, upper2]`), so empty
+    /// stretches of virtual time are skipped without scanning slots.
+    counts: [usize; 1 + UPPER_LEVELS],
+}
+
+impl std::fmt::Debug for TimingWheel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("cursor", &self.cursor)
+            .field("stored", &self.stored)
+            .field("ready", &self.ready.len())
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl TimingWheel {
+    pub(crate) fn new() -> Self {
+        Self {
+            cursor: 0,
+            level0: (0..L0_SLOTS).map(|_| Vec::new()).collect(),
+            upper: std::array::from_fn(|_| (0..UPPER_SLOTS).map(|_| Vec::new()).collect()),
+            overflow: Vec::new(),
+            ready: BinaryHeap::new(),
+            spill: Vec::new(),
+            stored: 0,
+            counts: [0; 1 + UPPER_LEVELS],
+        }
+    }
+
+    #[inline]
+    fn tick_of(at: SimTime) -> u64 {
+        at.as_nanos() / TICK_NANOS
+    }
+
+    pub(crate) fn push(&mut self, event: Event) {
+        self.place(event);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.fill_ready();
+        self.ready.pop().map(|Reverse(event)| event)
+    }
+
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        self.fill_ready();
+        self.ready.peek().map(|Reverse(event)| event.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.stored + self.ready.len()
+    }
+
+    /// Files an event into the finest structure that can hold it. Ticks
+    /// at or behind the cursor go straight to the `ready` heap, which is
+    /// where ordering against already-drained peers is decided.
+    fn place(&mut self, event: Event) {
+        let tick = Self::tick_of(event.at);
+        if tick <= self.cursor {
+            self.ready.push(Reverse(event));
+            return;
+        }
+        self.stored += 1;
+        if tick >> 8 == self.cursor >> 8 {
+            self.counts[0] += 1;
+            self.level0[(tick & 0xFF) as usize].push(event);
+        } else if tick >> 14 == self.cursor >> 14 {
+            self.counts[1] += 1;
+            self.upper[0][((tick >> 8) & 0x3F) as usize].push(event);
+        } else if tick >> 20 == self.cursor >> 20 {
+            self.counts[2] += 1;
+            self.upper[1][((tick >> 14) & 0x3F) as usize].push(event);
+        } else if tick >> 26 == self.cursor >> 26 {
+            self.counts[3] += 1;
+            self.upper[2][((tick >> 20) & 0x3F) as usize].push(event);
+        } else {
+            self.overflow.push(event);
+        }
+    }
+
+    /// Re-files one upper-level slot downward through the reusable
+    /// `spill` scratch (slot and scratch both keep their capacity).
+    fn cascade_upper(&mut self, level: usize, slot: usize) {
+        let mut spill = std::mem::take(&mut self.spill);
+        std::mem::swap(&mut self.upper[level][slot], &mut spill);
+        self.stored -= spill.len();
+        self.counts[1 + level] -= spill.len();
+        for event in spill.drain(..) {
+            self.place(event);
+        }
+        self.spill = spill;
+    }
+
+    /// Re-files every overflow event relative to the current cursor.
+    fn refilter_overflow(&mut self) {
+        let mut spill = std::mem::take(&mut self.spill);
+        std::mem::swap(&mut self.overflow, &mut spill);
+        self.stored -= spill.len();
+        for event in spill.drain(..) {
+            self.place(event);
+        }
+        self.spill = spill;
+    }
+
+    /// Advances the cursor until `ready` holds the next event(s), or the
+    /// wheel is empty.
+    fn fill_ready(&mut self) {
+        while self.ready.is_empty() && self.stored > 0 {
+            if self.counts.iter().all(|&c| c == 0) {
+                // Everything pending is in overflow: jump straight to the
+                // earliest overflow block instead of crawling cascades.
+                // Overflow ticks are always in a later top-level block
+                // than the cursor, so this only ever moves forward.
+                let min_tick = self
+                    .overflow
+                    .iter()
+                    .map(|event| Self::tick_of(event.at))
+                    .min()
+                    .expect("stored > 0 with empty levels implies overflow");
+                self.cursor = min_tick & !0xFF;
+                self.refilter_overflow();
+                continue;
+            }
+            if self.counts[0] > 0 {
+                // Scan the rest of the current 256-tick block.
+                let block_end = (self.cursor | 0xFF) + 1;
+                let mut found = false;
+                for tick in self.cursor..block_end {
+                    let slot = (tick & 0xFF) as usize;
+                    if !self.level0[slot].is_empty() {
+                        self.cursor = tick;
+                        let n = self.level0[slot].len();
+                        self.stored -= n;
+                        self.counts[0] -= n;
+                        for event in self.level0[slot].drain(..) {
+                            self.ready.push(Reverse(event));
+                        }
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                self.cursor = block_end;
+            } else {
+                self.cursor = (self.cursor | 0xFF) + 1;
+            }
+            self.cascade();
+        }
+    }
+
+    /// On entering a new 256-tick block, pulls events down from upper
+    /// levels (and overflow, at the top-level boundary) so the inner
+    /// wheel holds everything due in the new block. Higher levels drain
+    /// first so their events can land in the slots lower levels then
+    /// re-file from.
+    fn cascade(&mut self) {
+        debug_assert_eq!(self.cursor & 0xFF, 0, "cascade off block boundary");
+        if self.cursor & 0x3FFF == 0 {
+            if self.cursor & 0xF_FFFF == 0 {
+                if self.cursor & 0x3FF_FFFF == 0 {
+                    self.refilter_overflow();
+                }
+                self.cascade_upper(2, ((self.cursor >> 20) & 0x3F) as usize);
+            }
+            self.cascade_upper(1, ((self.cursor >> 14) & 0x3F) as usize);
+        }
+        self.cascade_upper(0, ((self.cursor >> 8) & 0x3F) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn timer(at: SimTime, seq: u64) -> Event {
+        Event {
+            at,
+            seq,
+            kind: EventKind::Timer {
+                addr: Ipv4Addr::UNSPECIFIED,
+                host: HOST_UNRESOLVED,
+                token: seq,
+            },
+        }
+    }
+
+    fn pop_all(wheel: &mut TimingWheel) -> Vec<(SimTime, u64)> {
+        let mut out = Vec::new();
+        while let Some(event) = wheel.pop() {
+            out.push((event.at, event.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut wheel = TimingWheel::new();
+        let times = [
+            SimTime::from_nanos(5_000_000),
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            SimTime::from_nanos(5_000_000),
+            SimTime::from_nanos(5_200_000), // same ms tick as 5_000_000
+        ];
+        for (seq, at) in times.iter().enumerate() {
+            wheel.push(timer(*at, seq as u64));
+        }
+        assert_eq!(wheel.len(), 5);
+        let order = pop_all(&mut wheel);
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::ZERO, 1),
+                (SimTime::from_nanos(5_000_000), 0),
+                (SimTime::from_nanos(5_000_000), 3),
+                (SimTime::from_nanos(5_200_000), 4),
+                (SimTime::from_secs(2), 2),
+            ]
+        );
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn far_future_events_traverse_upper_levels() {
+        let mut wheel = TimingWheel::new();
+        // One event per level: ~1ms (level0), ~1s (upper0), ~20min
+        // (upper2), ~2 days (overflow).
+        let times = [
+            Duration::from_millis(1),
+            Duration::from_secs(1),
+            Duration::from_secs(1200),
+            Duration::from_secs(172_800),
+        ];
+        for (seq, d) in times.iter().enumerate() {
+            wheel.push(timer(SimTime::ZERO + *d, seq as u64));
+        }
+        let order = pop_all(&mut wheel);
+        assert_eq!(
+            order.iter().map(|(_, seq)| *seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn sparse_overflow_jump_preserves_order() {
+        let mut wheel = TimingWheel::new();
+        // Both events far beyond every level horizon, in reverse order.
+        wheel.push(timer(SimTime::from_secs(500_000), 0));
+        wheel.push(timer(SimTime::from_secs(400_000), 1));
+        let order = pop_all(&mut wheel);
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_secs(400_000), 1),
+                (SimTime::from_secs(500_000), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn push_at_or_before_cursor_goes_to_ready() {
+        let mut wheel = TimingWheel::new();
+        wheel.push(timer(SimTime::from_secs(1), 0));
+        assert_eq!(wheel.next_at(), Some(SimTime::from_secs(1)));
+        // The cursor has advanced to the 1s tick; a new event in the
+        // same tick must still pop in seq order after the first.
+        wheel.push(timer(SimTime::from_secs(1), 1));
+        // And an earlier-but-not-yet-popped tick would be a scheduling
+        // bug in the caller; equal times are the supported case.
+        let order = pop_all(&mut wheel);
+        assert_eq!(
+            order,
+            vec![(SimTime::from_secs(1), 0), (SimTime::from_secs(1), 1)]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        // Deterministic pseudo-random interleaving, no RNG crate needed.
+        let mut wheel = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut seq = 0u64;
+        let mut virtual_now = SimTime::ZERO;
+        let mut wheel_order = Vec::new();
+        let mut heap_order = Vec::new();
+        for _ in 0..2_000 {
+            let burst = next() % 4;
+            for _ in 0..burst {
+                // Mix of near (same ms), mid (seconds), and far offsets.
+                let offset_nanos = match next() % 5 {
+                    0 => next() % 1_000_000,
+                    1..=3 => next() % 5_000_000_000,
+                    _ => next() % 200_000_000_000_000,
+                };
+                let at = virtual_now + Duration::from_nanos(offset_nanos);
+                wheel.push(timer(at, seq));
+                heap.push(Reverse(timer(at, seq)));
+                seq += 1;
+            }
+            if next() % 3 > 0 {
+                if let Some(event) = wheel.pop() {
+                    virtual_now = event.at;
+                    wheel_order.push((event.at, event.seq));
+                }
+                if let Some(Reverse(event)) = heap.pop() {
+                    heap_order.push((event.at, event.seq));
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        wheel_order.extend(pop_all(&mut wheel));
+        while let Some(Reverse(event)) = heap.pop() {
+            heap_order.push((event.at, event.seq));
+        }
+        assert_eq!(wheel_order, heap_order);
+    }
+
+    #[test]
+    fn len_tracks_ready_and_stored() {
+        let mut wheel = TimingWheel::new();
+        for seq in 0..10 {
+            wheel.push(timer(SimTime::from_secs(seq), seq));
+        }
+        assert_eq!(wheel.len(), 10);
+        let _ = wheel.next_at(); // drains tick 0 into ready
+        assert_eq!(wheel.len(), 10);
+        let _ = wheel.pop();
+        assert_eq!(wheel.len(), 9);
+    }
+}

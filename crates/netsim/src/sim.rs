@@ -1,7 +1,5 @@
 //! The discrete-event simulation engine.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 use rand::{Rng, SeedableRng};
@@ -9,41 +7,19 @@ use rand_chacha::ChaCha12Rng;
 
 use crate::datagram::Datagram;
 use crate::endpoint::{Context, Endpoint};
+use crate::fxhash::FxHashMap;
 use crate::latency::{HashLatency, LatencyModel};
+use crate::scheduler::{Event, EventKind, EventQueue, HostId, SchedulerKind, HOST_UNRESOLVED};
 use crate::stats::NetStats;
 use crate::telemetry::NetTelemetry;
 use crate::time::SimTime;
 
-/// An event in the queue. Ordering: by time, then by sequence number, so
-/// simultaneous events fire in submission order (deterministic).
-#[derive(Debug)]
-enum EventKind {
-    Deliver(Datagram),
-    Timer { host: Ipv4Addr, token: u64 },
-}
-
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// One entry in the slab host table: a slot is allocated the first time
+/// an address registers and is never reused for a different address, so
+/// a [`HostId`] captured at enqueue time stays valid forever.
+struct HostSlot {
+    addr: Ipv4Addr,
+    ep: Option<Box<dyn Endpoint>>,
 }
 
 /// Builder for [`SimNet`]; see [`SimNet::builder`].
@@ -54,6 +30,7 @@ pub struct SimNetBuilder {
     duplicate_probability: f64,
     max_events: u64,
     telemetry: NetTelemetry,
+    scheduler: SchedulerKind,
 }
 
 impl Default for SimNetBuilder {
@@ -65,6 +42,7 @@ impl Default for SimNetBuilder {
             duplicate_probability: 0.0,
             max_events: u64::MAX,
             telemetry: NetTelemetry::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -74,6 +52,7 @@ impl std::fmt::Debug for SimNetBuilder {
         f.debug_struct("SimNetBuilder")
             .field("seed", &self.seed)
             .field("loss_probability", &self.loss_probability)
+            .field("scheduler", &self.scheduler)
             .finish_non_exhaustive()
     }
 }
@@ -132,11 +111,21 @@ impl SimNetBuilder {
         self
     }
 
+    /// Selects the event-queue implementation (default:
+    /// [`SchedulerKind::Wheel`]). Both kinds produce bit-identical
+    /// event orderings; see [`crate::scheduler`].
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
     /// Builds the simulator.
     pub fn build(self) -> SimNet {
         SimNet {
-            hosts: HashMap::new(),
-            queue: BinaryHeap::new(),
+            hosts: Vec::new(),
+            index: FxHashMap::default(),
+            occupied: 0,
+            queue: EventQueue::new(self.scheduler),
             now: SimTime::ZERO,
             seq: 0,
             latency: self.latency,
@@ -151,9 +140,18 @@ impl SimNetBuilder {
 }
 
 /// The simulated internet: hosts, an event queue, and a virtual clock.
+///
+/// Hosts live in a slab: a dense `Vec` of slots plus an FxHash
+/// address→index map consulted once per enqueued event. Delivery indexes
+/// straight into the slot and detaches the endpoint with `Option::take`,
+/// so the per-event cost is two array accesses instead of two hash-map
+/// operations (the old remove/re-insert dance).
 pub struct SimNet {
-    hosts: HashMap<Ipv4Addr, Box<dyn Endpoint>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    hosts: Vec<HostSlot>,
+    index: FxHashMap<Ipv4Addr, HostId>,
+    /// Slots whose `ep` is currently `Some`.
+    occupied: usize,
+    queue: EventQueue,
     now: SimTime,
     seq: u64,
     latency: Box<dyn LatencyModel>,
@@ -168,7 +166,7 @@ pub struct SimNet {
 impl std::fmt::Debug for SimNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimNet")
-            .field("hosts", &self.hosts.len())
+            .field("hosts", &self.occupied)
             .field("queued_events", &self.queue.len())
             .field("now", &self.now)
             .field("stats", &self.stats)
@@ -184,27 +182,54 @@ impl SimNet {
 
     /// Registers `endpoint` at `addr`, replacing any previous host there.
     pub fn register(&mut self, addr: Ipv4Addr, endpoint: impl Endpoint + 'static) {
-        self.hosts.insert(addr, Box::new(endpoint));
+        self.register_boxed(addr, Box::new(endpoint));
     }
 
     /// Registers a boxed endpoint (for populations built dynamically).
     pub fn register_boxed(&mut self, addr: Ipv4Addr, endpoint: Box<dyn Endpoint>) {
-        self.hosts.insert(addr, endpoint);
+        match self.index.get(&addr) {
+            Some(&id) => {
+                let slot = &mut self.hosts[id as usize];
+                if slot.ep.is_none() {
+                    self.occupied += 1;
+                }
+                slot.ep = Some(endpoint);
+            }
+            None => {
+                let id = self.hosts.len() as HostId;
+                assert!(id < HOST_UNRESOLVED, "host table full");
+                self.index.insert(addr, id);
+                self.hosts.push(HostSlot {
+                    addr,
+                    ep: Some(endpoint),
+                });
+                self.occupied += 1;
+            }
+        }
     }
 
-    /// Removes and returns the host at `addr`, if any.
+    /// Removes and returns the host at `addr`, if any. The slot (and
+    /// any [`HostId`] referring to it) stays reserved for `addr`, so a
+    /// later re-registration resumes receiving in-flight packets.
     pub fn deregister(&mut self, addr: Ipv4Addr) -> Option<Box<dyn Endpoint>> {
-        self.hosts.remove(&addr)
+        let id = *self.index.get(&addr)?;
+        let ep = self.hosts[id as usize].ep.take();
+        if ep.is_some() {
+            self.occupied -= 1;
+        }
+        ep
     }
 
     /// Whether a host is registered at `addr`.
     pub fn is_registered(&self, addr: Ipv4Addr) -> bool {
-        self.hosts.contains_key(&addr)
+        self.index
+            .get(&addr)
+            .is_some_and(|&id| self.hosts[id as usize].ep.is_some())
     }
 
     /// Number of registered hosts.
     pub fn host_count(&self) -> usize {
-        self.hosts.len()
+        self.occupied
     }
 
     /// Current virtual time.
@@ -228,7 +253,8 @@ impl SimNet {
         addr: Ipv4Addr,
         f: impl FnOnce(&mut dyn Endpoint) -> R,
     ) -> Option<R> {
-        self.hosts.get_mut(&addr).map(|ep| f(ep.as_mut()))
+        let id = *self.index.get(&addr)?;
+        self.hosts[id as usize].ep.as_mut().map(|ep| f(ep.as_mut()))
     }
 
     /// Injects a datagram into the network "from the outside" (e.g. a
@@ -240,13 +266,20 @@ impl SimNet {
     /// Arms a timer for the host at `addr` at absolute time `at`.
     pub fn set_timer_for(&mut self, addr: Ipv4Addr, at: SimTime, token: u64) {
         let at = at.max(self.now);
-        self.push_event(at, EventKind::Timer { host: addr, token });
+        let host = self.resolve(addr);
+        self.push_event(at, EventKind::Timer { addr, host, token });
+    }
+
+    /// One FxHash lookup: address → slab slot (or the sentinel if the
+    /// address has never been registered).
+    fn resolve(&self, addr: Ipv4Addr) -> HostId {
+        self.index.get(&addr).copied().unwrap_or(HOST_UNRESOLVED)
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(Event { at, seq, kind });
         self.telemetry
             .event_queue_depth_hwm
             .record_max(self.queue.len() as u64);
@@ -260,6 +293,7 @@ impl SimNet {
             self.telemetry.datagrams_lost.inc();
             return;
         }
+        let host = self.resolve(dgram.dst);
         let delay = self.latency.latency(dgram.src, dgram.dst);
         let at = self.now + delay;
         if self.duplicate_probability > 0.0 && self.rng.gen::<f64>() < self.duplicate_probability {
@@ -267,9 +301,31 @@ impl SimNet {
             self.stats.duplicated += 1;
             self.telemetry.datagrams_duplicated.inc();
             let dup_at = at + std::time::Duration::from_millis(3);
-            self.push_event(dup_at, EventKind::Deliver(dgram.clone()));
+            self.push_event(
+                dup_at,
+                EventKind::Deliver {
+                    dgram: dgram.clone(),
+                    host,
+                },
+            );
         }
-        self.push_event(at, EventKind::Deliver(dgram));
+        self.push_event(at, EventKind::Deliver { dgram, host });
+    }
+
+    /// Detaches the endpoint in slot `host`, re-resolving through the
+    /// index only if the address was unregistered at enqueue time.
+    fn take_endpoint(&mut self, host: &mut HostId, addr: Ipv4Addr) -> Option<Box<dyn Endpoint>> {
+        if *host == HOST_UNRESOLVED {
+            *host = self.resolve(addr);
+            if *host == HOST_UNRESOLVED {
+                return None;
+            }
+        }
+        debug_assert_eq!(
+            self.hosts[*host as usize].addr, addr,
+            "slab slot reused for a different address"
+        );
+        self.hosts[*host as usize].ep.take()
     }
 
     /// Processes one event; returns `false` when the queue is empty or
@@ -278,7 +334,7 @@ impl SimNet {
         if self.stats.events >= self.max_events {
             return false;
         }
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         debug_assert!(event.at >= self.now, "time went backwards");
@@ -286,10 +342,10 @@ impl SimNet {
         self.stats.events += 1;
         self.telemetry.events_processed.inc();
         match event.kind {
-            EventKind::Deliver(dgram) => {
+            EventKind::Deliver { dgram, mut host } => {
                 // Detach the endpoint so the handler can borrow the
                 // context mutably without aliasing the host table.
-                let Some(mut ep) = self.hosts.remove(&dgram.dst) else {
+                let Some(mut ep) = self.take_endpoint(&mut host, dgram.dst) else {
                     self.stats.unrouted += 1;
                     self.telemetry.datagrams_unrouted.inc();
                     return true;
@@ -305,34 +361,44 @@ impl SimNet {
                 let Context {
                     outgoing, timers, ..
                 } = ctx;
-                self.hosts.insert(dgram.dst, ep);
-                self.apply(outgoing, timers, dgram.dst);
+                self.hosts[host as usize].ep = Some(ep);
+                self.apply(outgoing, timers, dgram.dst, host);
             }
-            EventKind::Timer { host, token } => {
-                let Some(mut ep) = self.hosts.remove(&host) else {
+            EventKind::Timer {
+                addr,
+                mut host,
+                token,
+            } => {
+                let Some(mut ep) = self.take_endpoint(&mut host, addr) else {
                     return true;
                 };
                 self.stats.timers_fired += 1;
                 self.telemetry.timers_fired.inc();
-                let mut ctx = Context::new(self.now, host, &mut self.rng);
+                let mut ctx = Context::new(self.now, addr, &mut self.rng);
                 ep.handle_timer(token, &mut ctx);
                 let Context {
                     outgoing, timers, ..
                 } = ctx;
-                self.hosts.insert(host, ep);
-                self.apply(outgoing, timers, host);
+                self.hosts[host as usize].ep = Some(ep);
+                self.apply(outgoing, timers, addr, host);
             }
         }
         true
     }
 
-    fn apply(&mut self, outgoing: Vec<Datagram>, timers: Vec<(SimTime, u64)>, host: Ipv4Addr) {
+    fn apply(
+        &mut self,
+        outgoing: Vec<Datagram>,
+        timers: Vec<(SimTime, u64)>,
+        addr: Ipv4Addr,
+        host: HostId,
+    ) {
         for dgram in outgoing {
             self.enqueue_datagram(dgram);
         }
         for (at, token) in timers {
             let at = at.max(self.now);
-            self.push_event(at, EventKind::Timer { host, token });
+            self.push_event(at, EventKind::Timer { addr, host, token });
         }
     }
 
@@ -343,8 +409,8 @@ impl SimNet {
 
     /// Runs until virtual time reaches `deadline` or the queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.queue.next_at() {
+            if head_at > deadline {
                 break;
             }
             if !self.step() {
@@ -504,6 +570,55 @@ mod tests {
         net.run_until_idle();
         assert_eq!(replies.load(Ordering::Relaxed), 0);
         assert_eq!(net.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn reregister_after_deregister_resumes_delivery() {
+        // A packet enqueued while the slot is empty is delivered once
+        // the address re-registers before the delivery event fires.
+        let got = Arc::new(AtomicU64::new(0));
+        struct Count(Arc<AtomicU64>);
+        impl Endpoint for Count {
+            fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut net = SimNet::builder()
+            .seed(2)
+            .latency(FixedLatency(Duration::from_millis(5)))
+            .build();
+        net.register(SERVER, Count(got.clone()));
+        net.deregister(SERVER);
+        assert!(!net.is_registered(SERVER));
+        net.inject(Datagram::new((CLIENT, 1), (SERVER, 53), b"x".to_vec()));
+        net.register(SERVER, Count(got.clone()));
+        assert!(net.is_registered(SERVER));
+        assert_eq!(net.host_count(), 1);
+        net.run_until_idle();
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+        assert_eq!(net.stats().unrouted, 0);
+    }
+
+    #[test]
+    fn late_registration_still_receives() {
+        // Destination first registered only after the packet is already
+        // in flight: the enqueue-time sentinel re-resolves at delivery.
+        let got = Arc::new(AtomicU64::new(0));
+        struct Count(Arc<AtomicU64>);
+        impl Endpoint for Count {
+            fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut net = SimNet::builder()
+            .seed(2)
+            .latency(FixedLatency(Duration::from_millis(5)))
+            .build();
+        net.inject(Datagram::new((CLIENT, 1), (SERVER, 53), b"x".to_vec()));
+        net.register(SERVER, Count(got.clone()));
+        net.run_until_idle();
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+        assert_eq!(net.stats().unrouted, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use bytes::Bytes;
 use orscope_authns::scheme::ProbeLabel;
 use orscope_dns_wire::wire::Reader;
 use orscope_dns_wire::{Header, Message, Name, Question};
@@ -70,6 +71,8 @@ pub struct Prober {
     handle: ProberHandle,
     done: bool,
     telemetry: ProberTelemetry,
+    /// Reusable wire-encoding buffer; probes encode without allocating.
+    scratch: Vec<u8>,
 }
 
 impl Prober {
@@ -107,6 +110,7 @@ impl Prober {
             handle,
             done: false,
             telemetry: ProberTelemetry::default(),
+            scratch: Vec::with_capacity(512),
         }
     }
 
@@ -132,11 +136,13 @@ impl Prober {
             // from the label anyway so packets look realistic.
             let id = (label.seq as u16) ^ ((label.cluster as u16) << 10);
             let query = Message::query(id, Question::a(qname));
-            let Ok(wire) = query.encode() else { continue };
+            if query.encode_into(&mut self.scratch).is_err() {
+                continue;
+            }
             ctx.send(Datagram::new(
                 (ctx.local_addr(), 61_000),
                 (target, 53),
-                wire,
+                Bytes::copy_from_slice(&self.scratch),
             ));
             self.outstanding.insert(
                 label,

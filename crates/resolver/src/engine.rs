@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use bytes::Bytes;
 use orscope_dns_wire::{Message, Name, Question, RData, Rcode, Record};
 use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 
@@ -111,6 +112,9 @@ pub struct ProfiledResolver {
     txn_rng: u32,
     stats: ResolverStats,
     telemetry: ResolverTelemetry,
+    /// Reusable wire-encoding buffer; steady-state responses and
+    /// upstream queries encode without allocating.
+    scratch: Vec<u8>,
 }
 
 impl ProfiledResolver {
@@ -129,7 +133,14 @@ impl ProfiledResolver {
             txn_rng: 0x9E37_79B9,
             stats: ResolverStats::default(),
             telemetry: ResolverTelemetry::default(),
+            scratch: Vec::with_capacity(512),
         }
+    }
+
+    /// Encodes `msg` through the scratch buffer into a sendable payload.
+    fn encode_scratch(&mut self, msg: &Message) -> Option<Bytes> {
+        msg.encode_into(&mut self.scratch).ok()?;
+        Some(Bytes::copy_from_slice(&self.scratch))
     }
 
     /// Attaches pre-resolved telemetry handles (default: disabled).
@@ -205,9 +216,9 @@ impl ProfiledResolver {
                         .rcode(Rcode::Refused)
                         .build(),
                 };
-                if let Ok(wire) = response.encode() {
+                if let Some(payload) = self.encode_scratch(&response) {
                     self.stats.responses_sent += 1;
-                    ctx.send(dgram.reply(wire));
+                    ctx.send(dgram.reply(payload));
                 }
                 return;
             }
@@ -216,7 +227,7 @@ impl ProfiledResolver {
         match action {
             ResponseAction::Silent => {}
             ResponseAction::Immediate(imm) => {
-                if let Some(wire) = build_immediate(query, &imm) {
+                if let Some(wire) = build_immediate(query, &imm, &mut self.scratch) {
                     let reply = match imm.src_port {
                         Some(port) => dgram.reply_from_port(port, wire),
                         None => dgram.reply(wire),
@@ -235,9 +246,9 @@ impl ProfiledResolver {
                         .response_to(query)
                         .rcode(Rcode::FormErr)
                         .build();
-                    if let Ok(wire) = resp.encode() {
+                    if let Some(payload) = self.encode_scratch(&resp) {
                         self.stats.responses_sent += 1;
-                        ctx.send(dgram.reply(wire));
+                        ctx.send(dgram.reply(payload));
                     }
                     return;
                 };
@@ -370,13 +381,13 @@ impl ProfiledResolver {
         // Recursive resolvers speak EDNS upstream (RFC 6891) so large
         // authoritative answers are not truncated at 512 bytes.
         query.set_edns_udp_size(4096);
-        if let Ok(wire) = query.encode() {
+        if let Some(payload) = self.encode_scratch(&query) {
             self.stats.upstream_queries += 1;
             // Ephemeral source port derived from the transaction id.
             ctx.send(Datagram::new(
                 (ctx.local_addr(), Self::ephemeral_port(txn)),
                 (server, 53),
-                wire,
+                payload,
             ));
         }
         question
@@ -398,13 +409,13 @@ impl ProfiledResolver {
             .insert(txn, ((dgram.src, dgram.src_port), query.header().id()));
         let mut relay = Message::query(txn, question);
         relay.header_mut().set_recursion_desired(true);
-        if let Ok(wire) = relay.encode() {
+        if let Some(payload) = self.encode_scratch(&relay) {
             self.stats.forwarded += 1;
             self.stats.upstream_queries += 1;
             ctx.send(Datagram::new(
                 (ctx.local_addr(), Self::ephemeral_port(txn)),
                 (fp.upstream, 53),
-                wire,
+                payload,
             ));
             ctx.set_timer(self.config.timeout, txn as u64);
         }
@@ -426,9 +437,9 @@ impl ProfiledResolver {
         if let Some(ra) = fp.ra_override {
             out.header_mut().set_recursion_available(ra);
         }
-        if let Ok(wire) = out.encode() {
+        if let Some(payload) = self.encode_scratch(&out) {
             self.stats.responses_sent += 1;
-            ctx.send(Datagram::new((ctx.local_addr(), 53), client, wire));
+            ctx.send(Datagram::new((ctx.local_addr(), 53), client, payload));
         }
     }
 
@@ -687,9 +698,16 @@ impl ProfiledResolver {
         }
         let mut response = builder.build();
         response.header_mut().set_response(true);
-        if let Ok(wire) = response.encode_truncated(client_limit) {
+        if response
+            .encode_truncated_into(client_limit, &mut self.scratch)
+            .is_ok()
+        {
             self.stats.responses_sent += 1;
-            ctx.send(Datagram::new((ctx.local_addr(), 53), client, wire));
+            ctx.send(Datagram::new(
+                (ctx.local_addr(), 53),
+                client,
+                Bytes::copy_from_slice(&self.scratch),
+            ));
         }
     }
 }
@@ -728,10 +746,10 @@ impl ProfiledResolver {
                 .rcode(Rcode::ServFail)
                 .build();
             out.header_mut().set_response(true);
-            if let Ok(wire) = out.encode() {
+            if let Some(payload) = self.encode_scratch(&out) {
                 self.stats.failures += 1;
                 self.stats.responses_sent += 1;
-                ctx.send(Datagram::new((ctx.local_addr(), 53), client, wire));
+                ctx.send(Datagram::new((ctx.local_addr(), 53), client, payload));
             }
             return;
         }
@@ -768,11 +786,16 @@ impl ProfiledResolver {
     }
 }
 
-/// Builds the wire bytes of an immediate (non-recursed) response.
+/// Builds the wire bytes of an immediate (non-recursed) response through
+/// the caller's reusable `scratch` buffer.
 ///
 /// Returns `None` only if encoding fails (should not happen for the
 /// policy-constructible shapes).
-fn build_immediate(query: &Message, imm: &ImmediateResponse) -> Option<Vec<u8>> {
+fn build_immediate(
+    query: &Message,
+    imm: &ImmediateResponse,
+    scratch: &mut Vec<u8>,
+) -> Option<Bytes> {
     let qname = query
         .first_question()
         .map(|q| q.qname().clone())
@@ -808,17 +831,17 @@ fn build_immediate(query: &Message, imm: &ImmediateResponse) -> Option<Vec<u8>> 
     if imm.empty_question {
         response.clear_questions();
     }
-    let mut wire = response.encode().ok()?;
+    response.encode_into(scratch).ok()?;
     if imm.malformed_rdata && answer_is_a {
         // The A answer is the final record; its RDLENGTH occupies the two
         // bytes before the four rdata bytes. Inflating it makes the
         // answer undecodable while the header and question still parse —
         // exactly the 2013 "N/A" capture artifact.
-        let len = wire.len();
-        wire[len - 6] = 0xFF;
-        wire[len - 5] = 0xFF;
+        let len = scratch.len();
+        scratch[len - 6] = 0xFF;
+        scratch[len - 5] = 0xFF;
     }
-    Some(wire)
+    Some(Bytes::copy_from_slice(scratch))
 }
 
 #[cfg(test)]
