@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = CampaignConfig::new(Year::Y2018, 20_000.0);
             cfg.off_port_responders = 30;
-            let result = Campaign::new(cfg).run();
+            let result = Campaign::new(cfg).run().unwrap();
             assert_eq!(result.dataset().probe_stats.off_port_dropped, 30);
             black_box(result.dataset().r2())
         })

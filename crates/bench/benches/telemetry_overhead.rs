@@ -24,7 +24,7 @@ fn measure(telemetry: bool) -> (f64, u64) {
         let config = CampaignConfig::new(Year::Y2018, SCALE).with_telemetry(telemetry);
         let campaign = Campaign::new(config);
         let start = Instant::now();
-        let result = campaign.run();
+        let result = campaign.run().unwrap();
         best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
         r2 = result.dataset().r2();
     }

@@ -53,7 +53,7 @@ fn main() {
                 scope.spawn(move || {
                     let started = std::time::Instant::now();
                     let config = CampaignConfig::new(year, scale).with_shards(shards);
-                    let result = Campaign::new(config).run();
+                    let result = Campaign::new(config).run().unwrap();
                     eprintln!(
                         "[{year}] simulated {} probes, {} responses in {:?}",
                         result.dataset().q1,

@@ -17,19 +17,29 @@ pub const BENCH_SCALE: f64 = 2_000.0;
 /// A completed 2018 campaign, built once.
 pub fn campaign_2018() -> &'static CampaignResult {
     static RESULT: OnceLock<CampaignResult> = OnceLock::new();
-    RESULT.get_or_init(|| Campaign::new(CampaignConfig::new(Year::Y2018, BENCH_SCALE)).run())
+    RESULT.get_or_init(|| {
+        Campaign::new(CampaignConfig::new(Year::Y2018, BENCH_SCALE))
+            .run()
+            .unwrap()
+    })
 }
 
 /// A completed 2013 campaign, built once.
 pub fn campaign_2013() -> &'static CampaignResult {
     static RESULT: OnceLock<CampaignResult> = OnceLock::new();
-    RESULT.get_or_init(|| Campaign::new(CampaignConfig::new(Year::Y2013, BENCH_SCALE)).run())
+    RESULT.get_or_init(|| {
+        Campaign::new(CampaignConfig::new(Year::Y2013, BENCH_SCALE))
+            .run()
+            .unwrap()
+    })
 }
 
 /// Runs a fresh (non-cached) campaign; used by the pipeline benches
 /// that measure the scan itself.
 pub fn run_campaign(year: Year, scale: f64) -> CampaignResult {
-    Campaign::new(CampaignConfig::new(year, scale)).run()
+    Campaign::new(CampaignConfig::new(year, scale))
+        .run()
+        .unwrap()
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use orscope_analysis::Dataset;
@@ -10,13 +11,19 @@ use orscope_authns::{
     TldServer, Zone,
 };
 use orscope_ipspace::{AllowedSpace, ScanPermutation};
-use orscope_netsim::{HashLatency, NetStats, NetTelemetry, SchedulerKind, SimNet, SimTime};
-use orscope_prober::{ProbeStats, Prober, ProberConfig, ProberHandle, ProberTelemetry, R2Capture};
+use orscope_netsim::{
+    FaultPlan, HashLatency, NetStats, NetTelemetry, SchedulerKind, SimNet, SimTime,
+};
+use orscope_prober::{
+    ProbeStats, Prober, ProberConfig, ProberHandle, ProberTelemetry, R2Capture, ScanCheckpoint,
+    SlotSchedule,
+};
 use orscope_resolver::paper::{Year, YearSpec};
 use orscope_resolver::population::{shard_index, Population, PopulationConfig};
 use orscope_resolver::{ProfiledResolver, ResolverConfig, ResolverTelemetry};
-use orscope_telemetry::{Collector, TelemetrySnapshot};
+use orscope_telemetry::{Collector, PhaseSpan, Scope, TelemetrySnapshot};
 
+use crate::error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 use crate::infra::{seed_geo_db, seed_threat_db, Infra};
 use crate::result::CampaignResult;
 
@@ -34,6 +41,20 @@ pub struct CampaignConfig {
     /// Independent per-datagram duplication probability (failure
     /// injection; UDP may deliver twice).
     pub duplicate_probability: f64,
+    /// Scheduled, scoped network impairments (the chaos layer). The
+    /// plan's seed is mixed with the campaign seed, and the same mixed
+    /// plan is handed to every shard, so fault decisions are
+    /// shard-invariant. The legacy `loss_probability` /
+    /// `duplicate_probability` knobs become degenerate always-on rules
+    /// appended to this plan.
+    pub faults: FaultPlan,
+    /// Per-probe retransmission budget: an unanswered Q1 is re-sent with
+    /// exponential backoff up to this many times before the target is
+    /// abandoned (0 = the paper's fire-and-forget scan).
+    pub retry_limit: u32,
+    /// Publish a prober [`ScanCheckpoint`] through its handle every this
+    /// many probes (`None` disables auto-checkpointing).
+    pub checkpoint_every: Option<u64>,
     /// Extra off-port responders (the §V blind-spot ablation).
     pub off_port_responders: u64,
     /// Fraction of standard honest resolvers replaced by CPE forwarders
@@ -64,6 +85,9 @@ pub struct CampaignConfig {
     /// identical event orderings (see the scheduler-invariance tests);
     /// the knob exists for oracle testing and benchmarking.
     pub scheduler: SchedulerKind,
+    /// Deterministic shard-failure injection for exercising the
+    /// supervisor (tests and chaos drills only).
+    pub sabotage: Option<ShardSabotage>,
     /// Infrastructure addresses.
     pub infra: Infra,
 }
@@ -77,6 +101,9 @@ impl CampaignConfig {
             seed: 0xD5A1_2019,
             loss_probability: 0.0,
             duplicate_probability: 0.0,
+            faults: FaultPlan::new(),
+            retry_limit: 0,
+            checkpoint_every: None,
             off_port_responders: 0,
             forwarder_fraction: 0.0,
             probe_rate_pps: None,
@@ -85,6 +112,7 @@ impl CampaignConfig {
             shards: 1,
             telemetry: true,
             scheduler: SchedulerKind::default(),
+            sabotage: None,
             infra: Infra::default(),
         }
     }
@@ -118,6 +146,117 @@ impl CampaignConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Sets the independent per-datagram loss probability.
+    pub fn with_loss(mut self, probability: f64) -> Self {
+        self.loss_probability = probability;
+        self
+    }
+
+    /// Sets the independent per-datagram duplication probability.
+    pub fn with_duplication(mut self, probability: f64) -> Self {
+        self.duplicate_probability = probability;
+        self
+    }
+
+    /// Installs a fault plan (scheduled, scoped impairments).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-probe retransmission budget.
+    pub fn with_retries(mut self, retry_limit: u32) -> Self {
+        self.retry_limit = retry_limit;
+        self
+    }
+
+    /// Enables auto-checkpointing every `probes` Q1 packets.
+    pub fn with_checkpoint_every(mut self, probes: u64) -> Self {
+        self.checkpoint_every = Some(probes);
+        self
+    }
+
+    /// Overrides the probe rate.
+    pub fn with_probe_rate(mut self, rate_pps: u64) -> Self {
+        self.probe_rate_pps = Some(rate_pps);
+        self
+    }
+
+    /// Sets the CPE-forwarder fraction.
+    pub fn with_forwarder_fraction(mut self, fraction: f64) -> Self {
+        self.forwarder_fraction = fraction;
+        self
+    }
+
+    /// Sets the number of extra off-port responders.
+    pub fn with_off_port_responders(mut self, count: u64) -> Self {
+        self.off_port_responders = count;
+        self
+    }
+
+    /// Injects deterministic shard failures (supervisor testing).
+    pub fn with_sabotage(mut self, sabotage: ShardSabotage) -> Self {
+        self.sabotage = Some(sabotage);
+        self
+    }
+
+    /// Checks the configuration for operator errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidConfig`] for out-of-range knobs:
+    /// a degenerate scale, probabilities outside `[0, 1]`, a zero probe
+    /// rate, a shard count outside `1..=64`, or a malformed fault plan.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        let invalid = |reason: String| Err(CampaignError::InvalidConfig(reason));
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return invalid(format!("scale {} must be a positive number", self.scale));
+        }
+        if !(1..=64).contains(&self.shards) {
+            return invalid(format!("shard count {} out of range 1..=64", self.shards));
+        }
+        for (name, p) in [
+            ("loss_probability", self.loss_probability),
+            ("duplicate_probability", self.duplicate_probability),
+            ("forwarder_fraction", self.forwarder_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return invalid(format!("{name} {p} not in [0, 1]"));
+            }
+        }
+        if !(self.non_responder_factor.is_finite() && self.non_responder_factor >= 0.0) {
+            return invalid(format!(
+                "non_responder_factor {} must be non-negative",
+                self.non_responder_factor
+            ));
+        }
+        if self.probe_rate_pps == Some(0) {
+            return invalid("probe rate must be positive (got 0 pps)".to_owned());
+        }
+        if let Err(reason) = self.faults.validate() {
+            return invalid(format!("fault plan: {reason}"));
+        }
+        if let Some(sabotage) = self.sabotage {
+            if sabotage.shard >= self.shards {
+                return invalid(format!(
+                    "sabotaged shard {} does not exist ({} shard(s))",
+                    sabotage.shard, self.shards
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault plan actually installed in every shard simulator: the
+    /// configured plan with its seed mixed with the campaign seed (so
+    /// reseeding the campaign reseeds the chaos draws) — identical
+    /// across shards by construction.
+    pub(crate) fn effective_faults(&self) -> FaultPlan {
+        let mut plan = self.faults.clone();
+        plan.seed ^= self.seed;
+        plan
+    }
 }
 
 /// A runnable reproduction campaign.
@@ -140,18 +279,19 @@ impl Campaign {
     /// Builds the topology, runs the scan to completion, and analyzes
     /// the captures.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is degenerate (zero/negative scale).
-    pub fn run(&self) -> CampaignResult {
+    /// Returns [`CampaignError::InvalidConfig`] for a degenerate
+    /// configuration (see [`CampaignConfig::validate`]) and
+    /// [`CampaignError::AllShardsFailed`] when every shard panicked
+    /// twice. A campaign that loses *some* shards still returns `Ok`,
+    /// with the surviving shards merged and
+    /// [`CampaignResult::degraded`] describing the gap.
+    pub fn run(&self) -> Result<CampaignResult, CampaignError> {
         let config = &self.config;
-        let mut pop_config = PopulationConfig::new(config.year, config.scale);
-        pop_config.seed = config.seed;
-        pop_config.reserved_hosts = config.infra.addresses();
-        pop_config.off_port_responders = config.off_port_responders;
-        pop_config.forwarder_fraction = config.forwarder_fraction;
+        config.validate()?;
         let build_started = Instant::now();
-        let population = Population::generate(&pop_config);
+        let population = self.build_population();
         self.run_inner(population, Some(build_started.elapsed()))
     }
 
@@ -159,23 +299,37 @@ impl Campaign {
     /// continuous-monitoring trend, which interpolates populations
     /// between the two scans).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is degenerate (zero/negative scale).
-    pub fn run_with_population(&self, population: Population) -> CampaignResult {
+    /// As for [`Campaign::run`].
+    pub fn run_with_population(
+        &self,
+        population: Population,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.config.validate()?;
         self.run_inner(population, None)
+    }
+
+    /// Generates the population this configuration describes.
+    pub(crate) fn build_population(&self) -> Population {
+        let config = &self.config;
+        let mut pop_config = PopulationConfig::new(config.year, config.scale);
+        pop_config.seed = config.seed;
+        pop_config.reserved_hosts = config.infra.addresses();
+        pop_config.off_port_responders = config.off_port_responders;
+        pop_config.forwarder_fraction = config.forwarder_fraction;
+        Population::generate(&pop_config)
     }
 
     /// Shared body of [`Campaign::run`] and
     /// [`Campaign::run_with_population`]. `build_wall` is the wall-clock
     /// time spent generating the population, when this call did so.
-    fn run_inner(&self, population: Population, build_wall: Option<Duration>) -> CampaignResult {
+    fn run_inner(
+        &self,
+        population: Population,
+        build_wall: Option<Duration>,
+    ) -> Result<CampaignResult, CampaignError> {
         let config = &self.config;
-        assert!(
-            (1..=64).contains(&config.shards),
-            "shard count {} out of range 1..=64",
-            config.shards
-        );
         let spec = YearSpec::get(config.year);
         // Root collector: phase spans recorded here; per-shard metric
         // snapshots are absorbed into it at merge time.
@@ -191,117 +345,161 @@ impl Campaign {
         }
         let threat = seed_threat_db(&population);
         let geo = seed_geo_db(&population);
-
-        let cluster_capacity = ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale)
-            .round() as u64)
-            .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
-        // The probe rate scales with the population so the in-flight
-        // working set keeps its real-world proportion to the cluster
-        // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
-        let total_rate = config
-            .probe_rate_pps
-            .unwrap_or_else(|| ((spec.probe_rate_pps as f64 / config.scale).ceil() as u64).max(1));
+        let knobs = self.shard_knobs(&spec);
 
         // The target list is built once from the master seed, before any
         // partitioning, so every shard count scans the same addresses in
         // the same global order.
         let targets = self.build_targets(&spec, &population);
 
-        if config.shards == 1 {
-            let outcome = self.run_shard(ShardPlan {
-                sim_seed: config.seed,
-                rate_pps: total_rate,
-                base_cluster: 0,
-                cluster_capacity,
-                targets,
-                population: &population,
-            });
-            let analyze = collector.phase("phase.analyze");
-            let dataset = outcome.dataset(config);
-            analyze.finish();
-            let mut telemetry = collector.snapshot();
-            telemetry.absorb(&outcome.telemetry);
-            return CampaignResult::new(
-                config.clone(),
-                spec,
-                dataset,
-                threat,
-                geo,
-                population,
-                outcome.net_stats,
-                outcome.auth_packets,
-                config.telemetry.then_some(telemetry),
-            );
-        }
-
         // ---- shard planning ----
         let shards = config.shards;
-        let shard_pops = population.shard(shards);
-        // Placement map: resolvers (and their forwarders) and off-port
+        let shard_pops: Vec<Population>;
+        let shard_populations: Vec<&Population> = if shards == 1 {
+            vec![&population]
+        } else {
+            shard_pops = population.shard(shards);
+            shard_pops.iter().collect()
+        };
+        // Placement: resolvers (and their forwarders) and off-port
         // responders go where `Population::shard` put them; silent fill
-        // targets hash straight to a shard.
-        let mut owner: HashMap<Ipv4Addr, usize> = HashMap::new();
-        for (index, part) in shard_pops.iter().enumerate() {
-            for planned in part
-                .resolvers
-                .iter()
-                .chain(&part.off_port)
-                .chain(&part.upstreams)
-            {
-                owner.insert(planned.addr, index);
+        // targets hash straight to a shard. Each target keeps its global
+        // scan index so every shard sends on the campaign-wide pacing
+        // grid (send times — and therefore time-windowed fault exposure
+        // — are shard-layout-invariant).
+        let mut shard_targets: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); shards];
+        let mut shard_slots: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        if shards == 1 {
+            shard_slots[0] = (0..targets.len() as u64).collect();
+            shard_targets[0] = targets;
+        } else {
+            let mut owner: HashMap<Ipv4Addr, usize> = HashMap::new();
+            for (index, part) in shard_populations.iter().enumerate() {
+                for planned in part
+                    .resolvers
+                    .iter()
+                    .chain(&part.off_port)
+                    .chain(&part.upstreams)
+                {
+                    owner.insert(planned.addr, index);
+                }
+            }
+            for (global_index, addr) in targets.into_iter().enumerate() {
+                let index = owner
+                    .get(&addr)
+                    .copied()
+                    .unwrap_or_else(|| shard_index(addr, shards));
+                shard_targets[index].push(addr);
+                shard_slots[index].push(global_index as u64);
             }
         }
-        let mut shard_targets: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); shards];
-        for addr in targets {
-            let index = owner
-                .get(&addr)
-                .copied()
-                .unwrap_or_else(|| shard_index(addr, shards));
-            shard_targets[index].push(addr);
-        }
-        // Split the aggregate rate so the fleet still probes at the
-        // year's published pps; remainders go to the first shards.
-        let base_rate = total_rate / shards as u64;
-        let remainder = (total_rate % shards as u64) as usize;
         // Disjoint cluster namespaces per shard keep merged qnames
         // globally unique (1,000 clusters shared across <= 64 shards).
         let cluster_stride = 1_000 / shards as u32;
 
-        // ---- fan out: one SimNet per shard, one OS thread each ----
-        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shard_pops
+        // ---- fan out: one supervised SimNet per shard ----
+        // Each shard runs under `catch_unwind`; a panicking shard is
+        // rebuilt from the same plan (same seed) and retried once. A
+        // second panic marks the shard permanently failed: its slice is
+        // missing from the merge and the result carries a
+        // `DegradedReport`.
+        let runs: Vec<ShardRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_populations
                 .iter()
-                .zip(shard_targets)
+                .copied()
+                .zip(shard_targets.into_iter().zip(shard_slots))
                 .enumerate()
-                .map(|(index, (shard_pop, targets))| {
-                    let plan = ShardPlan {
-                        // Decorrelate per-shard loss/duplication draws;
-                        // shard 0 keeps the master seed so shards=1
-                        // reproduces the classic run exactly.
-                        sim_seed: config.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        rate_pps: (base_rate + u64::from(index < remainder)).max(1),
-                        base_cluster: index as u32 * cluster_stride,
-                        cluster_capacity,
-                        targets,
-                        population: shard_pop,
-                    };
-                    scope.spawn(move || self.run_shard(plan))
+                .map(|(index, (shard_pop, (targets, slots)))| {
+                    scope.spawn(move || {
+                        let mut retried = false;
+                        for attempt in 0..2u32 {
+                            let plan = ShardPlan {
+                                shard: index,
+                                attempt,
+                                // Decorrelate per-shard simulator seeds;
+                                // shard 0 keeps the master seed so
+                                // shards=1 reproduces the classic run
+                                // exactly.
+                                sim_seed: config.seed
+                                    ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                total_rate_pps: knobs.total_rate,
+                                base_cluster: index as u32 * cluster_stride,
+                                cluster_capacity: knobs.cluster_capacity,
+                                targets: targets.clone(),
+                                slot_indices: slots.clone(),
+                                population: shard_pop,
+                            };
+                            match catch_unwind(AssertUnwindSafe(|| self.run_shard(plan))) {
+                                Ok(outcome) => {
+                                    return ShardRun {
+                                        shard: index,
+                                        retried,
+                                        outcome: Ok(Box::new(outcome)),
+                                    };
+                                }
+                                Err(payload) => {
+                                    if attempt == 0 {
+                                        retried = true;
+                                        continue;
+                                    }
+                                    return ShardRun {
+                                        shard: index,
+                                        retried,
+                                        outcome: Err(panic_text(payload.as_ref())),
+                                    };
+                                }
+                            }
+                        }
+                        unreachable!("a shard returns within two attempts")
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| handle.join().expect("shard thread panicked"))
+                .map(|handle| handle.join().expect("supervisor thread panicked"))
                 .collect()
         });
 
+        // ---- triage ----
+        let mut failed: Vec<ShardFailure> = Vec::new();
+        let mut retried: Vec<usize> = Vec::new();
+        let mut outcomes: Vec<ShardOutcome> = Vec::new();
+        for run in runs {
+            if run.retried {
+                retried.push(run.shard);
+            }
+            match run.outcome {
+                Ok(outcome) => outcomes.push(*outcome),
+                Err(message) => failed.push(ShardFailure {
+                    shard: run.shard,
+                    message,
+                }),
+            }
+        }
+        if outcomes.is_empty() {
+            return Err(CampaignError::AllShardsFailed(failed));
+        }
+        collector
+            .counter(Scope::Shard, "campaign.shard_retries")
+            .add(retried.len() as u64);
+        collector
+            .counter(Scope::Shard, "campaign.shards_lost")
+            .add(failed.len() as u64);
+        let degraded = (!failed.is_empty() || !retried.is_empty())
+            .then_some(DegradedReport { failed, retried });
+
         // ---- merge ----
         let analyze = collector.phase("phase.analyze");
-        let dataset = Dataset::merge(
-            outcomes
-                .iter()
-                .map(|outcome| outcome.dataset(config))
-                .collect(),
-        );
+        let dataset = if outcomes.len() == 1 {
+            outcomes[0].dataset(config)
+        } else {
+            Dataset::merge(
+                outcomes
+                    .iter()
+                    .map(|outcome| outcome.dataset(config))
+                    .collect(),
+            )
+        };
         analyze.finish();
         let mut telemetry = collector.snapshot();
         let mut net_stats = NetStats::default();
@@ -315,7 +513,7 @@ impl Campaign {
         // sort breaking cross-shard ties by shard index.
         auth_packets.sort_by_key(|packet| packet.at);
 
-        CampaignResult::new(
+        Ok(CampaignResult::new(
             config.clone(),
             spec,
             dataset,
@@ -325,12 +523,55 @@ impl Campaign {
             net_stats,
             auth_packets,
             config.telemetry.then_some(telemetry),
-        )
+            degraded,
+        ))
+    }
+
+    /// Derives the knobs every shard shares: the aggregate probe rate
+    /// and the per-cluster name capacity.
+    pub(crate) fn shard_knobs(&self, spec: &YearSpec) -> ShardKnobs {
+        let config = &self.config;
+        let cluster_capacity = ((orscope_authns::scheme::CLUSTER_CAPACITY as f64 / config.scale)
+            .round() as u64)
+            .clamp(64, orscope_authns::scheme::CLUSTER_CAPACITY);
+        // The probe rate scales with the population so the in-flight
+        // working set keeps its real-world proportion to the cluster
+        // size (100k pps against 3.7B targets ~ 50 pps against 1.85M).
+        let total_rate = config
+            .probe_rate_pps
+            .unwrap_or_else(|| ((spec.probe_rate_pps as f64 / config.scale).ceil() as u64).max(1));
+        ShardKnobs {
+            total_rate,
+            cluster_capacity,
+        }
     }
 
     /// Builds one shard's simulation, runs it to completion, and returns
     /// its raw outcome for merging.
     fn run_shard(&self, plan: ShardPlan<'_>) -> ShardOutcome {
+        if let Some(sabotage) = self.config.sabotage {
+            if sabotage.shard == plan.shard && plan.attempt < sabotage.failures {
+                panic!(
+                    "sabotaged: shard {} ordered to fail on attempt {}",
+                    plan.shard, plan.attempt
+                );
+            }
+        }
+        let mut world = self.build_shard(plan, None);
+        // ---- run to completion ----
+        let probe_span = world.collector.phase("phase.probe");
+        world.net.run_until_idle();
+        world.collect(probe_span)
+    }
+
+    /// Assembles one shard's simulator: network, name-server hierarchy,
+    /// resolver population, and prober (resumed from `resume` when
+    /// given). The caller decides how far to run it.
+    pub(crate) fn build_shard(
+        &self,
+        plan: ShardPlan<'_>,
+        resume: Option<&ScanCheckpoint>,
+    ) -> ShardWorld {
         let config = &self.config;
         let infra = &config.infra;
 
@@ -350,6 +591,9 @@ impl Campaign {
             .latency(HashLatency::internet(config.seed))
             .loss_probability(config.loss_probability)
             .duplicate_probability(config.duplicate_probability)
+            // Same mixed plan in every shard: hashed per-flow draws keep
+            // chaos decisions identical regardless of layout.
+            .faults(config.effective_faults())
             .scheduler(config.scheduler)
             .telemetry(NetTelemetry::from_collector(&collector))
             .build();
@@ -400,63 +644,43 @@ impl Campaign {
         let q1_planned = plan.targets.len() as u64;
         let prober_handle = ProberHandle::new();
         let mut prober_config = ProberConfig::new(infra.zone.clone(), plan.targets);
-        prober_config.rate_pps = plan.rate_pps;
+        prober_config.rate_pps = plan.total_rate_pps;
         prober_config.cluster_capacity = plan.cluster_capacity;
         prober_config.base_cluster = plan.base_cluster;
+        prober_config.retry_limit = config.retry_limit;
+        prober_config.checkpoint_every = config.checkpoint_every;
+        if resume.is_none() {
+            // Campaign-global send slots; a resumed scan paces locally
+            // over its remaining-targets list instead.
+            prober_config.slots = Some(SlotSchedule {
+                total_rate_pps: plan.total_rate_pps,
+                indices: plan.slot_indices,
+            });
+        }
+        let prober = match resume {
+            None => Prober::new(prober_config, prober_handle.clone()),
+            Some(checkpoint) => Prober::resume(prober_config, prober_handle.clone(), checkpoint),
+        }
+        .expect("probe rate validated");
         net.register(
             infra.prober,
-            Prober::new(prober_config, prober_handle.clone())
-                .with_telemetry(ProberTelemetry::from_collector(&collector)),
+            prober.with_telemetry(ProberTelemetry::from_collector(&collector)),
         );
         net.set_timer_for(infra.prober, SimTime::ZERO, 0);
 
-        // ---- run to completion ----
-        let probe_span = collector.phase("phase.probe");
-        net.run_until_idle();
-
-        // ---- collect ----
-        let probe_stats = prober_handle.stats();
-        debug_assert!(probe_stats.done, "scan did not drain");
-        debug_assert_eq!(probe_stats.q1_sent, q1_planned);
-        let q2 = auth_capture.count(orscope_authns::Direction::Inbound) as u64;
-        let r1 = auth_capture.count(orscope_authns::Direction::Outbound) as u64;
-        // Scan wall clock: probe completion plus the zone-cluster load
-        // stops (one minute per full cluster, pro-rated at scale).
-        let load_secs = probe_stats.clusters_used as f64
-            * orscope_authns::cluster::CLUSTER_LOAD_TIME.as_secs_f64()
-            * (plan.cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
-        let duration_secs = probe_stats.finished_at.as_secs_f64() + load_secs;
-        // Phase spans: the probe phase covers virtual time up to scan
-        // completion; the capture drain covers the tail in which late
-        // responses and retries settle. Both happen inside the single
-        // `run_until_idle` call, so the drain gets no wall share.
-        let probe_virt = probe_stats
-            .finished_at
-            .since(SimTime::ZERO)
-            .as_nanos()
-            .min(u128::from(u64::MAX)) as u64;
-        probe_span.finish_with_virtual(probe_virt);
-        let drain_virt = net
-            .now()
-            .since(probe_stats.finished_at)
-            .as_nanos()
-            .min(u128::from(u64::MAX)) as u64;
-        collector.record_span("phase.capture_drain", Duration::ZERO, drain_virt);
-        ShardOutcome {
-            probe_stats,
-            captures: prober_handle.drain(),
-            q2,
-            r1,
-            duration_secs,
-            net_stats: *net.stats(),
-            auth_packets: auth_capture.drain(),
-            telemetry: collector.snapshot(),
+        ShardWorld {
+            net,
+            prober_handle,
+            auth_capture,
+            collector,
+            q1_planned,
+            cluster_capacity: plan.cluster_capacity,
         }
     }
 
     /// Builds the scan-ordered target list: all responders embedded in
     /// either the full scaled space or a fast-mode sample of silents.
-    fn build_targets(&self, spec: &YearSpec, population: &Population) -> Vec<Ipv4Addr> {
+    pub(crate) fn build_targets(&self, spec: &YearSpec, population: &Population) -> Vec<Ipv4Addr> {
         let config = &self.config;
         let mut targets: Vec<Ipv4Addr> = population
             .resolvers
@@ -496,39 +720,132 @@ impl Campaign {
     }
 }
 
+/// Renders a `catch_unwind` payload as text for the failure report.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Knobs shared by every shard of one campaign.
+pub(crate) struct ShardKnobs {
+    /// Aggregate (campaign-wide) probe rate.
+    pub(crate) total_rate: u64,
+    /// Names per subdomain cluster.
+    pub(crate) cluster_capacity: u64,
+}
+
+/// One supervised shard attempt's result.
+struct ShardRun {
+    shard: usize,
+    retried: bool,
+    outcome: Result<Box<ShardOutcome>, String>,
+}
+
 /// Everything one shard needs to run independently: its slice of the
 /// population and targets plus derived knobs. Borrows the shard
 /// population, so shard threads are spawned inside `std::thread::scope`.
-struct ShardPlan<'a> {
-    /// Seed for this shard's `SimNet` (loss/duplication draws).
-    sim_seed: u64,
-    /// This shard's slice of the aggregate probe rate.
-    rate_pps: u64,
+pub(crate) struct ShardPlan<'a> {
+    /// Shard index (0-based).
+    pub(crate) shard: usize,
+    /// Supervision attempt (0 = first run, 1 = retry).
+    pub(crate) attempt: u32,
+    /// Seed for this shard's `SimNet`.
+    pub(crate) sim_seed: u64,
+    /// The campaign-wide probe rate (slot pacing is global).
+    pub(crate) total_rate_pps: u64,
     /// First subdomain cluster this shard allocates from.
-    base_cluster: u32,
+    pub(crate) base_cluster: u32,
     /// Names per cluster (shared across shards).
-    cluster_capacity: u64,
+    pub(crate) cluster_capacity: u64,
     /// This shard's targets, in global scan order.
-    targets: Vec<Ipv4Addr>,
+    pub(crate) targets: Vec<Ipv4Addr>,
+    /// Global scan index of each target (drives the send-slot grid).
+    pub(crate) slot_indices: Vec<u64>,
     /// The resolvers, off-port responders, and upstreams this shard owns.
-    population: &'a Population,
+    pub(crate) population: &'a Population,
+}
+
+/// A fully-assembled shard simulation, ready to run.
+pub(crate) struct ShardWorld {
+    /// The shard's simulator with every endpoint registered.
+    pub(crate) net: SimNet,
+    /// Live view of the prober's captures and counters.
+    pub(crate) prober_handle: ProberHandle,
+    /// Live view of the authoritative server's packet capture.
+    pub(crate) auth_capture: CaptureHandle,
+    /// The shard's telemetry collector.
+    pub(crate) collector: Collector,
+    /// How many Q1 probes this shard is expected to send.
+    pub(crate) q1_planned: u64,
+    /// Names per subdomain cluster (for the load-time model).
+    pub(crate) cluster_capacity: u64,
+}
+
+impl ShardWorld {
+    /// Harvests a completed shard run into a mergeable outcome.
+    pub(crate) fn collect(self, probe_span: PhaseSpan) -> ShardOutcome {
+        let probe_stats = self.prober_handle.stats();
+        debug_assert!(probe_stats.done, "scan did not drain");
+        debug_assert_eq!(probe_stats.q1_sent, self.q1_planned);
+        let q2 = self.auth_capture.count(orscope_authns::Direction::Inbound) as u64;
+        let r1 = self.auth_capture.count(orscope_authns::Direction::Outbound) as u64;
+        // Scan wall clock: probe completion plus the zone-cluster load
+        // stops (one minute per full cluster, pro-rated at scale).
+        let load_secs = probe_stats.clusters_used as f64
+            * orscope_authns::cluster::CLUSTER_LOAD_TIME.as_secs_f64()
+            * (self.cluster_capacity as f64 / orscope_authns::scheme::CLUSTER_CAPACITY as f64);
+        let duration_secs = probe_stats.finished_at.as_secs_f64() + load_secs;
+        // Phase spans: the probe phase covers virtual time up to scan
+        // completion; the capture drain covers the tail in which late
+        // responses and retries settle. Both happen inside the single
+        // `run_until_idle` call, so the drain gets no wall share.
+        let probe_virt = probe_stats
+            .finished_at
+            .since(SimTime::ZERO)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        probe_span.finish_with_virtual(probe_virt);
+        let drain_virt = self
+            .net
+            .now()
+            .since(probe_stats.finished_at)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        self.collector
+            .record_span("phase.capture_drain", Duration::ZERO, drain_virt);
+        ShardOutcome {
+            probe_stats,
+            captures: self.prober_handle.drain(),
+            q2,
+            r1,
+            duration_secs,
+            net_stats: *self.net.stats(),
+            auth_packets: self.auth_capture.drain(),
+            telemetry: self.collector.snapshot(),
+        }
+    }
 }
 
 /// What one shard's simulation produced, pre-merge.
-struct ShardOutcome {
-    probe_stats: ProbeStats,
-    captures: Vec<R2Capture>,
-    q2: u64,
-    r1: u64,
-    duration_secs: f64,
-    net_stats: NetStats,
-    auth_packets: Vec<CapturedPacket>,
-    telemetry: TelemetrySnapshot,
+pub(crate) struct ShardOutcome {
+    pub(crate) probe_stats: ProbeStats,
+    pub(crate) captures: Vec<R2Capture>,
+    pub(crate) q2: u64,
+    pub(crate) r1: u64,
+    pub(crate) duration_secs: f64,
+    pub(crate) net_stats: NetStats,
+    pub(crate) auth_packets: Vec<CapturedPacket>,
+    pub(crate) telemetry: TelemetrySnapshot,
 }
 
 impl ShardOutcome {
     /// Classifies this shard's captures into a per-shard dataset.
-    fn dataset(&self, config: &CampaignConfig) -> Dataset {
+    pub(crate) fn dataset(&self, config: &CampaignConfig) -> Dataset {
         Dataset::from_captures(
             config.year,
             config.scale,
@@ -549,7 +866,7 @@ mod tests {
     #[test]
     fn fast_campaign_runs_and_matches_scale() {
         let config = CampaignConfig::new(Year::Y2018, 10_000.0);
-        let result = Campaign::new(config).run();
+        let result = Campaign::new(config).run().unwrap();
         let spec = YearSpec::get(Year::Y2018);
         let expected_r2 = (spec.r2 as f64 / 10_000.0).round() as u64;
         assert_eq!(result.dataset().r2(), expected_r2);
@@ -560,7 +877,9 @@ mod tests {
     #[test]
     fn campaign_is_deterministic() {
         let run = || {
-            let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+            let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+                .run()
+                .unwrap();
             (
                 result.dataset().r2(),
                 result.dataset().q2,
@@ -572,38 +891,44 @@ mod tests {
 
     #[test]
     fn q2_equals_r1_at_the_authoritative_server() {
-        let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+            .run()
+            .unwrap();
         assert_eq!(result.dataset().q2, result.dataset().r1);
         assert!(result.dataset().q2 > 0);
     }
 
     #[test]
     fn loss_injection_reduces_r2_but_not_determinism() {
-        let mut config = CampaignConfig::new(Year::Y2018, 20_000.0);
-        config.loss_probability = 0.2;
-        let a = Campaign::new(config.clone()).run();
-        let b = Campaign::new(config).run();
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_loss(0.2);
+        let a = Campaign::new(config.clone()).run().unwrap();
+        let b = Campaign::new(config).run().unwrap();
         assert_eq!(a.dataset().r2(), b.dataset().r2());
-        let lossless = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        let lossless = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+            .run()
+            .unwrap();
         assert!(a.dataset().r2() < lossless.dataset().r2());
     }
 
     #[test]
     fn off_port_responders_are_invisible_in_r2() {
-        let mut config = CampaignConfig::new(Year::Y2018, 20_000.0);
-        config.off_port_responders = 20;
-        let result = Campaign::new(config).run();
-        let baseline = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_off_port_responders(20);
+        let result = Campaign::new(config).run().unwrap();
+        let baseline = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+            .run()
+            .unwrap();
         assert_eq!(result.dataset().r2(), baseline.dataset().r2());
         assert_eq!(result.dataset().off_port_dropped, 20);
     }
 
     #[test]
     fn sharded_campaign_matches_single_shard_counts() {
-        let single = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+        let single = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+            .run()
+            .unwrap();
         for shards in [2, 4] {
             let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
-            let sharded = Campaign::new(config).run();
+            let sharded = Campaign::new(config).run().unwrap();
             assert_eq!(sharded.dataset().q1, single.dataset().q1, "{shards} shards");
             assert_eq!(sharded.dataset().q2, single.dataset().q2, "{shards} shards");
             assert_eq!(sharded.dataset().r1, single.dataset().r1, "{shards} shards");
@@ -619,7 +944,7 @@ mod tests {
     fn sharded_campaign_is_deterministic() {
         let run = || {
             let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(4);
-            let result = Campaign::new(config).run();
+            let result = Campaign::new(config).run().unwrap();
             (
                 result.dataset().r2(),
                 result.dataset().q2,
@@ -635,10 +960,11 @@ mod tests {
         // upstream landed in different shards the relayed query would be
         // unrouted and R2 would shrink.
         let build = |shards: usize| {
-            let mut config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
-            config.forwarder_fraction = 0.25;
-            config.off_port_responders = 10;
-            Campaign::new(config).run()
+            let config = CampaignConfig::new(Year::Y2018, 20_000.0)
+                .with_shards(shards)
+                .with_forwarder_fraction(0.25)
+                .with_off_port_responders(10);
+            Campaign::new(config).run().unwrap()
         };
         let single = build(1);
         let sharded = build(4);
@@ -648,9 +974,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn zero_shards_rejected() {
         let config = CampaignConfig::new(Year::Y2018, 50_000.0).with_shards(0);
-        let _ = Campaign::new(config).run();
+        let err = Campaign::new(config).run().unwrap_err();
+        assert!(matches!(err, CampaignError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_before_any_simulation() {
+        let base = || CampaignConfig::new(Year::Y2018, 50_000.0);
+        for config in [
+            base().with_loss(1.5),
+            base().with_duplication(-0.1),
+            base().with_probe_rate(0),
+            base().with_forwarder_fraction(2.0),
+        ] {
+            let err = Campaign::new(config).run().unwrap_err();
+            assert!(matches!(err, CampaignError::InvalidConfig(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn sabotaged_shard_recovers_on_retry() {
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0)
+            .with_shards(2)
+            .with_sabotage(ShardSabotage {
+                shard: 1,
+                failures: 1,
+            });
+        let result = Campaign::new(config).run().unwrap();
+        let degraded = result.degraded().expect("retry recorded");
+        assert!(!degraded.is_partial(), "retry succeeded: nothing missing");
+        assert_eq!(degraded.retried, vec![1]);
+        // The retried shard reran with the same seed, so the merged
+        // result matches an unsabotaged campaign.
+        let clean = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(2))
+            .run()
+            .unwrap();
+        assert_eq!(result.dataset().r2(), clean.dataset().r2());
+        assert_eq!(result.dataset().q2, clean.dataset().q2);
+    }
+
+    #[test]
+    fn permanently_failed_shard_degrades_the_result() {
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0)
+            .with_shards(2)
+            .with_sabotage(ShardSabotage {
+                shard: 0,
+                failures: 2,
+            });
+        let result = Campaign::new(config).run().unwrap();
+        assert!(result.is_partial());
+        let degraded = result.degraded().expect("degradation recorded");
+        assert_eq!(degraded.failed.len(), 1);
+        assert_eq!(degraded.failed[0].shard, 0);
+        assert!(degraded.failed[0].message.contains("sabotaged"));
+        // The survivor's slice alone undercounts the clean campaign.
+        let clean = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(2))
+            .run()
+            .unwrap();
+        assert!(result.dataset().r2() < clean.dataset().r2());
+    }
+
+    #[test]
+    fn all_shards_failing_is_an_error() {
+        let config = CampaignConfig::new(Year::Y2018, 50_000.0).with_sabotage(ShardSabotage {
+            shard: 0,
+            failures: 2,
+        });
+        let err = Campaign::new(config).run().unwrap_err();
+        let CampaignError::AllShardsFailed(failures) = err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].message.contains("sabotaged"));
     }
 }

@@ -1,0 +1,186 @@
+//! Campaign-level checkpoint and resume.
+//!
+//! The paper's 2013 scan ran for seven days; a rerun of it has to
+//! survive operator restarts. [`Campaign::run_partial`] runs a
+//! single-shard campaign up to a virtual-time cut, freezes the world,
+//! and returns a [`CampaignCheckpoint`]: the prober's scan cursor (a
+//! [`ScanCheckpoint`]) plus everything already captured.
+//! [`Campaign::resume_from`] rebuilds a fresh world positioned at that
+//! cursor, re-probes the targets that were in flight, finishes the
+//! scan, and merges both halves into one [`CampaignResult`].
+//!
+//! Because fault draws are hashed per flow (keyed on the endpoint pair
+//! and a per-pair ordinal), a probe flow re-run in the fresh world sees
+//! exactly the draws it would have seen uninterrupted — so a resumed
+//! lossy campaign classifies identically to a straight run. Two
+//! exceptions: time-*windowed* fault rules are evaluated against the
+//! resumed world's restarted clock, and shared forwarder upstreams
+//! accumulate cross-flow ordinals that the restart resets; resumption
+//! is exact for always-on rules over non-forwarding populations.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use orscope_authns::CapturedPacket;
+use orscope_netsim::SimTime;
+use orscope_prober::{Prober, R2Capture, ScanCheckpoint};
+use orscope_resolver::paper::YearSpec;
+
+use crate::campaign::{Campaign, ShardPlan};
+use crate::error::CampaignError;
+use crate::infra::{seed_geo_db, seed_threat_db};
+use crate::result::CampaignResult;
+
+/// A suspended single-shard campaign: scan cursor plus everything the
+/// first phase already captured.
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint {
+    /// The prober's cursor (serializable; see
+    /// [`ScanCheckpoint::to_json_string`]).
+    pub scan: ScanCheckpoint,
+    /// Targets whose probe was in flight at the cut; they are re-probed
+    /// on resume.
+    pub outstanding: Vec<Ipv4Addr>,
+    /// R2 packets captured before the cut.
+    pub captures: Vec<R2Capture>,
+    /// The authoritative server's packet capture before the cut.
+    pub auth_packets: Vec<CapturedPacket>,
+    /// Q2 packets the authoritative server saw before the cut.
+    pub q2: u64,
+    /// R1 packets the authoritative server sent before the cut.
+    pub r1: u64,
+}
+
+impl Campaign {
+    /// Runs a single-shard campaign up to `stop_at` of virtual time and
+    /// returns the frozen state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidConfig`] for a degenerate
+    /// configuration or a shard count other than 1 (checkpointing
+    /// freezes one world; shard a resumed campaign afterwards instead).
+    pub fn run_partial(&self, stop_at: Duration) -> Result<CampaignCheckpoint, CampaignError> {
+        let config = self.config();
+        config.validate()?;
+        if config.shards != 1 {
+            return Err(CampaignError::InvalidConfig(format!(
+                "checkpointing requires shards = 1 (got {})",
+                config.shards
+            )));
+        }
+        let spec = YearSpec::get(config.year);
+        let population = self.build_population();
+        let knobs = self.shard_knobs(&spec);
+        let targets = self.build_targets(&spec, &population);
+        let slot_indices: Vec<u64> = (0..targets.len() as u64).collect();
+        let plan = ShardPlan {
+            shard: 0,
+            attempt: 0,
+            sim_seed: config.seed,
+            total_rate_pps: knobs.total_rate,
+            base_cluster: 0,
+            cluster_capacity: knobs.cluster_capacity,
+            targets,
+            slot_indices,
+            population: &population,
+        };
+        let mut world = self.build_shard(plan, None);
+        world.net.run_until(SimTime::ZERO + stop_at);
+        let (scan, outstanding) = world
+            .net
+            .with_host(config.infra.prober, |ep| {
+                let prober = ep
+                    .as_any_mut()
+                    .and_then(|any| any.downcast_mut::<Prober>())
+                    .expect("the campaign registered a Prober here");
+                (prober.checkpoint(), prober.outstanding_targets())
+            })
+            .expect("prober registered");
+        let q2 = world.auth_capture.count(orscope_authns::Direction::Inbound) as u64;
+        let r1 = world
+            .auth_capture
+            .count(orscope_authns::Direction::Outbound) as u64;
+        Ok(CampaignCheckpoint {
+            scan,
+            outstanding,
+            captures: world.prober_handle.drain(),
+            auth_packets: world.auth_capture.drain(),
+            q2,
+            r1,
+        })
+    }
+
+    /// Rebuilds a fresh world positioned at `checkpoint`, finishes the
+    /// scan, and merges both phases into one result.
+    ///
+    /// The configuration must be the one the checkpoint was taken under
+    /// (same year, scale, and seed), so the rebuilt population and
+    /// target order match the suspended scan's.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run_partial`].
+    pub fn resume_from(
+        &self,
+        checkpoint: &CampaignCheckpoint,
+    ) -> Result<CampaignResult, CampaignError> {
+        let config = self.config();
+        config.validate()?;
+        if config.shards != 1 {
+            return Err(CampaignError::InvalidConfig(format!(
+                "resuming requires shards = 1 (got {})",
+                config.shards
+            )));
+        }
+        let spec = YearSpec::get(config.year);
+        let population = self.build_population();
+        let threat = seed_threat_db(&population);
+        let geo = seed_geo_db(&population);
+        let knobs = self.shard_knobs(&spec);
+        // The full original target list (the cursor indexes into it),
+        // with the interrupted probes re-appended at the tail.
+        let mut targets = self.build_targets(&spec, &population);
+        targets.extend(checkpoint.outstanding.iter().copied());
+        let plan = ShardPlan {
+            shard: 0,
+            attempt: 0,
+            sim_seed: config.seed,
+            total_rate_pps: knobs.total_rate,
+            base_cluster: 0,
+            cluster_capacity: knobs.cluster_capacity,
+            targets,
+            // Resume paces locally: the global slot grid described the
+            // uninterrupted scan, not the remaining-targets tail.
+            slot_indices: Vec::new(),
+            population: &population,
+        };
+        let mut world = self.build_shard(plan, Some(&checkpoint.scan));
+        let probe_span = world.collector.phase("phase.probe");
+        world.net.run_until_idle();
+        let mut outcome = world.collect(probe_span);
+
+        // ---- merge the two phases ----
+        let mut captures = checkpoint.captures.clone();
+        captures.append(&mut outcome.captures);
+        outcome.captures = captures;
+        outcome.q2 += checkpoint.q2;
+        outcome.r1 += checkpoint.r1;
+        let mut auth_packets = checkpoint.auth_packets.clone();
+        auth_packets.append(&mut outcome.auth_packets);
+        auth_packets.sort_by_key(|packet| packet.at);
+        let dataset = outcome.dataset(config);
+        Ok(CampaignResult::new(
+            config.clone(),
+            spec,
+            dataset,
+            threat,
+            geo,
+            population,
+            outcome.net_stats,
+            auth_packets,
+            config.telemetry.then_some(outcome.telemetry),
+            None,
+        ))
+    }
+}

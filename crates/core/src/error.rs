@@ -1,0 +1,133 @@
+//! Campaign-level error and degradation reporting.
+
+use std::fmt;
+
+/// Why a campaign could not produce a (full) result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The configuration was rejected before any simulation ran.
+    InvalidConfig(String),
+    /// Every shard failed, including the retry pass; there is nothing
+    /// to report.
+    AllShardsFailed(Vec<ShardFailure>),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidConfig(reason) => {
+                write!(f, "invalid campaign configuration: {reason}")
+            }
+            CampaignError::AllShardsFailed(failures) => {
+                write!(f, "all {} shard(s) failed", failures.len())?;
+                for failure in failures {
+                    write!(f, "; shard {}: {}", failure.shard, failure.message)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One shard's permanent failure (its panic survived the retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} failed permanently: {}",
+            self.shard, self.message
+        )
+    }
+}
+
+/// Attached to a [`crate::CampaignResult`] whose campaign lost one or
+/// more shards permanently: the surviving shards were merged, so every
+/// reported quantity undercounts the configured scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// Shards that failed twice (initial run and retry).
+    pub failed: Vec<ShardFailure>,
+    /// Shards that panicked once and succeeded on retry.
+    pub retried: Vec<usize>,
+}
+
+impl DegradedReport {
+    /// True when at least one shard's data is missing from the result.
+    pub fn is_partial(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+impl fmt::Display for DegradedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DEGRADED RESULT: {} shard(s) missing, {} retried",
+            self.failed.len(),
+            self.retried.len()
+        )?;
+        for failure in &self.failed {
+            writeln!(f, "  {failure}")?;
+        }
+        for shard in &self.retried {
+            writeln!(f, "  shard {shard} recovered on retry")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic shard-failure injection for supervisor testing: the
+/// named shard panics on its first `failures` attempts. With
+/// `failures == 1` the retry succeeds; with `failures >= 2` the shard
+/// fails permanently and the campaign degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSabotage {
+    /// Which shard to sabotage (0-based).
+    pub shard: usize,
+    /// How many attempts (first run + retries) should panic.
+    pub failures: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let invalid = CampaignError::InvalidConfig("shards out of range".into());
+        assert!(invalid.to_string().contains("shards out of range"));
+        let failed = CampaignError::AllShardsFailed(vec![ShardFailure {
+            shard: 3,
+            message: "boom".into(),
+        }]);
+        let text = failed.to_string();
+        assert!(text.contains("shard 3"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn degraded_report_partiality() {
+        let mut report = DegradedReport::default();
+        assert!(!report.is_partial());
+        report.retried.push(1);
+        assert!(!report.is_partial(), "a recovered shard is not missing");
+        report.failed.push(ShardFailure {
+            shard: 2,
+            message: "x".into(),
+        });
+        assert!(report.is_partial());
+        let text = report.to_string();
+        assert!(text.contains("1 shard(s) missing"), "{text}");
+        assert!(text.contains("shard 1 recovered"), "{text}");
+    }
+}

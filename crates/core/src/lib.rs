@@ -17,18 +17,22 @@
 //!
 //! // A 1:20,000-scale replay of the 2018 scan (fast enough for a test).
 //! let config = CampaignConfig::new(Year::Y2018, 20_000.0);
-//! let result = Campaign::new(config).run();
+//! let result = Campaign::new(config).run().unwrap();
 //! let t3 = result.table3_measured();
 //! assert!(t3.0.total() > 200, "hundreds of responders at this scale");
 //! assert!(t3.0.err_pct() > 2.0, "2018's elevated error rate shows up");
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
+pub mod error;
 pub mod infra;
 pub mod result;
 pub mod trend;
 
 pub use campaign::{Campaign, CampaignConfig};
+pub use checkpoint::CampaignCheckpoint;
+pub use error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 pub use infra::Infra;
 pub use result::CampaignResult;
 pub use trend::{run_trend, TrendConfig, TrendPoint};

@@ -14,6 +14,7 @@ use orscope_telemetry::TelemetrySnapshot;
 use orscope_threatintel::ThreatDb;
 
 use crate::campaign::CampaignConfig;
+use crate::error::DegradedReport;
 
 /// Everything a finished campaign produced.
 #[derive(Debug)]
@@ -27,6 +28,7 @@ pub struct CampaignResult {
     net_stats: NetStats,
     auth_packets: Vec<CapturedPacket>,
     telemetry: Option<TelemetrySnapshot>,
+    degraded: Option<DegradedReport>,
 }
 
 impl CampaignResult {
@@ -41,6 +43,7 @@ impl CampaignResult {
         net_stats: NetStats,
         auth_packets: Vec<CapturedPacket>,
         telemetry: Option<TelemetrySnapshot>,
+        degraded: Option<DegradedReport>,
     ) -> Self {
         Self {
             config,
@@ -52,7 +55,23 @@ impl CampaignResult {
             net_stats,
             auth_packets,
             telemetry,
+            degraded,
         }
+    }
+
+    /// Supervision report: present when any shard panicked (whether it
+    /// recovered on retry or failed permanently). `None` for a clean
+    /// run.
+    pub fn degraded(&self) -> Option<&DegradedReport> {
+        self.degraded.as_ref()
+    }
+
+    /// True when at least one shard failed permanently, so every count
+    /// in this result undercounts the configured scan.
+    pub fn is_partial(&self) -> bool {
+        self.degraded
+            .as_ref()
+            .is_some_and(DegradedReport::is_partial)
     }
 
     /// The campaign configuration.
@@ -390,6 +409,9 @@ impl CampaignResult {
             "# {} campaign @ 1:{} (seed {:#x})",
             self.spec.year, self.config.scale, self.config.seed
         );
+        if let Some(degraded) = &self.degraded {
+            let _ = writeln!(out, "{degraded}");
+        }
         let _ = writeln!(out, "Table II  : {}", self.table2_measured());
         let _ = writeln!(out, "Table III : {}", self.table3_measured());
         let _ = writeln!(out, "Table IV  :\n{}", self.table4_measured());
@@ -424,6 +446,7 @@ impl CampaignResult {
             "scale": self.config.scale,
             "seed": self.config.seed,
             "shards": self.config.shards,
+            "partial": self.is_partial(),
             "q1": self.dataset.q1,
             "q2": self.dataset.q2,
             "r1": self.dataset.r1,

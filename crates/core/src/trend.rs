@@ -128,7 +128,9 @@ pub fn run_trend(config: &TrendConfig) -> Vec<TrendPoint> {
             config.seed,
             campaign_config.infra.addresses(),
         );
-        let result = Campaign::new(campaign_config).run_with_population(population);
+        let result = Campaign::new(campaign_config)
+            .run_with_population(population)
+            .expect("trend configurations are well-formed");
         let t3 = result.table3_measured().0;
         points.push(TrendPoint {
             alpha,

@@ -69,8 +69,9 @@ impl LatencyModel for HashLatency {
     }
 }
 
-/// SplitMix64-style mixing of a value with a seed.
-fn mix(v: u64, seed: u64) -> u64 {
+/// SplitMix64-style mixing of a value with a seed. Shared with the
+/// fault injector, whose per-datagram draws use the same construction.
+pub(crate) fn mix(v: u64, seed: u64) -> u64 {
     let mut x = v ^ seed.rotate_left(17);
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -58,6 +58,7 @@
 
 pub mod datagram;
 pub mod endpoint;
+pub mod fault;
 mod fxhash;
 pub mod latency;
 pub mod scheduler;
@@ -68,6 +69,7 @@ pub mod time;
 
 pub use datagram::Datagram;
 pub use endpoint::{Context, Endpoint};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultScope};
 pub use latency::{FixedLatency, HashLatency, LatencyModel};
 pub use scheduler::SchedulerKind;
 pub use sim::{SimNet, SimNetBuilder};

@@ -2,11 +2,12 @@
 
 use std::net::Ipv4Addr;
 
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use crate::datagram::Datagram;
 use crate::endpoint::{Context, Endpoint};
+use crate::fault::{DropKind, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
 use crate::fxhash::FxHashMap;
 use crate::latency::{HashLatency, LatencyModel};
 use crate::scheduler::{Event, EventKind, EventQueue, HostId, SchedulerKind, HOST_UNRESOLVED};
@@ -28,6 +29,7 @@ pub struct SimNetBuilder {
     latency: Box<dyn LatencyModel>,
     loss_probability: f64,
     duplicate_probability: f64,
+    faults: Option<FaultPlan>,
     max_events: u64,
     telemetry: NetTelemetry,
     scheduler: SchedulerKind,
@@ -40,6 +42,7 @@ impl Default for SimNetBuilder {
             latency: Box::new(HashLatency::internet(0)),
             loss_probability: 0.0,
             duplicate_probability: 0.0,
+            faults: None,
             max_events: u64::MAX,
             telemetry: NetTelemetry::default(),
             scheduler: SchedulerKind::default(),
@@ -72,6 +75,10 @@ impl SimNetBuilder {
 
     /// Sets independent per-datagram loss probability (default 0).
     ///
+    /// Sugar for a degenerate single-rule [`FaultPlan`]: an always-on,
+    /// all-scope [`FaultKind::Loss`] rule appended to whatever plan was
+    /// configured through [`SimNetBuilder::faults`].
+    ///
     /// # Panics
     ///
     /// Panics if `p` is not within `[0, 1]`.
@@ -86,6 +93,7 @@ impl SimNetBuilder {
 
     /// Sets independent per-datagram duplication probability: UDP may
     /// deliver a packet twice, and DNS software must cope (default 0).
+    /// Like loss, this is sugar for a degenerate single-rule plan.
     ///
     /// # Panics
     ///
@@ -96,6 +104,15 @@ impl SimNetBuilder {
             "duplicate probability {p} not in [0,1]"
         );
         self.duplicate_probability = p;
+        self
+    }
+
+    /// Installs a fault plan: scheduled, scoped impairments evaluated
+    /// with hashed per-flow draws (see [`crate::fault`]). The plan's own
+    /// seed drives the draws, so a campaign can keep fault decisions
+    /// identical across differently-seeded shard simulators.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -121,6 +138,26 @@ impl SimNetBuilder {
 
     /// Builds the simulator.
     pub fn build(self) -> SimNet {
+        // The legacy global knobs become degenerate single-entry rules
+        // appended to the configured plan (or to a fresh plan hashed
+        // from the simulator seed).
+        let mut plan = self.faults.unwrap_or_else(|| FaultPlan::seeded(self.seed));
+        if self.loss_probability > 0.0 {
+            plan.push(FaultRule::always(
+                FaultScope::All,
+                FaultKind::Loss {
+                    probability: self.loss_probability,
+                },
+            ));
+        }
+        if self.duplicate_probability > 0.0 {
+            plan.push(FaultRule::always(
+                FaultScope::All,
+                FaultKind::Duplicate {
+                    probability: self.duplicate_probability,
+                },
+            ));
+        }
         SimNet {
             hosts: Vec::new(),
             index: FxHashMap::default(),
@@ -129,8 +166,7 @@ impl SimNetBuilder {
             now: SimTime::ZERO,
             seq: 0,
             latency: self.latency,
-            loss_probability: self.loss_probability,
-            duplicate_probability: self.duplicate_probability,
+            faults: FaultInjector::new(plan),
             rng: ChaCha12Rng::seed_from_u64(self.seed ^ 0x6F72_7363_6F70_6521),
             stats: NetStats::default(),
             max_events: self.max_events,
@@ -155,8 +191,7 @@ pub struct SimNet {
     now: SimTime,
     seq: u64,
     latency: Box<dyn LatencyModel>,
-    loss_probability: f64,
-    duplicate_probability: f64,
+    faults: FaultInjector,
     rng: ChaCha12Rng,
     stats: NetStats,
     max_events: u64,
@@ -242,6 +277,11 @@ impl SimNet {
         &self.stats
     }
 
+    /// The fault plan in effect (degenerate rules included).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
     /// Immutable access to a registered endpoint, downcast by the caller.
     ///
     /// The simulator stores endpoints as trait objects; harness code that
@@ -288,15 +328,28 @@ impl SimNet {
     fn enqueue_datagram(&mut self, dgram: Datagram) {
         self.stats.sent += 1;
         self.telemetry.datagrams_sent.inc();
-        if self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability {
-            self.stats.lost += 1;
-            self.telemetry.datagrams_lost.inc();
-            return;
+        let verdict = self.faults.on_send(dgram.src, dgram.dst, self.now);
+        if verdict.faults > 0 {
+            self.stats.faults_injected += verdict.faults;
+            self.telemetry.faults_injected.add(verdict.faults);
+        }
+        match verdict.drop {
+            Some(DropKind::Loss) => {
+                self.stats.lost += 1;
+                self.telemetry.datagrams_lost.inc();
+                return;
+            }
+            Some(DropKind::Blackhole) => {
+                self.stats.blackhole_drops += 1;
+                self.telemetry.blackhole_drops.inc();
+                return;
+            }
+            None => {}
         }
         let host = self.resolve(dgram.dst);
-        let delay = self.latency.latency(dgram.src, dgram.dst);
+        let delay = self.latency.latency(dgram.src, dgram.dst) + verdict.extra_delay;
         let at = self.now + delay;
-        if self.duplicate_probability > 0.0 && self.rng.gen::<f64>() < self.duplicate_probability {
+        if verdict.duplicate {
             // The duplicate trails the original by a small reorder gap.
             self.stats.duplicated += 1;
             self.telemetry.datagrams_duplicated.inc();
@@ -343,6 +396,15 @@ impl SimNet {
         self.telemetry.events_processed.inc();
         match event.kind {
             EventKind::Deliver { dgram, mut host } => {
+                // A crashed host neither receives nor replies; the
+                // datagram evaporates (state survives for the restart).
+                if self.faults.crashed(dgram.dst, self.now) {
+                    self.stats.crash_drops += 1;
+                    self.stats.faults_injected += 1;
+                    self.telemetry.crash_drops.inc();
+                    self.telemetry.faults_injected.inc();
+                    return true;
+                }
                 // Detach the endpoint so the handler can borrow the
                 // context mutably without aliasing the host table.
                 let Some(mut ep) = self.take_endpoint(&mut host, dgram.dst) else {
@@ -369,6 +431,15 @@ impl SimNet {
                 mut host,
                 token,
             } => {
+                // Timers armed by a now-crashed host are swallowed too:
+                // a down box runs no callbacks.
+                if self.faults.crashed(addr, self.now) {
+                    self.stats.crash_drops += 1;
+                    self.stats.faults_injected += 1;
+                    self.telemetry.crash_drops.inc();
+                    self.telemetry.faults_injected.inc();
+                    return true;
+                }
                 let Some(mut ep) = self.take_endpoint(&mut host, addr) else {
                     return true;
                 };
@@ -723,5 +794,150 @@ mod duplication_tests {
     #[should_panic(expected = "not in [0,1]")]
     fn invalid_duplicate_probability_panics() {
         let _ = SimNet::builder().duplicate_probability(1.5);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultRule, FaultScope};
+    use crate::latency::FixedLatency;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(2, 0, 0, 2);
+
+    struct Count(Arc<AtomicU64>);
+    impl Endpoint for Count {
+        fn handle_datagram(&mut self, _d: &Datagram, _c: &mut Context<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn handle_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {
+            self.0.fetch_add(100, Ordering::Relaxed);
+        }
+    }
+
+    fn faulted_net(plan: FaultPlan) -> (SimNet, Arc<AtomicU64>) {
+        let mut net = SimNet::builder()
+            .seed(5)
+            .latency(FixedLatency(Duration::from_millis(10)))
+            .faults(plan)
+            .build();
+        let got = Arc::new(AtomicU64::new(0));
+        net.register(DST, Count(got.clone()));
+        (net, got)
+    }
+
+    fn inject_at(net: &mut SimNet, secs: u64, port: u16) {
+        // Drive virtual time forward, then send: faults are evaluated
+        // at send time for drops and at delivery time for crashes.
+        net.run_until(SimTime::from_secs(secs));
+        net.inject(Datagram::new((SRC, port), (DST, 53), vec![1]));
+    }
+
+    #[test]
+    fn blackhole_window_swallows_traffic_only_inside_the_window() {
+        let plan = FaultPlan::seeded(5).with_rule(FaultRule::window(
+            Duration::from_secs(10),
+            Duration::from_secs(20),
+            FaultScope::Host(DST),
+            FaultKind::Blackhole,
+        ));
+        let (mut net, got) = faulted_net(plan);
+        inject_at(&mut net, 1, 1); // before window: delivered
+        inject_at(&mut net, 15, 2); // inside window: dropped
+        inject_at(&mut net, 25, 3); // after window: delivered
+        net.run_until_idle();
+        assert_eq!(got.load(Ordering::Relaxed), 2);
+        assert_eq!(net.stats().blackhole_drops, 1);
+        assert_eq!(net.stats().faults_injected, 1);
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn crash_window_drops_deliveries_and_timers_but_host_recovers() {
+        let plan = FaultPlan::seeded(5).with_rule(FaultRule::window(
+            Duration::from_secs(10),
+            Duration::from_secs(20),
+            FaultScope::Host(DST),
+            FaultKind::Crash,
+        ));
+        let (mut net, got) = faulted_net(plan);
+        net.set_timer_for(DST, SimTime::from_secs(15), 7); // swallowed
+        net.set_timer_for(DST, SimTime::from_secs(30), 8); // fires
+        inject_at(&mut net, 15, 1); // delivery lands in crash window
+        inject_at(&mut net, 25, 2); // host is back up
+        net.run_until_idle();
+        // One delivery (after restart) + one timer fire (100).
+        assert_eq!(got.load(Ordering::Relaxed), 101);
+        assert_eq!(net.stats().crash_drops, 2);
+        assert_eq!(net.stats().faults_injected, 2);
+    }
+
+    #[test]
+    fn delay_rule_shifts_delivery_without_dropping() {
+        let plan = FaultPlan::seeded(5).with_rule(FaultRule::always(
+            FaultScope::Link { src: SRC, dst: DST },
+            FaultKind::Delay {
+                extra: Duration::from_millis(500),
+                jitter: Duration::ZERO,
+            },
+        ));
+        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        struct Stamp(Arc<parking_lot::Mutex<Vec<SimTime>>>);
+        impl Endpoint for Stamp {
+            fn handle_datagram(&mut self, _d: &Datagram, ctx: &mut Context<'_>) {
+                self.0.lock().push(ctx.now());
+            }
+        }
+        let mut net = SimNet::builder()
+            .seed(5)
+            .latency(FixedLatency(Duration::from_millis(10)))
+            .faults(plan)
+            .build();
+        net.register(DST, Stamp(times.clone()));
+        net.inject(Datagram::new((SRC, 1), (DST, 53), vec![1]));
+        net.run_until_idle();
+        assert_eq!(times.lock()[0], SimTime::from_nanos(510_000_000));
+        assert_eq!(net.stats().faults_injected, 1);
+        assert_eq!(net.stats().lost, 0);
+    }
+
+    #[test]
+    fn legacy_loss_knob_builds_a_degenerate_plan() {
+        let net = SimNet::builder().seed(3).loss_probability(0.25).build();
+        let plan = net.fault_plan();
+        assert_eq!(plan.rules.len(), 1);
+        assert!(matches!(
+            plan.rules[0].kind,
+            FaultKind::Loss { probability } if (probability - 0.25).abs() < 1e-12
+        ));
+        assert!(matches!(plan.rules[0].scope, FaultScope::All));
+    }
+
+    #[test]
+    fn explicit_plan_reproduces_exactly_across_runs() {
+        let run = || {
+            let plan = FaultPlan::seeded(11).with_rule(FaultRule::always(
+                FaultScope::All,
+                FaultKind::Loss { probability: 0.4 },
+            ));
+            let (mut net, got) = faulted_net(plan);
+            for i in 0..200u16 {
+                net.inject(Datagram::new((SRC, i), (DST, 53), vec![1]));
+            }
+            net.run_until_idle();
+            (got.load(Ordering::Relaxed), net.stats().lost)
+        };
+        let (a_got, a_lost) = run();
+        let (b_got, b_lost) = run();
+        assert_eq!((a_got, a_lost), (b_got, b_lost));
+        assert_eq!(a_got + a_lost, 200);
+        assert!(
+            a_lost > 40 && a_lost < 120,
+            "loss rate wildly off: {a_lost}"
+        );
     }
 }

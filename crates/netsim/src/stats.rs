@@ -19,6 +19,14 @@ pub struct NetStats {
     pub events: u64,
     /// Sum of payload bytes delivered (for amplification measurements).
     pub bytes_delivered: u64,
+    /// Impairments applied by the fault plan (drops, duplicates,
+    /// delays, reorders, crash swallows).
+    pub faults_injected: u64,
+    /// Datagrams swallowed by a blackhole window.
+    pub blackhole_drops: u64,
+    /// Deliveries and timer fires dropped because the host was inside a
+    /// crash window.
+    pub crash_drops: u64,
 }
 
 impl NetStats {
@@ -58,6 +66,9 @@ impl NetStats {
         self.timers_fired += other.timers_fired;
         self.events += other.events;
         self.bytes_delivered += other.bytes_delivered;
+        self.faults_injected += other.faults_injected;
+        self.blackhole_drops += other.blackhole_drops;
+        self.crash_drops += other.crash_drops;
     }
 }
 
@@ -85,6 +96,9 @@ mod tests {
             timers_fired: 6,
             events: 7,
             bytes_delivered: 8,
+            faults_injected: 9,
+            blackhole_drops: 10,
+            crash_drops: 11,
         };
         let b = NetStats {
             sent: 10,
@@ -95,6 +109,9 @@ mod tests {
             timers_fired: 60,
             events: 70,
             bytes_delivered: 80,
+            faults_injected: 90,
+            blackhole_drops: 100,
+            crash_drops: 110,
         };
         a.absorb(&b);
         let want = NetStats {
@@ -106,6 +123,9 @@ mod tests {
             timers_fired: 66,
             events: 77,
             bytes_delivered: 88,
+            faults_injected: 99,
+            blackhole_drops: 110,
+            crash_drops: 121,
         };
         assert_eq!(a, want);
     }

@@ -26,6 +26,13 @@ pub struct NetTelemetry {
     pub datagrams_unrouted: Counter,
     /// `net.bytes_delivered` — payload bytes across delivered datagrams.
     pub bytes_delivered: Counter,
+    /// `net.faults_injected` — impairments applied by the fault plan.
+    /// Hashed per-flow draws make this shard-invariant.
+    pub faults_injected: Counter,
+    /// `net.blackhole_drops` — datagrams swallowed by blackhole windows.
+    pub blackhole_drops: Counter,
+    /// `net.crash_drops` — deliveries/timers dropped in crash windows.
+    pub crash_drops: Counter,
     /// `net.events_processed` — event-loop iterations (shard-scoped).
     pub events_processed: Counter,
     /// `net.timers_fired` — timer events dispatched (shard-scoped).
@@ -45,6 +52,9 @@ impl NetTelemetry {
             datagrams_delivered: collector.counter(Scope::Global, "net.datagrams_delivered"),
             datagrams_unrouted: collector.counter(Scope::Global, "net.datagrams_unrouted"),
             bytes_delivered: collector.counter(Scope::Global, "net.bytes_delivered"),
+            faults_injected: collector.counter(Scope::Global, "net.faults_injected"),
+            blackhole_drops: collector.counter(Scope::Global, "net.blackhole_drops"),
+            crash_drops: collector.counter(Scope::Global, "net.crash_drops"),
             events_processed: collector.counter(Scope::Shard, "net.events_processed"),
             timers_fired: collector.counter(Scope::Shard, "net.timers_fired"),
             event_queue_depth_hwm: collector.gauge(Scope::Shard, "net.event_queue_depth_hwm"),

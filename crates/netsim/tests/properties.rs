@@ -8,7 +8,10 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use orscope_netsim::{Context, Datagram, Endpoint, FixedLatency, SimNet, SimTime};
+use orscope_netsim::{
+    Context, Datagram, Endpoint, FaultKind, FaultPlan, FaultRule, FaultScope, FixedLatency, SimNet,
+    SimTime,
+};
 
 /// Echoes every datagram and records receive times.
 struct Echo {
@@ -119,6 +122,109 @@ proptest! {
         let (server_got, _, _) = run_sim(seed, 0.5, &packets);
         // 200 Bernoulli(0.5): far outside [40, 160] is ~impossible.
         prop_assert!((40..=160).contains(&server_got), "{server_got}");
+    }
+}
+
+/// Like [`run_sim`], but with an explicit fault plan instead of the
+/// legacy loss knob.
+fn run_faulted(seed: u64, plan: FaultPlan, packets: &[(u32, u16, u8)]) -> (u64, u64, u64) {
+    let mut net = SimNet::builder()
+        .seed(seed)
+        .latency(FixedLatency(Duration::from_millis(7)))
+        .faults(plan)
+        .build();
+    let received = Arc::new(AtomicU64::new(0));
+    let last_at = Arc::new(parking_lot::Mutex::new(SimTime::ZERO));
+    let server = Ipv4Addr::new(10, 200, 0, 1);
+    net.register(
+        server,
+        Echo {
+            received: received.clone(),
+            last_at: last_at.clone(),
+        },
+    );
+    let client_received = Arc::new(AtomicU64::new(0));
+    let client = Ipv4Addr::new(10, 200, 0, 2);
+    net.register(
+        client,
+        Echo {
+            received: client_received.clone(),
+            last_at: Arc::new(parking_lot::Mutex::new(SimTime::ZERO)),
+        },
+    );
+    for &(salt, port, len) in packets {
+        net.inject(Datagram::new(
+            (client, 1000 + port % 30_000),
+            (server, 53),
+            vec![salt as u8; len as usize + 1],
+        ));
+    }
+    net.run_until_idle();
+    (
+        received.load(Ordering::Relaxed),
+        client_received.load(Ordering::Relaxed),
+        net.stats().events,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reorder and delay faults shuffle deliveries (the `Echo` endpoint
+    /// asserts time still never goes backwards) but neither create nor
+    /// destroy datagrams, and the whole schedule reproduces bit-exactly
+    /// from the plan seed.
+    #[test]
+    fn reordered_delivery_conserves_packets_and_reproduces(
+        seed in any::<u64>(),
+        probability in 0.1f64..1.0,
+        shift_ms in 1u64..200,
+        jitter_ms in 1u64..50,
+        packets in prop::collection::vec((any::<u32>(), any::<u16>(), any::<u8>()), 1..40),
+    ) {
+        let plan = FaultPlan::seeded(seed ^ 0xC4A0)
+            .with_rule(FaultRule::always(
+                FaultScope::All,
+                FaultKind::Reorder {
+                    probability,
+                    max_shift: Duration::from_millis(shift_ms),
+                },
+            ))
+            .with_rule(FaultRule::always(
+                FaultScope::All,
+                FaultKind::Delay {
+                    extra: Duration::ZERO,
+                    jitter: Duration::from_millis(jitter_ms),
+                },
+            ));
+        let a = run_faulted(seed, plan.clone(), &packets);
+        let b = run_faulted(seed, plan, &packets);
+        prop_assert_eq!(a, b);
+        // Conservation: every query arrives and every echo returns,
+        // however shuffled.
+        let (server_got, client_got, _) = a;
+        prop_assert_eq!(server_got as usize, packets.len());
+        prop_assert_eq!(client_got as usize, packets.len());
+    }
+
+    /// A blackhole window is total while it lasts: with the window
+    /// covering the whole run, nothing is delivered; with no rules,
+    /// everything is.
+    #[test]
+    fn blackhole_window_is_total(
+        seed in any::<u64>(),
+        packets in prop::collection::vec((any::<u32>(), any::<u16>(), any::<u8>()), 1..40),
+    ) {
+        let plan = FaultPlan::seeded(seed).with_rule(FaultRule::always(
+            FaultScope::Host(Ipv4Addr::new(10, 200, 0, 1)),
+            FaultKind::Blackhole,
+        ));
+        let (server_got, client_got, _) = run_faulted(seed, plan, &packets);
+        prop_assert_eq!(server_got, 0);
+        prop_assert_eq!(client_got, 0);
+        let (clean_server, clean_client, _) = run_faulted(seed, FaultPlan::seeded(seed), &packets);
+        prop_assert_eq!(clean_server as usize, packets.len());
+        prop_assert_eq!(clean_client as usize, packets.len());
     }
 }
 

@@ -9,6 +9,8 @@ use orscope_dns_wire::Name;
 use orscope_netsim::SimTime;
 use parking_lot::Mutex;
 
+use crate::checkpoint::ScanCheckpoint;
+
 /// One captured R2 packet, already joined to its probe by qname.
 #[derive(Debug, Clone)]
 pub struct R2Capture {
@@ -41,6 +43,10 @@ pub struct ProbeStats {
     pub off_port_dropped: u64,
     /// Responses whose qname matched no outstanding probe.
     pub unmatched: u64,
+    /// Retransmitted Q1 probes (not counted in `q1_sent`).
+    pub retransmits_sent: u64,
+    /// Probes whose final transmission expired unanswered.
+    pub probes_abandoned: u64,
     /// Fresh subdomains allocated.
     pub subdomains_fresh: u64,
     /// Subdomains served from the reuse pool.
@@ -63,6 +69,8 @@ impl ProbeStats {
         self.r2_captured += other.r2_captured;
         self.off_port_dropped += other.off_port_dropped;
         self.unmatched += other.unmatched;
+        self.retransmits_sent += other.retransmits_sent;
+        self.probes_abandoned += other.probes_abandoned;
         self.subdomains_fresh += other.subdomains_fresh;
         self.subdomains_reused += other.subdomains_reused;
         self.clusters_used += other.clusters_used;
@@ -75,6 +83,9 @@ impl ProbeStats {
 pub(crate) struct Shared {
     pub(crate) captures: Vec<R2Capture>,
     pub(crate) stats: ProbeStats,
+    /// Most recent auto-checkpoint (see
+    /// `ProberConfig::checkpoint_every`).
+    pub(crate) checkpoint: Option<ScanCheckpoint>,
 }
 
 /// A cloneable handle to the prober's capture buffer and statistics.
@@ -111,6 +122,12 @@ impl ProberHandle {
     pub fn drain(&self) -> Vec<R2Capture> {
         std::mem::take(&mut self.inner.lock().captures)
     }
+
+    /// The most recent auto-published checkpoint, if the prober was
+    /// configured with `checkpoint_every` and has crossed a boundary.
+    pub fn latest_checkpoint(&self) -> Option<ScanCheckpoint> {
+        self.inner.lock().checkpoint.clone()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +160,8 @@ mod tests {
             r2_captured: 3,
             off_port_dropped: 1,
             unmatched: 2,
+            retransmits_sent: 4,
+            probes_abandoned: 5,
             subdomains_fresh: 8,
             subdomains_reused: 2,
             clusters_used: 1,
@@ -154,6 +173,8 @@ mod tests {
             r2_captured: 4,
             off_port_dropped: 0,
             unmatched: 1,
+            retransmits_sent: 40,
+            probes_abandoned: 50,
             subdomains_fresh: 6,
             subdomains_reused: 1,
             clusters_used: 2,
@@ -165,6 +186,8 @@ mod tests {
         assert_eq!(a.r2_captured, 7);
         assert_eq!(a.off_port_dropped, 1);
         assert_eq!(a.unmatched, 3);
+        assert_eq!(a.retransmits_sent, 44);
+        assert_eq!(a.probes_abandoned, 55);
         assert_eq!(a.subdomains_fresh, 14);
         assert_eq!(a.subdomains_reused, 3);
         assert_eq!(a.clusters_used, 3);

@@ -32,7 +32,7 @@ pub mod telemetry;
 
 pub use capture::{ProbeStats, ProberHandle, R2Capture};
 pub use checkpoint::ScanCheckpoint;
-pub use pacer::Pacer;
-pub use scan::{Prober, ProberConfig};
+pub use pacer::{Pacer, ZeroRateError};
+pub use scan::{Prober, ProberConfig, SlotSchedule};
 pub use subdomain::SubdomainGenerator;
 pub use telemetry::ProberTelemetry;

@@ -1,6 +1,23 @@
 //! Send-rate control.
 
+use std::fmt;
 use std::time::Duration;
+
+/// Error for a pacer configured with a zero packet rate.
+///
+/// Surfaced (rather than panicking) because the rate is an operator
+/// input: the CLI accepts `--rate` and must be able to print a
+/// diagnostic instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroRateError;
+
+impl fmt::Display for ZeroRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probe rate must be positive (got 0 pps)")
+    }
+}
+
+impl std::error::Error for ZeroRateError {}
 
 /// Converts a target packet rate into fixed-interval batches.
 ///
@@ -13,9 +30,10 @@ use std::time::Duration;
 /// ```
 /// use orscope_prober::Pacer;
 ///
-/// let mut pacer = Pacer::new(100_000); // the 2018 scan rate
+/// let mut pacer = Pacer::new(100_000).unwrap(); // the 2018 scan rate
 /// assert_eq!(pacer.interval(), std::time::Duration::from_millis(10));
 /// assert_eq!(pacer.next_batch(), 1000);
+/// assert!(Pacer::new(0).is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pacer {
@@ -36,20 +54,46 @@ impl Pacer {
 
     /// Creates a pacer for `rate_pps` packets per second.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rate_pps` is zero.
-    pub fn new(rate_pps: u64) -> Self {
-        assert!(rate_pps > 0, "rate must be positive");
-        let ticks = rate_pps.clamp(1, Self::MAX_TICKS_PER_SEC);
-        Self {
+    /// Returns [`ZeroRateError`] if `rate_pps` is zero.
+    pub fn new(rate_pps: u64) -> Result<Self, ZeroRateError> {
+        if rate_pps == 0 {
+            return Err(ZeroRateError);
+        }
+        let ticks = Self::ticks_per_sec(rate_pps);
+        Ok(Self {
             rate_pps,
             interval: Duration::from_nanos(1_000_000_000 / ticks),
             whole: rate_pps / ticks,
             num: rate_pps % ticks,
             den: ticks,
             carry: 0,
-        }
+        })
+    }
+
+    /// Timer firings per second for `rate_pps`.
+    fn ticks_per_sec(rate_pps: u64) -> u64 {
+        rate_pps.clamp(1, Self::MAX_TICKS_PER_SEC)
+    }
+
+    /// The tick (0-indexed timer firing) on which the packet with
+    /// 0-indexed position `index` leaves the wire, for a scan paced at
+    /// `rate_pps`.
+    ///
+    /// This is the closed form of the carry arithmetic in
+    /// [`Pacer::next_batch`]: after `m` ticks a fresh pacer has issued
+    /// exactly `floor(m * rate / ticks)` send tokens, so packet `index`
+    /// goes out on tick `ceil((index+1) * ticks / rate) - 1`. Sharded
+    /// campaigns use this to place every probe on the *campaign-global*
+    /// tick grid: each shard sends its targets on the same virtual-time
+    /// instants a single-shard scan would, which keeps time-windowed
+    /// fault plans shard-invariant.
+    pub fn slot_tick(index: u64, rate_pps: u64) -> u64 {
+        debug_assert!(rate_pps > 0, "slot_tick requires a positive rate");
+        let ticks = Self::ticks_per_sec(rate_pps) as u128;
+        let position = index as u128 + 1;
+        (position * ticks).div_ceil(rate_pps as u128) as u64 - 1
     }
 
     /// The configured rate.
@@ -82,11 +126,12 @@ impl Pacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn exact_rate_over_one_second() {
         for rate in [1u64, 7, 99, 100, 101, 5_903, 100_000] {
-            let mut pacer = Pacer::new(rate);
+            let mut pacer = Pacer::new(rate).unwrap();
             let ticks = Duration::from_secs(1).as_nanos() / pacer.interval().as_nanos();
             let total: u64 = (0..ticks).map(|_| pacer.next_batch()).sum();
             assert_eq!(total, rate, "rate {rate}");
@@ -95,22 +140,114 @@ mod tests {
 
     #[test]
     fn interval_adapts_to_rate() {
-        assert_eq!(Pacer::new(100_000).interval(), Duration::from_millis(10));
-        assert_eq!(Pacer::new(50).interval(), Duration::from_millis(20));
-        assert_eq!(Pacer::new(1).interval(), Duration::from_secs(1));
+        assert_eq!(
+            Pacer::new(100_000).unwrap().interval(),
+            Duration::from_millis(10)
+        );
+        assert_eq!(
+            Pacer::new(50).unwrap().interval(),
+            Duration::from_millis(20)
+        );
+        assert_eq!(Pacer::new(1).unwrap().interval(), Duration::from_secs(1));
     }
 
     #[test]
     fn low_rates_send_one_packet_per_tick() {
-        let mut pacer = Pacer::new(3);
+        let mut pacer = Pacer::new(3).unwrap();
         let batches: Vec<u64> = (0..9).map(|_| pacer.next_batch()).collect();
         assert_eq!(batches.iter().sum::<u64>(), 9, "one packet every tick");
         assert!(batches.iter().all(|&b| b == 1));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_rate_panics() {
-        let _ = Pacer::new(0);
+    fn zero_rate_is_an_error() {
+        assert_eq!(Pacer::new(0), Err(ZeroRateError));
+        assert!(!ZeroRateError.to_string().is_empty());
+    }
+
+    /// Replays the pacer's carry arithmetic and checks that the packet
+    /// with position `i` is issued on exactly `slot_tick(i, rate)`.
+    fn assert_slots_match_batches(rate: u64, packets: u64) {
+        let mut pacer = Pacer::new(rate).unwrap();
+        let mut index = 0u64;
+        let mut tick = 0u64;
+        while index < packets {
+            let batch = pacer.next_batch();
+            for _ in 0..batch {
+                if index >= packets {
+                    break;
+                }
+                assert_eq!(
+                    Pacer::slot_tick(index, rate),
+                    tick,
+                    "rate {rate}, packet {index}"
+                );
+                index += 1;
+            }
+            tick += 1;
+        }
+    }
+
+    #[test]
+    fn slot_formula_matches_batch_replay() {
+        for rate in [1u64, 2, 3, 7, 50, 99, 100, 101, 997, 5_903, 100_000] {
+            assert_slots_match_batches(rate, rate.min(5_000) * 2);
+        }
+    }
+
+    #[test]
+    fn slot_ticks_are_monotonic_and_rate_exact() {
+        // Rates spanning 1 pps to 10M pps: over any whole second the
+        // number of slots assigned must equal the rate exactly.
+        for rate in [1u64, 13, 100, 12_345, 1_000_000, 10_000_000] {
+            let ticks = rate.clamp(1, 100);
+            // Packets 0..rate must land on ticks 0..ticks, and packet
+            // rate-1 (the last of second one) on the final tick.
+            assert_eq!(Pacer::slot_tick(0, rate), 0);
+            assert_eq!(Pacer::slot_tick(rate - 1, rate), ticks - 1);
+            assert_eq!(Pacer::slot_tick(rate, rate), ticks, "second rolls over");
+            let mut last = 0;
+            for i in (0..rate).step_by((rate / 1000).max(1) as usize) {
+                let slot = Pacer::slot_tick(i, rate);
+                assert!(slot >= last, "slots must be monotonic");
+                last = slot;
+            }
+        }
+    }
+
+    #[test]
+    fn slot_tick_handles_huge_indices_without_overflow() {
+        // 10M pps for a simulated year ≈ 3e14 packets; the u128 widening
+        // must keep the closed form exact.
+        let rate = 10_000_000u64;
+        let index = 315_360_000_000_000u64;
+        let slot = Pacer::slot_tick(index, rate);
+        let expected = ((index as u128 + 1) * 100).div_ceil(rate as u128) as u64 - 1;
+        assert_eq!(slot, expected);
+    }
+
+    proptest! {
+        /// The closed-form slot assignment agrees with the carry
+        /// arithmetic for arbitrary rates (1 pps .. 10M pps).
+        #[test]
+        fn prop_slot_formula_matches_batches(rate in 1u64..10_000_000) {
+            let packets = rate.min(2_000);
+            assert_slots_match_batches(rate, packets);
+        }
+
+        /// Over `seconds` whole seconds, exactly `rate * seconds`
+        /// packets are scheduled (rate exactness).
+        #[test]
+        fn prop_rate_is_exact_over_whole_seconds(
+            rate in 1u64..10_000_000,
+            seconds in 1u64..4,
+        ) {
+            let ticks = rate.clamp(1, 100);
+            let total = rate * seconds;
+            // The last packet of the span lands on the last tick of the
+            // span, and the next packet rolls into the next second.
+            prop_assert_eq!(Pacer::slot_tick(total - 1, rate), ticks * seconds - 1);
+            prop_assert_eq!(Pacer::slot_tick(total, rate), ticks * seconds);
+        }
     }
 }

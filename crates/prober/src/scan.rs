@@ -1,6 +1,7 @@
 //! The prober endpoint: paced scanning, qname matching, reuse.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -11,9 +12,28 @@ use orscope_dns_wire::{Header, Message, Name, Question};
 use orscope_netsim::{Context, Datagram, Endpoint, SimTime};
 
 use crate::capture::{ProberHandle, R2Capture};
-use crate::pacer::Pacer;
+use crate::pacer::{Pacer, ZeroRateError};
 use crate::subdomain::SubdomainGenerator;
 use crate::telemetry::ProberTelemetry;
+
+/// Places each target on the campaign-global tick grid.
+///
+/// A sharded campaign splits the target list across shards, and a local
+/// pacer at `rate/shards` would send each shard's targets at slightly
+/// different virtual times than the single-shard scan — enough to move a
+/// probe across a fault-plan window boundary and break shard invariance.
+/// With a schedule, the prober instead ticks at the interval of the
+/// *campaign-wide* rate and sends each target on
+/// [`Pacer::slot_tick`]`(global_index, total_rate_pps)`, which is
+/// provably the tick a single-shard pacer would use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSchedule {
+    /// Campaign-wide packet rate shared by every shard.
+    pub total_rate_pps: u64,
+    /// Global scan index of each entry in `ProberConfig::targets`
+    /// (same length, same order).
+    pub indices: Vec<u64>,
+}
 
 /// Prober configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +51,16 @@ pub struct ProberConfig {
     pub base_cluster: u32,
     /// How long to wait for an R2 before recycling the subdomain.
     pub response_window: Duration,
+    /// Retransmissions allowed per probe before giving up. Each retry
+    /// doubles the wait (`response_window * 2^attempt`). Zero (the
+    /// paper's fire-and-forget ZMap behavior) is the default.
+    pub retry_limit: u32,
+    /// Publish a [`crate::ScanCheckpoint`] through the handle every this
+    /// many Q1 probes (`None` disables auto-checkpointing).
+    pub checkpoint_every: Option<u64>,
+    /// Campaign-global send schedule; `None` paces locally at
+    /// `rate_pps`.
+    pub slots: Option<SlotSchedule>,
 }
 
 impl ProberConfig {
@@ -43,6 +73,9 @@ impl ProberConfig {
             cluster_capacity: orscope_authns::scheme::CLUSTER_CAPACITY,
             base_cluster: 0,
             response_window: Duration::from_secs(2),
+            retry_limit: 0,
+            checkpoint_every: None,
+            slots: None,
         }
     }
 }
@@ -54,6 +87,11 @@ const TICK: u64 = 0;
 struct Outstanding {
     target: Ipv4Addr,
     sent_at: SimTime,
+    /// Retransmissions already performed for this probe.
+    attempts: u32,
+    /// Transmission sequence number of the latest send; expiry-heap
+    /// entries carrying an older number are stale and skipped.
+    xmit: u64,
 }
 
 /// The scanning endpoint. Register it, arm a timer at the desired start
@@ -67,7 +105,17 @@ pub struct Prober {
     next_target: usize,
     outstanding: HashMap<ProbeLabel, Outstanding>,
     by_target: HashMap<Ipv4Addr, ProbeLabel>,
-    expiry: VecDeque<(SimTime, ProbeLabel)>,
+    /// Min-heap of `(deadline, xmit)`; with `retry_limit == 0` every
+    /// deadline is `sent_at + response_window`, so pop order equals the
+    /// old FIFO sweep exactly (ties broken by send order via `xmit`).
+    expiry: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Label carried by each live expiry-heap entry.
+    xmit_labels: HashMap<u64, ProbeLabel>,
+    next_xmit: u64,
+    /// Timer firings so far (index into the tick grid).
+    tick: u64,
+    /// Auto-checkpoints published so far.
+    checkpoints_taken: u64,
     handle: ProberHandle,
     done: bool,
     telemetry: ProberTelemetry,
@@ -79,39 +127,66 @@ impl Prober {
     /// Creates a prober resuming from `checkpoint`; pair with a target
     /// list whose tail includes [`crate::checkpoint`]-reported
     /// outstanding targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroRateError`] for a zero packet rate.
     pub fn resume(
         config: ProberConfig,
         handle: ProberHandle,
         checkpoint: &crate::checkpoint::ScanCheckpoint,
-    ) -> Self {
-        let mut prober = Self::new(config, handle);
+    ) -> Result<Self, ZeroRateError> {
+        let mut prober = Self::new(config, handle)?;
         prober.generator = checkpoint.restore_generator(&[]);
         prober.next_target = checkpoint.next_target;
+        if let Some(every) = prober.config.checkpoint_every {
+            prober.checkpoints_taken = checkpoint.q1_sent / every.max(1);
+        }
         {
             let mut shared = prober.handle.inner.lock();
             shared.stats.q1_sent = checkpoint.q1_sent;
             shared.stats.r2_captured = checkpoint.r2_captured;
         }
-        prober
+        Ok(prober)
     }
 
     /// Creates a prober writing results through `handle`.
-    pub fn new(config: ProberConfig, handle: ProberHandle) -> Self {
-        let pacer = Pacer::new(config.rate_pps);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroRateError`] for a zero packet rate (a CLI-reachable
+    /// misconfiguration, reported rather than panicked on).
+    pub fn new(config: ProberConfig, handle: ProberHandle) -> Result<Self, ZeroRateError> {
+        // In slot mode the timer must tick on the campaign-global grid.
+        let pacer = match &config.slots {
+            Some(slots) => {
+                debug_assert_eq!(
+                    slots.indices.len(),
+                    config.targets.len(),
+                    "slot schedule must cover every target"
+                );
+                Pacer::new(slots.total_rate_pps)?
+            }
+            None => Pacer::new(config.rate_pps)?,
+        };
         let generator = SubdomainGenerator::with_base(config.cluster_capacity, config.base_cluster);
-        Self {
+        Ok(Self {
             config,
             pacer,
             generator,
             next_target: 0,
             outstanding: HashMap::new(),
             by_target: HashMap::new(),
-            expiry: VecDeque::new(),
+            expiry: BinaryHeap::new(),
+            xmit_labels: HashMap::new(),
+            next_xmit: 0,
+            tick: 0,
+            checkpoints_taken: 0,
             handle,
             done: false,
             telemetry: ProberTelemetry::default(),
             scratch: Vec::with_capacity(512),
-        }
+        })
     }
 
     /// Attaches pre-resolved telemetry handles (default: disabled).
@@ -120,59 +195,160 @@ impl Prober {
         self
     }
 
+    /// Encodes and sends the Q1 for `label` to `target`, registering an
+    /// expiry-heap entry with the given `deadline`. Returns `false` if
+    /// encoding failed (the probe is skipped).
+    fn emit_query(
+        &mut self,
+        label: ProbeLabel,
+        target: Ipv4Addr,
+        deadline: SimTime,
+        ctx: &mut Context<'_>,
+    ) -> bool {
+        let qname = label.qname(&self.config.zone);
+        // The DNS ID cannot disambiguate 100k pps (§III-B); derive it
+        // from the label anyway so packets look realistic.
+        let id = (label.seq as u16) ^ ((label.cluster as u16) << 10);
+        let query = Message::query(id, Question::a(qname));
+        if query.encode_into(&mut self.scratch).is_err() {
+            return false;
+        }
+        ctx.send(Datagram::new(
+            (ctx.local_addr(), 61_000),
+            (target, 53),
+            Bytes::copy_from_slice(&self.scratch),
+        ));
+        let xmit = self.next_xmit;
+        self.next_xmit += 1;
+        self.xmit_labels.insert(xmit, label);
+        self.expiry.push(Reverse((deadline, xmit)));
+        let entry = self.outstanding.entry(label).or_insert(Outstanding {
+            target,
+            sent_at: ctx.now(),
+            attempts: 0,
+            xmit,
+        });
+        entry.sent_at = ctx.now();
+        entry.xmit = xmit;
+        true
+    }
+
+    /// Sends a fresh probe to `target`, allocating a new subdomain.
+    fn send_probe(&mut self, target: Ipv4Addr, ctx: &mut Context<'_>) -> bool {
+        let label = self.generator.next_label();
+        let deadline = ctx.now() + self.config.response_window;
+        if !self.emit_query(label, target, deadline, ctx) {
+            return false;
+        }
+        self.by_target.insert(target, label);
+        true
+    }
+
     /// Sends one batch of Q1 probes.
     fn send_batch(&mut self, ctx: &mut Context<'_>) {
-        let batch = self.pacer.next_batch() as usize;
-        self.telemetry.pacer_tokens_issued.add(batch as u64);
         let mut sent = 0u64;
-        for _ in 0..batch {
-            let Some(&target) = self.config.targets.get(self.next_target) else {
-                break;
-            };
-            self.next_target += 1;
-            let label = self.generator.next_label();
-            let qname = label.qname(&self.config.zone);
-            // The DNS ID cannot disambiguate 100k pps (§III-B); derive it
-            // from the label anyway so packets look realistic.
-            let id = (label.seq as u16) ^ ((label.cluster as u16) << 10);
-            let query = Message::query(id, Question::a(qname));
-            if query.encode_into(&mut self.scratch).is_err() {
-                continue;
+        let issued;
+        if self.config.slots.is_some() {
+            // Global-slot mode: emit every owned target whose
+            // campaign-wide slot has arrived at this tick.
+            while let Some(&target) = self.config.targets.get(self.next_target) {
+                let slots = self.config.slots.as_ref().expect("slot mode");
+                let slot = Pacer::slot_tick(slots.indices[self.next_target], slots.total_rate_pps);
+                if slot > self.tick {
+                    break;
+                }
+                self.next_target += 1;
+                if self.send_probe(target, ctx) {
+                    sent += 1;
+                }
             }
-            ctx.send(Datagram::new(
-                (ctx.local_addr(), 61_000),
-                (target, 53),
-                Bytes::copy_from_slice(&self.scratch),
-            ));
-            self.outstanding.insert(
-                label,
-                Outstanding {
-                    target,
-                    sent_at: ctx.now(),
-                },
-            );
-            self.by_target.insert(target, label);
-            self.expiry.push_back((ctx.now(), label));
-            sent += 1;
+            issued = sent;
+        } else {
+            let batch = self.pacer.next_batch();
+            issued = batch;
+            for _ in 0..batch {
+                let Some(&target) = self.config.targets.get(self.next_target) else {
+                    break;
+                };
+                self.next_target += 1;
+                if self.send_probe(target, ctx) {
+                    sent += 1;
+                }
+            }
         }
+        self.telemetry.pacer_tokens_issued.add(issued);
         if sent > 0 {
             self.handle.inner.lock().stats.q1_sent += sent;
         }
         self.telemetry.probes_sent.add(sent);
-        self.telemetry.pacer_tokens_unused.add(batch as u64 - sent);
+        self.telemetry.pacer_tokens_unused.add(issued - sent);
     }
 
-    /// Recycles subdomains whose response window has passed.
-    fn sweep_expired(&mut self, now: SimTime) {
-        while let Some(&(sent_at, label)) = self.expiry.front() {
-            if now - sent_at < self.config.response_window {
+    /// Retransmits the probe for `label` with an exponentially backed-off
+    /// deadline (`response_window * 2^attempt`).
+    fn retransmit(&mut self, label: ProbeLabel, ctx: &mut Context<'_>) -> bool {
+        let Some(out) = self.outstanding.get_mut(&label) else {
+            return false;
+        };
+        out.attempts += 1;
+        let (target, attempts) = (out.target, out.attempts);
+        let backoff = self.config.response_window * 2u32.pow(attempts.min(16));
+        let deadline = ctx.now() + backoff;
+        self.emit_query(label, target, deadline, ctx)
+    }
+
+    /// Handles elapsed response windows: retransmits probes that still
+    /// have retries left and recycles the subdomains of the rest.
+    fn sweep_expired(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let mut retransmitted = 0u64;
+        let mut abandoned = 0u64;
+        while let Some(&Reverse((deadline, xmit))) = self.expiry.peek() {
+            if deadline > now {
                 break;
             }
-            self.expiry.pop_front();
-            if let Some(out) = self.outstanding.remove(&label) {
-                self.by_target.remove(&out.target);
-                self.generator.recycle(label);
+            self.expiry.pop();
+            let Some(label) = self.xmit_labels.remove(&xmit) else {
+                continue;
+            };
+            // Answered probes and superseded transmissions leave stale
+            // heap entries behind; skip them.
+            let Some(out) = self.outstanding.get(&label) else {
+                continue;
+            };
+            if out.xmit != xmit {
+                continue;
             }
+            let retries_left = out.attempts < self.config.retry_limit;
+            if retries_left && self.retransmit(label, ctx) {
+                retransmitted += 1;
+                continue;
+            }
+            let out = self.outstanding.remove(&label).expect("checked above");
+            self.by_target.remove(&out.target);
+            self.generator.recycle(label);
+            abandoned += 1;
+        }
+        if retransmitted > 0 || abandoned > 0 {
+            let mut shared = self.handle.inner.lock();
+            shared.stats.retransmits_sent += retransmitted;
+            shared.stats.probes_abandoned += abandoned;
+        }
+        self.telemetry.retransmits_sent.add(retransmitted);
+        self.telemetry.probes_abandoned.add(abandoned);
+    }
+
+    /// Publishes a checkpoint through the handle when another
+    /// `checkpoint_every` probes have gone out since the last one.
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.config.checkpoint_every else {
+            return;
+        };
+        let due = self.handle.stats().q1_sent / every.max(1);
+        if due > self.checkpoints_taken {
+            self.checkpoints_taken = due;
+            let cp = self.checkpoint();
+            self.handle.inner.lock().checkpoint = Some(cp);
         }
     }
 
@@ -279,12 +455,14 @@ impl Endpoint for Prober {
             return;
         }
         self.telemetry.pacer_ticks.inc();
-        self.sweep_expired(ctx.now());
+        self.sweep_expired(ctx);
         self.send_batch(ctx);
+        self.maybe_checkpoint();
         let targets_exhausted = self.next_target >= self.config.targets.len();
         if targets_exhausted && self.outstanding.is_empty() {
             self.done = true;
         } else {
+            self.tick += 1;
             ctx.set_timer(self.pacer.interval(), TICK);
         }
         self.publish_stats(ctx.now());
@@ -346,6 +524,14 @@ mod tests {
     }
 
     fn scan(targets: Vec<Ipv4Addr>, register: impl FnOnce(&mut SimNet)) -> ProberHandle {
+        scan_with(targets, register, |_| {})
+    }
+
+    fn scan_with(
+        targets: Vec<Ipv4Addr>,
+        register: impl FnOnce(&mut SimNet),
+        tweak: impl FnOnce(&mut ProberConfig),
+    ) -> ProberHandle {
         let mut net = SimNet::builder()
             .seed(5)
             .latency(FixedLatency(Duration::from_millis(10)))
@@ -355,7 +541,8 @@ mod tests {
         let mut config = ProberConfig::new(zone(), targets);
         config.rate_pps = 1_000;
         config.response_window = Duration::from_millis(200);
-        net.register(PROBER, Prober::new(config, handle.clone()));
+        tweak(&mut config);
+        net.register(PROBER, Prober::new(config, handle.clone()).unwrap());
         net.set_timer_for(PROBER, SimTime::ZERO, TICK);
         net.run_until_idle();
         handle
@@ -481,6 +668,169 @@ mod tests {
         });
         assert_eq!(handle.stats().r2_captured, 0);
         assert_eq!(handle.stats().unmatched, 1);
+    }
+
+    /// Ignores the first `drop_first` queries per source, answers after.
+    struct DeafAtFirst {
+        drop_first: u32,
+        seen: u32,
+        answer: Ipv4Addr,
+    }
+    impl Endpoint for DeafAtFirst {
+        fn handle_datagram(&mut self, dgram: &Datagram, ctx: &mut Context<'_>) {
+            self.seen += 1;
+            if self.seen <= self.drop_first {
+                return;
+            }
+            let Ok(query) = Message::decode(&dgram.payload) else {
+                return;
+            };
+            let qname = query.first_question().unwrap().qname().clone();
+            let resp = Message::builder()
+                .response_to(&query)
+                .recursion_available(true)
+                .answer(Record::in_class(qname, 60, RData::A(self.answer)))
+                .build();
+            ctx.send(dgram.reply(resp.encode().unwrap()));
+        }
+    }
+
+    #[test]
+    fn retransmission_recovers_an_unanswered_probe() {
+        let deaf = Ipv4Addr::new(4, 4, 4, 4);
+        let handle = scan_with(
+            vec![deaf],
+            |net| {
+                net.register(
+                    deaf,
+                    DeafAtFirst {
+                        drop_first: 1,
+                        seen: 0,
+                        answer: Ipv4Addr::new(9, 9, 9, 9),
+                    },
+                );
+            },
+            |config| config.retry_limit = 2,
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.q1_sent, 1, "retransmits must not inflate q1_sent");
+        assert_eq!(stats.retransmits_sent, 1);
+        assert_eq!(stats.r2_captured, 1);
+        assert_eq!(stats.probes_abandoned, 0);
+        assert!(stats.done);
+        // The capture joins to the original label and qname.
+        let captures = handle.captures();
+        assert_eq!(captures[0].target, deaf);
+        assert!(captures[0].label.is_some());
+    }
+
+    #[test]
+    fn retry_limit_bounds_retransmissions_then_abandons() {
+        let silent = Ipv4Addr::new(3, 3, 3, 3);
+        let handle = scan_with(vec![silent], |_| {}, |config| config.retry_limit = 2);
+        let stats = handle.stats();
+        assert_eq!(stats.q1_sent, 1);
+        assert_eq!(stats.retransmits_sent, 2);
+        assert_eq!(stats.probes_abandoned, 1);
+        assert_eq!(stats.r2_captured, 0);
+        assert!(stats.done);
+        // The original window plus two doubled backoffs must have
+        // elapsed before the scan finished: 200 + 400 + 800 ms.
+        assert!(stats.finished_at >= SimTime::from_nanos(1_400_000_000));
+    }
+
+    #[test]
+    fn fire_and_forget_counts_abandoned_probes() {
+        let silent: Vec<Ipv4Addr> = (0..20u32)
+            .map(|i| Ipv4Addr::from(0x0900_0000 + i))
+            .collect();
+        let handle = scan(silent, |_| {});
+        let stats = handle.stats();
+        assert_eq!(stats.retransmits_sent, 0);
+        assert_eq!(stats.probes_abandoned, 20);
+    }
+
+    #[test]
+    fn slot_schedule_reproduces_local_pacing_send_times() {
+        // A full-coverage slot schedule (every target owned, global
+        // indices 0..n, total rate == local rate) must send each probe
+        // at exactly the same virtual time as the legacy pacer.
+        let targets: Vec<Ipv4Addr> = (0..250u32)
+            .map(|i| Ipv4Addr::from(0x0a00_0000 + i))
+            .collect();
+        let sent_times = |slots: Option<SlotSchedule>| {
+            let handle = scan_with(
+                targets.clone(),
+                |net| {
+                    for &t in &targets {
+                        net.register(t, FixedAnswer(Ipv4Addr::new(1, 1, 1, 1)));
+                    }
+                },
+                move |config| config.slots = slots,
+            );
+            let mut times: Vec<(Ipv4Addr, SimTime)> = handle
+                .captures()
+                .iter()
+                .map(|c| (c.target, c.sent_at))
+                .collect();
+            times.sort();
+            times
+        };
+        let legacy = sent_times(None);
+        let slotted = sent_times(Some(SlotSchedule {
+            total_rate_pps: 1_000,
+            indices: (0..250).collect(),
+        }));
+        assert_eq!(legacy.len(), 250);
+        assert_eq!(legacy, slotted);
+    }
+
+    #[test]
+    fn sparse_slot_schedule_sends_at_global_instants() {
+        // A shard owning every 4th target of a 1000-pps campaign sends
+        // on the same tick grid as the full scan: global index 100 goes
+        // out on tick ceil(101*100/1000)-1 = 10, i.e. t = 100ms.
+        let targets = vec![Ipv4Addr::new(9, 9, 9, 9)];
+        let handle = scan_with(
+            targets,
+            |net| {
+                net.register(
+                    Ipv4Addr::new(9, 9, 9, 9),
+                    FixedAnswer(Ipv4Addr::new(1, 1, 1, 1)),
+                );
+            },
+            |config| {
+                config.slots = Some(SlotSchedule {
+                    total_rate_pps: 1_000,
+                    indices: vec![100],
+                });
+            },
+        );
+        let captures = handle.captures();
+        assert_eq!(captures.len(), 1);
+        assert_eq!(captures[0].sent_at, SimTime::from_nanos(100_000_000));
+    }
+
+    #[test]
+    fn auto_checkpoint_publishes_through_the_handle() {
+        let silent: Vec<Ipv4Addr> = (0..50u32)
+            .map(|i| Ipv4Addr::from(0x0900_0000 + i))
+            .collect();
+        let handle = scan_with(silent, |_| {}, |config| config.checkpoint_every = Some(10));
+        let cp = handle
+            .latest_checkpoint()
+            .expect("a checkpoint must have been published");
+        assert!(cp.next_target >= 10, "cursor advanced: {}", cp.next_target);
+        assert!(cp.q1_sent >= 10);
+    }
+
+    #[test]
+    fn zero_rate_config_is_rejected() {
+        let config = ProberConfig {
+            rate_pps: 0,
+            ..ProberConfig::new(zone(), vec![])
+        };
+        assert!(Prober::new(config, ProberHandle::new()).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct ProberTelemetry {
     pub off_port_dropped: Counter,
     /// `prober.unmatched` — responses matching no outstanding probe.
     pub unmatched: Counter,
+    /// `prober.retransmits_sent` — Q1 retransmissions after an elapsed
+    /// response window (per-flow deterministic, global).
+    pub retransmits_sent: Counter,
+    /// `prober.probes_abandoned` — probes whose final transmission
+    /// expired unanswered.
+    pub probes_abandoned: Counter,
     /// `prober.q1_r2_latency_ns` — virtual-time Q1→R2 round trip.
     pub q1_r2_latency_ns: Histogram,
     /// `prober.pacer_tokens_issued` — send tokens granted by the pacer
@@ -39,6 +45,8 @@ impl ProberTelemetry {
             r2_captured: collector.counter(Scope::Global, "prober.r2_captured"),
             off_port_dropped: collector.counter(Scope::Global, "prober.off_port_dropped"),
             unmatched: collector.counter(Scope::Global, "prober.unmatched"),
+            retransmits_sent: collector.counter(Scope::Global, "prober.retransmits_sent"),
+            probes_abandoned: collector.counter(Scope::Global, "prober.probes_abandoned"),
             q1_r2_latency_ns: collector.histogram(Scope::Global, "prober.q1_r2_latency_ns"),
             pacer_tokens_issued: collector.counter(Scope::Shard, "prober.pacer_tokens_issued"),
             pacer_tokens_unused: collector.counter(Scope::Shard, "prober.pacer_tokens_unused"),

@@ -102,7 +102,9 @@ impl Endpoint for User {
 
 fn main() {
     // The calibrated 2018 population (1:2000 -> ~3,250 resolvers).
-    let scan = Campaign::new(CampaignConfig::new(Year::Y2018, 2_000.0)).run();
+    let scan = Campaign::new(CampaignConfig::new(Year::Y2018, 2_000.0))
+        .run()
+        .unwrap();
     let population = scan.population();
     let infra = &scan.config().infra;
 

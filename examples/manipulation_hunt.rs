@@ -16,7 +16,7 @@ use orscope_resolver::paper::Year;
 fn main() {
     // A finer scale than the quickstart so the small categories survive.
     let config = CampaignConfig::new(Year::Y2018, 500.0);
-    let result = Campaign::new(config).run();
+    let result = Campaign::new(config).run().unwrap();
     let threat = result.threat_db();
     let geo = result.geo_db();
 

@@ -11,6 +11,6 @@ use orscope_resolver::paper::Year;
 fn main() {
     // 1:2000 scale: ~3,250 responding hosts, a few seconds of runtime.
     let config = CampaignConfig::new(Year::Y2018, 2_000.0);
-    let result = Campaign::new(config).run();
+    let result = Campaign::new(config).run().unwrap();
     println!("{}", result.render());
 }

@@ -12,7 +12,9 @@ use orscope_resolver::paper::Year;
 const SCALE: f64 = 2_000.0;
 
 fn run(year: Year) -> CampaignResult {
-    Campaign::new(CampaignConfig::new(year, SCALE)).run()
+    Campaign::new(CampaignConfig::new(year, SCALE))
+        .run()
+        .unwrap()
 }
 
 fn main() {

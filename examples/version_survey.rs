@@ -46,7 +46,9 @@ impl Endpoint for Surveyor {
 
 fn main() {
     // Phase 1: the behavioral scan finds the responders.
-    let result = Campaign::new(CampaignConfig::new(Year::Y2018, 2_000.0)).run();
+    let result = Campaign::new(CampaignConfig::new(Year::Y2018, 2_000.0))
+        .run()
+        .unwrap();
     let responders: Vec<Ipv4Addr> = result
         .population()
         .resolvers

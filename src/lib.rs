@@ -28,7 +28,7 @@
 //! use orscope::core::{Campaign, CampaignConfig};
 //! use orscope::resolver::paper::Year;
 //!
-//! let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+//! let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run().unwrap();
 //! assert!(result.table3_measured().0.err_pct() > 2.0);
 //! ```
 

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! orscope campaign [--year 2018] [--scale 1000] [--seed N] [--shards N] [--full-q1]
+//!                  [--loss P] [--duplicate P] [--retries N] [--rate PPS]
+//!                  [--authns-outage FROM:UNTIL] [--faults FILE.json]
+//!                  [--checkpoint-every N] [--stop-after SECS --checkpoint-file FILE]
 //!                  [--json FILE] [--telemetry FILE]
 //! orscope tables   [--scale 500] [--json FILE]      # both years, all tables
 //! orscope trend    [--steps 6] [--scale 2000]       # 2013 -> 2018 series
@@ -10,8 +13,10 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use orscope_core::{run_trend, Campaign, CampaignConfig, TrendConfig};
+use orscope_netsim::{FaultKind, FaultPlan, FaultRule, FaultScope};
 use orscope_resolver::paper::Year;
 
 fn main() -> ExitCode {
@@ -43,7 +48,11 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20 orscope campaign [--year 2013|2018] [--scale S] [--seed N] [--shards N]\n\
-         \x20                  [--full-q1] [--json FILE] [--telemetry FILE]\n\
+         \x20                  [--full-q1] [--loss P] [--duplicate P] [--retries N]\n\
+         \x20                  [--rate PPS] [--authns-outage FROM:UNTIL]\n\
+         \x20                  [--faults FILE.json] [--checkpoint-every N]\n\
+         \x20                  [--stop-after SECS --checkpoint-file FILE]\n\
+         \x20                  [--json FILE] [--telemetry FILE]\n\
          \x20 orscope tables   [--scale S] [--json FILE]\n\
          \x20 orscope trend    [--steps N] [--scale S] [--seed N]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
@@ -52,7 +61,19 @@ fn print_help() {
          \x20 campaign  replay one scan and print every table, paper vs measured\n\
          \x20 tables    replay both scans (the full evaluation of the paper)\n\
          \x20 trend     the 2013->2018 continuous-monitoring series (section V)\n\
-         \x20 pcap      run a scan and export the captured R2 traffic as libpcap"
+         \x20 pcap      run a scan and export the captured R2 traffic as libpcap\n\
+         \n\
+         CHAOS / ROBUSTNESS (campaign):\n\
+         \x20 --loss P              independent per-datagram loss probability\n\
+         \x20 --duplicate P         per-datagram duplication probability\n\
+         \x20 --retries N           per-probe retransmission budget (exp. backoff)\n\
+         \x20 --rate PPS            probe-rate override\n\
+         \x20 --authns-outage A:B   blackhole the authoritative server between\n\
+         \x20                       virtual seconds A and B\n\
+         \x20 --faults FILE.json    install a full fault plan from JSON\n\
+         \x20 --checkpoint-every N  publish a scan checkpoint every N probes\n\
+         \x20 --stop-after SECS     freeze at SECS of virtual time and write the\n\
+         \x20                       scan cursor to --checkpoint-file FILE"
     );
 }
 
@@ -90,6 +111,35 @@ fn parse_number<T: std::str::FromStr>(
     }
 }
 
+/// Builds the campaign fault plan from the chaos flags.
+fn parse_faults(args: &[String], config: &CampaignConfig) -> Result<FaultPlan, String> {
+    let mut plan = match flag_value(args, "--faults")? {
+        None => FaultPlan::new(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+    };
+    if let Some(window) = flag_value(args, "--authns-outage")? {
+        let (from, until) = window
+            .split_once(':')
+            .ok_or_else(|| format!("--authns-outage {window:?}: expected FROM:UNTIL seconds"))?;
+        let parse = |raw: &str| -> Result<Duration, String> {
+            raw.parse::<f64>()
+                .map(Duration::from_secs_f64)
+                .map_err(|_| format!("--authns-outage: bad number {raw:?}"))
+        };
+        plan.push(FaultRule::window(
+            parse(from)?,
+            parse(until)?,
+            FaultScope::Host(config.infra.auth),
+            FaultKind::Blackhole,
+        ));
+    }
+    Ok(plan)
+}
+
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let year = parse_year(args)?;
     let scale: f64 = parse_number(args, "--scale", 1_000.0)?;
@@ -97,12 +147,54 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let shards: usize = parse_number(args, "--shards", 1)?;
     let mut config = CampaignConfig::new(year, scale)
         .with_seed(seed)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_loss(parse_number(args, "--loss", 0.0)?)
+        .with_duplication(parse_number(args, "--duplicate", 0.0)?)
+        .with_retries(parse_number(args, "--retries", 0u32)?);
     if args.iter().any(|a| a == "--full-q1") {
         config = config.with_full_q1();
     }
+    if let Some(rate) = flag_value(args, "--rate")? {
+        let rate: u64 = rate
+            .parse()
+            .map_err(|_| format!("--rate: bad number {rate:?}"))?;
+        config = config.with_probe_rate(rate);
+    }
+    if let Some(every) = flag_value(args, "--checkpoint-every")? {
+        let every: u64 = every
+            .parse()
+            .map_err(|_| format!("--checkpoint-every: bad number {every:?}"))?;
+        config = config.with_checkpoint_every(every);
+    }
+    let faults = parse_faults(args, &config)?;
+    config = config.with_faults(faults);
+
+    // Partial mode: freeze the world at a virtual-time cut and persist
+    // the scan cursor instead of finishing.
+    if let Some(stop) = flag_value(args, "--stop-after")? {
+        let stop: f64 = stop
+            .parse()
+            .map_err(|_| format!("--stop-after: bad number {stop:?}"))?;
+        let path = flag_value(args, "--checkpoint-file")?
+            .ok_or("--stop-after needs --checkpoint-file FILE")?;
+        let checkpoint = Campaign::new(config)
+            .run_partial(Duration::from_secs_f64(stop))
+            .map_err(|e| e.to_string())?;
+        let blob = checkpoint.scan.to_json_string()?;
+        std::fs::write(&path, blob).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "froze at {stop}s: {} probes sent, {} in flight; cursor written to {path}",
+            checkpoint.scan.q1_sent,
+            checkpoint.outstanding.len()
+        );
+        return Ok(());
+    }
+
     let started = std::time::Instant::now();
-    let result = Campaign::new(config).run();
+    let result = Campaign::new(config).run().map_err(|e| e.to_string())?;
+    if let Some(degraded) = result.degraded() {
+        eprintln!("{degraded}");
+    }
     eprintln!(
         "simulated {} probes / {} responses in {:?}",
         result.dataset().q1,
@@ -128,7 +220,9 @@ fn cmd_tables(args: &[String]) -> Result<(), String> {
     let scale: f64 = parse_number(args, "--scale", 500.0)?;
     let mut blobs = Vec::new();
     for year in Year::ALL {
-        let result = Campaign::new(CampaignConfig::new(year, scale)).run();
+        let result = Campaign::new(CampaignConfig::new(year, scale))
+            .run()
+            .map_err(|e| e.to_string())?;
         println!("{}", result.render());
         blobs.push(result.to_json());
     }
@@ -195,7 +289,7 @@ fn cmd_pcap(args: &[String]) -> Result<(), String> {
         .ok_or("pcap needs an output path")?;
     let config = CampaignConfig::new(year, scale);
     let prober = config.infra.prober;
-    let result = Campaign::new(config).run();
+    let result = Campaign::new(config).run().map_err(|e| e.to_string())?;
     let packets: Vec<orscope_prober::pcap::PcapPacket> = result
         .dataset()
         .raw

@@ -9,7 +9,7 @@ fn report_json(seed: u64, shards: usize) -> String {
     let config = CampaignConfig::new(Year::Y2018, 20_000.0)
         .with_seed(seed)
         .with_shards(shards);
-    let result = Campaign::new(config).run();
+    let result = Campaign::new(config).run().unwrap();
     serde_json::to_string(&result.to_json()).expect("report serializes")
 }
 
@@ -29,7 +29,7 @@ fn different_seeds_produce_different_reports() {
     // measurement actually changing, not the config being echoed back.
     let strip = |seed: u64| {
         let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_seed(seed);
-        let mut json = Campaign::new(config).run().to_json();
+        let mut json = Campaign::new(config).run().unwrap().to_json();
         json.as_object_mut().expect("report object").remove("seed");
         serde_json::to_string(&json).expect("report serializes")
     };

@@ -11,7 +11,11 @@ const SCALE: f64 = 1000.0;
 
 fn result() -> &'static CampaignResult {
     static RESULT: OnceLock<CampaignResult> = OnceLock::new();
-    RESULT.get_or_init(|| Campaign::new(CampaignConfig::new(Year::Y2013, SCALE)).run())
+    RESULT.get_or_init(|| {
+        Campaign::new(CampaignConfig::new(Year::Y2013, SCALE))
+            .run()
+            .unwrap()
+    })
 }
 
 fn up(measured: u64) -> u64 {
@@ -96,7 +100,7 @@ fn full_q1_mode_reproduces_table_2_exactly() {
     // Full-Q1 at a coarse scale: every probeable address (scaled) is
     // really probed, so Q1 and the R2/Q1 percentage match the paper.
     let config = CampaignConfig::new(Year::Y2013, 50_000.0).with_full_q1();
-    let full = Campaign::new(config).run();
+    let full = Campaign::new(config).run().unwrap();
     let t2 = orscope_analysis::tables::Table2::measured(full.dataset());
     let expected_q1 = (3_676_724_690.0_f64 / 50_000.0).round() as u64;
     assert_eq!(t2.q1, expected_q1);

@@ -11,7 +11,11 @@ const SCALE: f64 = 1000.0;
 
 fn result() -> &'static CampaignResult {
     static RESULT: OnceLock<CampaignResult> = OnceLock::new();
-    RESULT.get_or_init(|| Campaign::new(CampaignConfig::new(Year::Y2018, SCALE)).run())
+    RESULT.get_or_init(|| {
+        Campaign::new(CampaignConfig::new(Year::Y2018, SCALE))
+            .run()
+            .unwrap()
+    })
 }
 
 /// De-scaled measured count.
@@ -285,7 +289,9 @@ fn calibration_is_robust_across_seeds() {
     // and value synthesis. Any seed must reproduce the same totals and
     // the same flag shapes.
     for seed in [1u64, 0xFEED_BEEF, u64::MAX / 3] {
-        let run = Campaign::new(CampaignConfig::new(Year::Y2018, 5_000.0).with_seed(seed)).run();
+        let run = Campaign::new(CampaignConfig::new(Year::Y2018, 5_000.0).with_seed(seed))
+            .run()
+            .unwrap();
         assert_eq!(
             run.dataset().r2(),
             (6_506_258.0_f64 / 5_000.0).round() as u64

@@ -11,10 +11,9 @@ fn config(scale: f64) -> CampaignConfig {
 
 #[test]
 fn packet_loss_shrinks_r2_proportionally() {
-    let baseline = Campaign::new(config(5_000.0)).run();
-    let mut lossy_config = config(5_000.0);
-    lossy_config.loss_probability = 0.25;
-    let lossy = Campaign::new(lossy_config).run();
+    let baseline = Campaign::new(config(5_000.0)).run().unwrap();
+    let lossy_config = config(5_000.0).with_loss(0.25);
+    let lossy = Campaign::new(lossy_config).run().unwrap();
     let (b, l) = (baseline.dataset().r2() as f64, lossy.dataset().r2() as f64);
     // A probe-response pair survives two independent 25% drops for
     // immediate responders (~0.56 survival) and more legs for recursers;
@@ -32,9 +31,8 @@ fn loss_makes_recursers_servfail_not_vanish() {
     // we can check that some recursing resolvers still answered
     // ServFail after retries timed out rather than leaving the prober
     // hanging forever: the scan must still drain.
-    let mut cfg = config(5_000.0);
-    cfg.loss_probability = 0.4;
-    let result = Campaign::new(cfg).run();
+    let cfg = config(5_000.0).with_loss(0.4);
+    let result = Campaign::new(cfg).run().unwrap();
     assert!(result.dataset().probe_stats.done, "scan drained");
     // The *share* of ServFail among observed responses rises: failed
     // recursions convert would-be correct answers into ServFail. (The
@@ -43,7 +41,7 @@ fn loss_makes_recursers_servfail_not_vanish() {
     let t6 = result.table6_measured();
     let (_, servfail_wo) = t6.get(orscope_dns_wire::Rcode::ServFail);
     let lossy_share = servfail_wo as f64 / result.dataset().r2() as f64;
-    let baseline = Campaign::new(config(5_000.0)).run();
+    let baseline = Campaign::new(config(5_000.0)).run().unwrap();
     let (_, base_servfail) = baseline
         .table6_measured()
         .get(orscope_dns_wire::Rcode::ServFail);
@@ -60,13 +58,12 @@ fn loss_makes_recursers_servfail_not_vanish() {
 
 #[test]
 fn off_port_responders_hit_the_blind_spot() {
-    let mut cfg = config(5_000.0);
-    cfg.off_port_responders = 40;
-    let result = Campaign::new(cfg).run();
+    let cfg = config(5_000.0).with_off_port_responders(40);
+    let result = Campaign::new(cfg).run().unwrap();
     let stats = result.dataset().probe_stats;
     assert_eq!(stats.off_port_dropped, 40, "all off-port answers dropped");
     // And none of them contaminated the R2 stream.
-    let baseline = Campaign::new(config(5_000.0)).run();
+    let baseline = Campaign::new(config(5_000.0)).run().unwrap();
     assert_eq!(result.dataset().r2(), baseline.dataset().r2());
 }
 
@@ -74,9 +71,8 @@ fn off_port_responders_hit_the_blind_spot() {
 fn blind_spot_underestimates_responder_population() {
     // The §V discussion: a prober that accepted any source port would
     // have seen more responders. Quantify the undercount.
-    let mut cfg = config(5_000.0);
-    cfg.off_port_responders = 100;
-    let result = Campaign::new(cfg).run();
+    let cfg = config(5_000.0).with_off_port_responders(100);
+    let result = Campaign::new(cfg).run().unwrap();
     let seen = result.dataset().r2();
     let missed = result.dataset().probe_stats.off_port_dropped;
     let undercount = missed as f64 / (seen + missed) as f64;
@@ -85,7 +81,9 @@ fn blind_spot_underestimates_responder_population() {
 
 #[test]
 fn malformed_2013_packets_join_analysis_via_header_salvage() {
-    let result = Campaign::new(CampaignConfig::new(Year::Y2013, 2_000.0)).run();
+    let result = Campaign::new(CampaignConfig::new(Year::Y2013, 2_000.0))
+        .run()
+        .unwrap();
     let t7 = result.table7_measured();
     let expected = (8_764.0_f64 / 2_000.0).round() as u64;
     assert!(
@@ -100,7 +98,7 @@ fn malformed_2013_packets_join_analysis_via_header_salvage() {
 #[test]
 fn empty_question_responses_are_excluded_from_matched_tables() {
     // At 1:200, the 494 empty-question packets scale to 2-3.
-    let result = Campaign::new(config(200.0)).run();
+    let result = Campaign::new(config(200.0)).run().unwrap();
     let report = result.empty_question_measured();
     let expected = (494.0_f64 / 200.0).round() as u64;
     assert!(
@@ -119,10 +117,9 @@ fn empty_question_responses_are_excluded_from_matched_tables() {
 
 #[test]
 fn loss_does_not_break_determinism_or_double_count() {
-    let mut cfg = config(10_000.0);
-    cfg.loss_probability = 0.3;
-    let a = Campaign::new(cfg.clone()).run();
-    let b = Campaign::new(cfg).run();
+    let cfg = config(10_000.0).with_loss(0.3);
+    let a = Campaign::new(cfg.clone()).run().unwrap();
+    let b = Campaign::new(cfg).run().unwrap();
     assert_eq!(a.dataset().r2(), b.dataset().r2());
     assert_eq!(a.dataset().q2, b.dataset().q2);
     // R2 never exceeds probes sent.
@@ -134,10 +131,9 @@ fn forwarder_population_preserves_table_3() {
     // Replacing 10% of honest resolvers with CPE forwarders behind
     // shared upstreams must not change the classified tables: the
     // relayed answers are still correct, RA=1, NoError.
-    let mut cfg = config(2_000.0);
-    cfg.forwarder_fraction = 0.10;
-    let with_forwarders = Campaign::new(cfg).run();
-    let baseline = Campaign::new(config(2_000.0)).run();
+    let cfg = config(2_000.0).with_forwarder_fraction(0.10);
+    let with_forwarders = Campaign::new(cfg).run().unwrap();
+    let baseline = Campaign::new(config(2_000.0)).run().unwrap();
     let (m, b) = (
         with_forwarders.table3_measured().0,
         baseline.table3_measured().0,
@@ -156,10 +152,9 @@ fn duplicated_packets_do_not_inflate_r2() {
     // `unmatched` rather than double-counting a responder — and the
     // resolvers' pending tables likewise absorb duplicated upstream
     // answers. The classified tables must be identical to the baseline.
-    let mut cfg = config(5_000.0);
-    cfg.duplicate_probability = 0.5;
-    let duplicated = Campaign::new(cfg).run();
-    let baseline = Campaign::new(config(5_000.0)).run();
+    let cfg = config(5_000.0).with_duplication(0.5);
+    let duplicated = Campaign::new(cfg).run().unwrap();
+    let baseline = Campaign::new(config(5_000.0)).run().unwrap();
     assert_eq!(duplicated.dataset().r2(), baseline.dataset().r2());
     assert_eq!(
         duplicated.table3_measured().0,

@@ -7,7 +7,9 @@ use orscope_resolver::paper::Year;
 
 #[test]
 fn report_json_schema_is_stable() {
-    let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0)).run();
+    let result = Campaign::new(CampaignConfig::new(Year::Y2018, 20_000.0))
+        .run()
+        .unwrap();
     let json = result.to_json();
 
     // Top-level fields.
@@ -72,7 +74,9 @@ fn report_json_schema_is_stable() {
 
 #[test]
 fn markdown_report_contains_every_table() {
-    let result = Campaign::new(CampaignConfig::new(Year::Y2013, 20_000.0)).run();
+    let result = Campaign::new(CampaignConfig::new(Year::Y2013, 20_000.0))
+        .run()
+        .unwrap();
     let markdown: String = result
         .table_reports()
         .iter()

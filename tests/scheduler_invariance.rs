@@ -20,7 +20,7 @@ fn reports_are_byte_identical_across_schedulers_and_shards() {
         let config = CampaignConfig::new(Year::Y2018, 20_000.0)
             .with_shards(shards)
             .with_scheduler(scheduler);
-        Campaign::new(config).run()
+        Campaign::new(config).run().unwrap()
     };
     let baseline = run(SchedulerKind::Heap, 1);
     let baseline_tables = tables_json(&baseline);
@@ -52,10 +52,11 @@ fn failure_injection_is_scheduler_invariant() {
     // wheel must present events to the RNG in the heap's exact order for
     // these runs to agree.
     let run = |scheduler: SchedulerKind| {
-        let mut config = CampaignConfig::new(Year::Y2018, 40_000.0).with_scheduler(scheduler);
-        config.loss_probability = 0.1;
-        config.duplicate_probability = 0.05;
-        Campaign::new(config).run()
+        let config = CampaignConfig::new(Year::Y2018, 40_000.0)
+            .with_scheduler(scheduler)
+            .with_loss(0.1)
+            .with_duplication(0.05);
+        Campaign::new(config).run().unwrap()
     };
     let heap = run(SchedulerKind::Heap);
     let wheel = run(SchedulerKind::Wheel);

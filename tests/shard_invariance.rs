@@ -20,7 +20,7 @@ fn tables_json(result: &orscope_core::CampaignResult) -> String {
 fn tables_are_byte_identical_across_shard_counts() {
     let run = |shards: usize| {
         let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
-        Campaign::new(config).run()
+        Campaign::new(config).run().unwrap()
     };
     let single = run(1);
     let baseline = tables_json(&single);
@@ -60,10 +60,11 @@ fn invariance_holds_with_forwarders_and_off_port_responders() {
     // their shared upstreams, and off-port responders must stay invisible
     // regardless of which shard absorbs them.
     let run = |shards: usize| {
-        let mut config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
-        config.forwarder_fraction = 0.3;
-        config.off_port_responders = 15;
-        Campaign::new(config).run()
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0)
+            .with_shards(shards)
+            .with_forwarder_fraction(0.3)
+            .with_off_port_responders(15);
+        Campaign::new(config).run().unwrap()
     };
     let single = run(1);
     let baseline = tables_json(&single);
@@ -82,7 +83,7 @@ fn invariance_holds_with_forwarders_and_off_port_responders() {
 fn invariance_holds_for_the_2013_scan() {
     let run = |shards: usize| {
         let config = CampaignConfig::new(Year::Y2013, 20_000.0).with_shards(shards);
-        Campaign::new(config).run()
+        Campaign::new(config).run().unwrap()
     };
     let baseline = tables_json(&run(1));
     assert_eq!(tables_json(&run(4)), baseline);
@@ -97,7 +98,7 @@ fn sharding_does_not_change_the_seed_sensitivity() {
         let config = CampaignConfig::new(Year::Y2018, 20_000.0)
             .with_seed(seed)
             .with_shards(4);
-        Campaign::new(config).run()
+        Campaign::new(config).run().unwrap()
     };
     let a = run(1);
     let b = run(2);

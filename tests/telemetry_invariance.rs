@@ -7,7 +7,7 @@ use orscope_resolver::paper::Year;
 
 fn run(shards: usize) -> orscope_core::CampaignResult {
     let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_shards(shards);
-    Campaign::new(config).run()
+    Campaign::new(config).run().unwrap()
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn counters_agree_with_the_simulator_stats() {
 fn disabling_telemetry_removes_the_snapshot_and_changes_nothing_else() {
     let on = run(1);
     let config = CampaignConfig::new(Year::Y2018, 20_000.0).with_telemetry(false);
-    let off = Campaign::new(config).run();
+    let off = Campaign::new(config).run().unwrap();
     assert!(off.telemetry().is_none());
     assert_eq!(
         serde_json::to_string(&off.table_reports()).expect("tables serialize"),

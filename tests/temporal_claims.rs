@@ -13,8 +13,12 @@ fn results() -> &'static (CampaignResult, CampaignResult) {
     static RESULTS: OnceLock<(CampaignResult, CampaignResult)> = OnceLock::new();
     RESULTS.get_or_init(|| {
         (
-            Campaign::new(CampaignConfig::new(Year::Y2013, SCALE)).run(),
-            Campaign::new(CampaignConfig::new(Year::Y2018, SCALE)).run(),
+            Campaign::new(CampaignConfig::new(Year::Y2013, SCALE))
+                .run()
+                .unwrap(),
+            Campaign::new(CampaignConfig::new(Year::Y2018, SCALE))
+                .run()
+                .unwrap(),
         )
     })
 }
