@@ -4,7 +4,7 @@ use std::net::Ipv4Addr;
 
 use orscope_authns::scheme::{ground_truth, ProbeLabel};
 use orscope_dns_wire::wire::Reader;
-use orscope_dns_wire::{Header, Message, RData, Rcode};
+use orscope_dns_wire::{Header, Message, Name, RData, Rcode};
 use orscope_netsim::SimTime;
 use orscope_prober::R2Capture;
 
@@ -37,6 +37,12 @@ pub struct ClassifiedR2 {
     pub resolver: Ipv4Addr,
     /// Receive time.
     pub at: SimTime,
+    /// Send time of the probe this response answers.
+    pub sent_at: SimTime,
+    /// The qname the probe carried (joins R2 to Q2/R1 flows).
+    pub qname: Name,
+    /// Wire length of the response payload, for amplification factors.
+    pub payload_len: u32,
     /// Whether the response carried a question section.
     pub has_question: bool,
     /// The probe label, when the response was matched by qname.
@@ -84,6 +90,9 @@ pub fn classify(capture: &R2Capture) -> Option<ClassifiedR2> {
             Some(ClassifiedR2 {
                 resolver: capture.target,
                 at: capture.at,
+                sent_at: capture.sent_at,
+                qname: capture.qname.clone(),
+                payload_len: capture.payload.len() as u32,
                 has_question: msg.first_question().is_some(),
                 label: capture.label,
                 ra: header.recursion_available(),
@@ -100,6 +109,9 @@ pub fn classify(capture: &R2Capture) -> Option<ClassifiedR2> {
             Some(ClassifiedR2 {
                 resolver: capture.target,
                 at: capture.at,
+                sent_at: capture.sent_at,
+                qname: capture.qname.clone(),
+                payload_len: capture.payload.len() as u32,
                 has_question: header.question_count() > 0,
                 label: capture.label,
                 ra: header.recursion_available(),

@@ -22,10 +22,15 @@ pub struct Dataset {
     /// Scan duration in (virtual) seconds, including zone-load time.
     pub duration_secs: f64,
     /// All classified R2 packets (matched and empty-question alike).
+    /// Empty in streaming mode, where per-table accumulators replace
+    /// the record buffer.
     pub records: Vec<ClassifiedR2>,
-    /// The raw captures the records were classified from (pcap export,
-    /// re-analysis).
+    /// Raw captures, retained only when requested (pcap export,
+    /// re-analysis) via [`Dataset::attach_raw`]; empty otherwise.
     pub raw: Vec<R2Capture>,
+    /// Total classified R2 packets. Tracks `records.len()` in batch
+    /// mode; carries the streamed count when `records` is empty.
+    pub r2_total: u64,
     /// Responses dropped by the port-53 blind spot.
     pub off_port_dropped: u64,
     /// Prober-side scan statistics.
@@ -45,7 +50,8 @@ impl Dataset {
         captures: &[R2Capture],
         probe_stats: ProbeStats,
     ) -> Self {
-        let records = captures.iter().filter_map(classify).collect();
+        let records: Vec<ClassifiedR2> = captures.iter().filter_map(classify).collect();
+        let r2_total = records.len() as u64;
         Self {
             year,
             scale,
@@ -54,15 +60,30 @@ impl Dataset {
             r1,
             duration_secs,
             records,
-            raw: captures.to_vec(),
+            raw: Vec::new(),
+            r2_total,
             off_port_dropped: probe_stats.off_port_dropped,
             probe_stats,
         }
     }
 
+    /// Attaches raw captures for pcap export or re-analysis. The
+    /// classified records already carry everything the tables need, so
+    /// raw payloads are dropped by default and retained only on request.
+    pub fn attach_raw(&mut self, mut captures: Vec<R2Capture>) {
+        sort_captures(&mut captures);
+        self.raw = captures;
+    }
+
+    /// Overrides the classified-R2 total (streaming mode, where the
+    /// count lives in the accumulators rather than in `records`).
+    pub fn set_r2_total(&mut self, r2_total: u64) {
+        self.r2_total = r2_total;
+    }
+
     /// Total R2 packets.
     pub fn r2(&self) -> u64 {
-        self.records.len() as u64
+        self.r2_total
     }
 
     /// The packets with a question section (the 6,505,764 of 2018).
@@ -83,10 +104,11 @@ impl Dataset {
     /// Merges per-shard datasets into one, independent of shard order.
     ///
     /// Counters sum and `duration_secs` takes the slowest shard (shards
-    /// run concurrently). Raw captures are re-sorted into a canonical
-    /// order — by qname, then receive time, then target — and records are
-    /// re-classified from the sorted captures, so any permutation of the
-    /// same shards produces an identical dataset. Sharded probers draw
+    /// run concurrently). Records (and raw captures, when retained) are
+    /// re-sorted into a canonical order — by qname (canonical DNS name
+    /// ordering over the wire bytes, no per-capture allocation), then
+    /// receive time, then resolver — so any permutation of the same
+    /// shards produces an identical dataset. Sharded probers draw
     /// qnames from disjoint cluster ranges, which keeps the sort key
     /// unambiguous across shards.
     ///
@@ -127,14 +149,22 @@ impl Dataset {
             merged.duration_secs = merged.duration_secs.max(shard.duration_secs);
             merged.off_port_dropped += shard.off_port_dropped;
             merged.probe_stats.absorb(&shard.probe_stats);
+            merged.r2_total += shard.r2_total;
+            merged.records.extend(shard.records);
             merged.raw.extend(shard.raw);
         }
         merged
-            .raw
-            .sort_by_cached_key(|c| (c.qname.to_string(), c.at, c.target));
-        merged.records = merged.raw.iter().filter_map(classify).collect();
+            .records
+            .sort_by(|a, b| (&a.qname, a.at, a.resolver).cmp(&(&b.qname, b.at, b.resolver)));
+        sort_captures(&mut merged.raw);
         merged
     }
+}
+
+/// Sorts raw captures into the canonical merge order (qname wire
+/// ordering, receive time, target) without allocating per-capture keys.
+fn sort_captures(captures: &mut [R2Capture]) {
+    captures.sort_by(|a, b| (&a.qname, a.at, a.target).cmp(&(&b.qname, b.at, b.target)));
 }
 
 #[cfg(test)]
@@ -232,9 +262,9 @@ mod tests {
         reversed.reverse();
         let backward = Dataset::merge(reversed);
         let key = |ds: &Dataset| -> Vec<(String, Ipv4Addr)> {
-            ds.raw
+            ds.records
                 .iter()
-                .map(|c| (c.qname.to_string(), c.target))
+                .map(|r| (r.qname.to_string(), r.resolver))
                 .collect()
         };
         assert_eq!(key(&forward), key(&backward));

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
 
 use orscope_authns::scheme::ProbeLabel;
 use orscope_authns::{CapturedPacket, Direction};
@@ -16,6 +17,8 @@ use orscope_dns_wire::wire::Reader;
 use orscope_dns_wire::{Header, Name, Question};
 use orscope_netsim::SimTime;
 use orscope_prober::R2Capture;
+
+use crate::classify::ClassifiedR2;
 
 /// The reconstructed timeline of one probe flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +39,18 @@ pub struct Flow {
 }
 
 impl Flow {
+    /// An empty timeline for `label`, filled in as packets fold in.
+    pub(crate) fn stub(label: ProbeLabel) -> Flow {
+        Flow {
+            label,
+            resolver: None,
+            q1_at: None,
+            q2_at: Vec::new(),
+            r1_at: Vec::new(),
+            r2_at: None,
+        }
+    }
+
     /// End-to-end resolution latency (Q1 -> R2), if both ends exist.
     pub fn resolution_latency(&self) -> Option<std::time::Duration> {
         Some(self.r2_at?.since(self.q1_at?))
@@ -55,9 +70,22 @@ pub struct FlowSet {
     pub flows: Vec<Flow>,
     /// Auth-server packets whose qname was not a probe name.
     pub foreign_auth_packets: u64,
+    /// Sorted resolution latencies, computed on first use so quantile
+    /// queries index instead of re-sorting.
+    sorted_latencies: OnceLock<Vec<std::time::Duration>>,
 }
 
 impl FlowSet {
+    /// Assembles a flow set from already-joined flows (streaming mode).
+    pub(crate) fn from_parts(mut flows: Vec<Flow>, foreign_auth_packets: u64) -> FlowSet {
+        flows.sort_by_key(|f| f.label);
+        FlowSet {
+            flows,
+            foreign_auth_packets,
+            sorted_latencies: OnceLock::new(),
+        }
+    }
+
     /// Joins prober-side and server-side captures.
     ///
     /// `zone` is the measurement zone the probe names live under.
@@ -73,49 +101,42 @@ impl FlowSet {
             else {
                 continue; // empty-question responses joined elsewhere
             };
-            let flow = by_label.entry(label).or_insert_with(|| Flow {
+            fold_r2(
+                &mut by_label,
                 label,
-                resolver: None,
-                q1_at: None,
-                q2_at: Vec::new(),
-                r1_at: Vec::new(),
-                r2_at: None,
-            });
-            flow.resolver = Some(capture.target);
-            flow.q1_at = Some(capture.sent_at);
-            flow.r2_at = Some(capture.at);
+                capture.target,
+                capture.sent_at,
+                capture.at,
+            );
         }
         let mut foreign = 0u64;
         for packet in auth {
-            match question_of(&packet.payload).and_then(|q| ProbeLabel::parse(q.qname(), zone)) {
-                Some(label) => {
-                    let flow = by_label.entry(label).or_insert_with(|| Flow {
-                        label,
-                        resolver: None,
-                        q1_at: None,
-                        q2_at: Vec::new(),
-                        r1_at: Vec::new(),
-                        r2_at: None,
-                    });
-                    match packet.direction {
-                        Direction::Inbound => {
-                            flow.q2_at.push(packet.at);
-                            if flow.resolver.is_none() {
-                                flow.resolver = Some(packet.peer);
-                            }
-                        }
-                        Direction::Outbound => flow.r1_at.push(packet.at),
-                    }
-                }
-                None => foreign += 1,
-            }
+            fold_auth(&mut by_label, &mut foreign, packet, zone);
         }
-        let mut flows: Vec<Flow> = by_label.into_values().collect();
-        flows.sort_by_key(|f| f.label);
-        FlowSet {
-            flows,
-            foreign_auth_packets: foreign,
+        FlowSet::from_parts(by_label.into_values().collect(), foreign)
+    }
+
+    /// Joins classified records and server-side captures: the same
+    /// four-flow join as [`FlowSet::match_flows`] but driven off the
+    /// classified records, which carry everything the join needs without
+    /// the raw payloads.
+    pub fn match_records(
+        records: &[ClassifiedR2],
+        auth: &[CapturedPacket],
+        zone: &Name,
+    ) -> FlowSet {
+        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::with_capacity(records.len());
+        for rec in records {
+            let Some(label) = rec.label.or_else(|| ProbeLabel::parse(&rec.qname, zone)) else {
+                continue;
+            };
+            fold_r2(&mut by_label, label, rec.resolver, rec.sent_at, rec.at);
         }
+        let mut foreign = 0u64;
+        for packet in auth {
+            fold_auth(&mut by_label, &mut foreign, packet, zone);
+        }
+        FlowSet::from_parts(by_label.into_values().collect(), foreign)
     }
 
     /// Number of flows that recursed (reached the authoritative server).
@@ -136,24 +157,71 @@ impl FlowSet {
 
     /// Resolution latencies (Q1 -> R2) across complete flows, sorted.
     pub fn resolution_latencies(&self) -> Vec<std::time::Duration> {
-        let mut out: Vec<_> = self
-            .flows
-            .iter()
-            .filter_map(Flow::resolution_latency)
-            .collect();
-        out.sort();
-        out
+        self.sorted().clone()
+    }
+
+    /// The sorted latencies, computed once and cached: quantile queries
+    /// index into the cache instead of re-sorting the full vector.
+    fn sorted(&self) -> &Vec<std::time::Duration> {
+        self.sorted_latencies.get_or_init(|| {
+            let mut out: Vec<_> = self
+                .flows
+                .iter()
+                .filter_map(Flow::resolution_latency)
+                .collect();
+            out.sort();
+            out
+        })
     }
 
     /// The `q`-quantile (0..=1) of resolution latency, if any flows
     /// completed.
     pub fn latency_quantile(&self, q: f64) -> Option<std::time::Duration> {
-        let lats = self.resolution_latencies();
+        let lats = self.sorted();
         if lats.is_empty() {
             return None;
         }
         let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         Some(lats[idx])
+    }
+}
+
+/// Folds one R2 observation into the label-keyed flow table.
+pub(crate) fn fold_r2(
+    by_label: &mut HashMap<ProbeLabel, Flow>,
+    label: ProbeLabel,
+    resolver: Ipv4Addr,
+    sent_at: SimTime,
+    at: SimTime,
+) {
+    let flow = by_label.entry(label).or_insert_with(|| Flow::stub(label));
+    flow.resolver = Some(resolver);
+    flow.q1_at = Some(sent_at);
+    flow.r2_at = Some(at);
+}
+
+/// Folds one authoritative-server packet into the flow table, counting
+/// packets whose qname is not a probe name as foreign.
+pub(crate) fn fold_auth(
+    by_label: &mut HashMap<ProbeLabel, Flow>,
+    foreign: &mut u64,
+    packet: &CapturedPacket,
+    zone: &Name,
+) {
+    match question_of(&packet.payload).and_then(|q| ProbeLabel::parse(q.qname(), zone)) {
+        Some(label) => {
+            let flow = by_label.entry(label).or_insert_with(|| Flow::stub(label));
+            match packet.direction {
+                Direction::Inbound => {
+                    flow.q2_at.push(packet.at);
+                    if flow.resolver.is_none() {
+                        flow.resolver = Some(packet.peer);
+                    }
+                }
+                Direction::Outbound => flow.r1_at.push(packet.at),
+            }
+        }
+        None => *foreign += 1,
     }
 }
 

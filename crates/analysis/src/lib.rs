@@ -29,6 +29,7 @@ pub mod dataset;
 pub mod flows;
 pub mod report;
 pub mod stats;
+pub mod stream;
 pub mod summary;
 pub mod tables;
 
@@ -36,4 +37,5 @@ pub use classify::{classify, AnswerKind, ClassifiedR2};
 pub use dataset::Dataset;
 pub use flows::{Flow, FlowSet};
 pub use report::{Comparison, TableReport};
+pub use stream::{AnalysisMode, RecordSink, StreamingAnalyzer};
 pub use summary::{ScanSummary, TemporalSummary};

@@ -10,7 +10,7 @@
 //! the paper begins.
 
 use crate::dataset::Dataset;
-use crate::tables::{Table3, Table4, Table5, Table9};
+use crate::tables::{AnswerBreakdown, FlagTable, Table3, Table4, Table5, Table9};
 use orscope_threatintel::ThreatDb;
 
 /// One scan's headline numbers.
@@ -36,17 +36,37 @@ impl ScanSummary {
     /// Computes the summary from a dataset (counts de-scaled to paper
     /// scale via the dataset's own factor).
     pub fn compute(ds: &Dataset, threat: &ThreatDb) -> Self {
-        let t3 = Table3::measured(ds).0;
-        let t4 = Table4::measured(ds).0;
-        let t5 = Table5::measured(ds).0;
-        let t9 = Table9::measured(ds, threat);
+        Self::from_tables(
+            ds.year.as_u16(),
+            ds.scale,
+            ds.r2(),
+            Table3::measured(ds).0,
+            Table4::measured(ds).0,
+            Table5::measured(ds).0,
+            &Table9::measured(ds, threat),
+        )
+    }
+
+    /// Assembles the summary from already-computed tables, so streaming
+    /// accumulators and the batch dataset share one definition of the
+    /// headline numbers.
+    pub fn from_tables(
+        year: u16,
+        scale: f64,
+        r2: u64,
+        t3: AnswerBreakdown,
+        t4: FlagTable,
+        t5: FlagTable,
+        t9: &Table9,
+    ) -> Self {
+        let descale = |measured: u64| (measured as f64 * scale).round() as u64;
         Self {
-            year: ds.year.as_u16(),
-            responders: ds.descale(ds.r2()),
-            open_resolvers_strict: ds.descale(t4.flag1.w_corr),
-            standard_deviants: ds.descale(t4.flag0.w() + t5.flag1.total()),
-            incorrect: ds.descale(t3.w_incorr),
-            malicious: ds.descale(t9.total_r2()),
+            year,
+            responders: descale(r2),
+            open_resolvers_strict: descale(t4.flag1.w_corr),
+            standard_deviants: descale(t4.flag0.w() + t5.flag1.total()),
+            incorrect: descale(t3.w_incorr),
+            malicious: descale(t9.total_r2()),
         }
     }
 }

@@ -44,6 +44,13 @@ impl AnswerBreakdown {
         out
     }
 
+    /// Merges another breakdown in (shard absorption; commutative).
+    pub fn absorb(&mut self, other: &Self) {
+        self.wo += other.wo;
+        self.w_corr += other.w_corr;
+        self.w_incorr += other.w_incorr;
+    }
+
     /// Total packets.
     pub fn total(&self) -> u64 {
         self.wo + self.w_corr + self.w_incorr
@@ -170,7 +177,7 @@ impl fmt::Display for Table3 {
 }
 
 /// Tables IV and V share this shape: a breakdown per flag value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlagTable {
     /// Breakdown over packets with the flag clear.
     pub flag0: AnswerBreakdown,
@@ -179,20 +186,30 @@ pub struct FlagTable {
 }
 
 impl FlagTable {
+    /// Accumulates one packet on the side `flag` selects.
+    pub fn add(&mut self, rec: &ClassifiedR2, flag: bool) {
+        if flag {
+            self.flag1.add(rec);
+        } else {
+            self.flag0.add(rec);
+        }
+    }
+
+    /// Merges another flag table in (shard absorption; commutative).
+    pub fn absorb(&mut self, other: &Self) {
+        self.flag0.absorb(&other.flag0);
+        self.flag1.absorb(&other.flag1);
+    }
+
     fn collect<'a>(
         records: impl Iterator<Item = &'a ClassifiedR2>,
         flag: impl Fn(&ClassifiedR2) -> bool,
     ) -> Self {
-        let mut flag0 = AnswerBreakdown::default();
-        let mut flag1 = AnswerBreakdown::default();
+        let mut out = Self::default();
         for rec in records {
-            if flag(rec) {
-                flag1.add(rec);
-            } else {
-                flag0.add(rec);
-            }
+            out.add(rec, flag(rec));
         }
-        Self { flag0, flag1 }
+        out
     }
 
     fn paper_for(spec: &YearSpec, cell_flag: impl Fn(bool, bool) -> bool) -> Self {
@@ -300,6 +317,12 @@ impl Table6 {
             let map = if rec.has_answer() { &mut w } else { &mut wo };
             *map.entry(rec.rcode).or_default() += 1;
         }
+        Self::from_counts(&w, &wo)
+    }
+
+    /// Assembles the table from per-rcode tallies (shared with the
+    /// streaming accumulators).
+    pub(crate) fn from_counts(w: &HashMap<Rcode, u64>, wo: &HashMap<Rcode, u64>) -> Self {
         let rows = Rcode::TABLE_VI_ORDER
             .iter()
             .map(|&rc| {
@@ -495,6 +518,17 @@ impl Table8 {
                 *counts.entry(ip).or_default() += 1;
             }
         }
+        Self::from_counts(counts, geo, threat, k)
+    }
+
+    /// Assembles the top-`k` from per-address tallies (shared with the
+    /// streaming accumulators).
+    pub(crate) fn from_counts(
+        counts: HashMap<Ipv4Addr, u64>,
+        geo: &GeoDb,
+        threat: &ThreatDb,
+        k: usize,
+    ) -> Self {
         let mut sorted: Vec<(Ipv4Addr, u64)> = counts.into_iter().collect();
         sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let rows = sorted
@@ -586,14 +620,28 @@ impl Table9 {
     /// Computes the table by validating every wrong IP answer against
     /// the threat database (the Cymon step of §IV-C2).
     pub fn measured(ds: &Dataset, threat: &ThreatDb) -> Self {
-        let mut unique: HashMap<Category, std::collections::HashSet<Ipv4Addr>> = HashMap::new();
-        let mut packets: HashMap<Category, u64> = HashMap::new();
+        let mut counts: HashMap<Ipv4Addr, u64> = HashMap::new();
         for rec in ds.matched().filter(|r| r.incorrect()) {
             if let AnswerKind::Ip(ip) = rec.answer {
-                if let Some(category) = threat.dominant_category(ip) {
-                    unique.entry(category).or_default().insert(ip);
-                    *packets.entry(category).or_default() += 1;
-                }
+                *counts.entry(ip).or_default() += 1;
+            }
+        }
+        Self::from_ip_counts(counts.into_iter(), threat)
+    }
+
+    /// Assembles the table from per-address packet tallies (shared with
+    /// the streaming accumulators): each address contributes its count
+    /// to its dominant category.
+    pub(crate) fn from_ip_counts(
+        counts: impl Iterator<Item = (Ipv4Addr, u64)>,
+        threat: &ThreatDb,
+    ) -> Self {
+        let mut unique: HashMap<Category, std::collections::HashSet<Ipv4Addr>> = HashMap::new();
+        let mut packets: HashMap<Category, u64> = HashMap::new();
+        for (ip, n) in counts {
+            if let Some(category) = threat.dominant_category(ip) {
+                unique.entry(category).or_default().insert(ip);
+                *packets.entry(category).or_default() += n;
             }
         }
         let rows = Category::ALL
@@ -735,14 +783,20 @@ impl CountryTable {
     /// Computes the distribution by geolocating the *resolver* address
     /// of every threat-reported response.
     pub fn measured(ds: &Dataset, geo: &GeoDb, threat: &ThreatDb) -> Self {
+        Self::from_resolver_tallies(reported_resolver_tallies(ds, threat), geo)
+    }
+
+    /// Assembles the distribution from `(resolver, count)` tallies of
+    /// threat-reported responses (shared with the streaming
+    /// accumulators; a resolver may appear more than once).
+    pub(crate) fn from_resolver_tallies(
+        tallies: impl Iterator<Item = (Ipv4Addr, u64)>,
+        geo: &GeoDb,
+    ) -> Self {
         let mut counts: HashMap<String, u64> = HashMap::new();
-        for rec in ds.matched().filter(|r| r.incorrect()) {
-            if let AnswerKind::Ip(ip) = rec.answer {
-                if threat.is_reported(ip) {
-                    let record = geo.lookup(rec.resolver);
-                    *counts.entry(record.country).or_default() += 1;
-                }
-            }
+        for (resolver, n) in tallies {
+            let record = geo.lookup(resolver);
+            *counts.entry(record.country).or_default() += n;
         }
         let mut rows: Vec<(String, u64)> = counts.into_iter().collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -784,6 +838,20 @@ impl fmt::Display for CountryTable {
     }
 }
 
+/// `(resolver, 1)` tallies over a dataset's threat-reported responses —
+/// the batch-side source for [`CountryTable`] and [`AsnTable`].
+fn reported_resolver_tallies<'a>(
+    ds: &'a Dataset,
+    threat: &'a ThreatDb,
+) -> impl Iterator<Item = (Ipv4Addr, u64)> + 'a {
+    ds.matched()
+        .filter(|r| r.incorrect())
+        .filter_map(move |rec| match rec.answer {
+            AnswerKind::Ip(ip) if threat.is_reported(ip) => Some((rec.resolver, 1)),
+            _ => None,
+        })
+}
+
 /// §IV-B4: the empty-question packets.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EmptyQuestionReport {
@@ -806,27 +874,44 @@ impl EmptyQuestionReport {
     pub fn measured(ds: &Dataset) -> Self {
         let mut out = Self::default();
         for rec in ds.empty_question() {
-            out.total += 1;
-            if rec.has_answer() {
-                out.with_answer += 1;
-                if let AnswerKind::Ip(ip) = rec.answer {
-                    if ip.is_private() {
-                        out.private_answers += 1;
-                    }
-                }
-            }
-            out.ra1 += u64::from(rec.ra);
-            out.aa1 += u64::from(rec.aa);
-            match rec.rcode {
-                Rcode::NoError => out.rcodes[0] += 1,
-                Rcode::FormErr => out.rcodes[1] += 1,
-                Rcode::ServFail => out.rcodes[2] += 1,
-                Rcode::NXDomain => out.rcodes[3] += 1,
-                Rcode::Refused => out.rcodes[4] += 1,
-                _ => {}
-            }
+            out.add(rec);
         }
         out
+    }
+
+    /// Accumulates one empty-question packet.
+    pub fn add(&mut self, rec: &ClassifiedR2) {
+        self.total += 1;
+        if rec.has_answer() {
+            self.with_answer += 1;
+            if let AnswerKind::Ip(ip) = rec.answer {
+                if ip.is_private() {
+                    self.private_answers += 1;
+                }
+            }
+        }
+        self.ra1 += u64::from(rec.ra);
+        self.aa1 += u64::from(rec.aa);
+        match rec.rcode {
+            Rcode::NoError => self.rcodes[0] += 1,
+            Rcode::FormErr => self.rcodes[1] += 1,
+            Rcode::ServFail => self.rcodes[2] += 1,
+            Rcode::NXDomain => self.rcodes[3] += 1,
+            Rcode::Refused => self.rcodes[4] += 1,
+            _ => {}
+        }
+    }
+
+    /// Merges another report in (shard absorption; commutative).
+    pub fn absorb(&mut self, other: &Self) {
+        self.total += other.total;
+        self.with_answer += other.with_answer;
+        self.private_answers += other.private_answers;
+        self.ra1 += other.ra1;
+        self.aa1 += other.aa1;
+        for (slot, n) in self.rcodes.iter_mut().zip(other.rcodes) {
+            *slot += n;
+        }
     }
 
     /// The paper's published breakdown (2018).
@@ -1039,19 +1124,27 @@ impl AsnTable {
     /// Computes the distribution by looking up the resolver address of
     /// every threat-reported response.
     pub fn measured(ds: &Dataset, geo: &GeoDb, threat: &ThreatDb) -> Self {
-        let mut counts: HashMap<u32, (String, u64)> = HashMap::new();
-        for rec in ds.matched().filter(|r| r.incorrect()) {
-            if let AnswerKind::Ip(ip) = rec.answer {
-                if threat.is_reported(ip) {
-                    let record = geo.lookup(rec.resolver);
-                    let entry = counts.entry(record.asn).or_insert((record.org, 0));
-                    entry.1 += 1;
-                }
-            }
+        Self::from_resolver_tallies(reported_resolver_tallies(ds, threat), geo)
+    }
+
+    /// Assembles the distribution from `(resolver, count)` tallies of
+    /// threat-reported responses (shared with the streaming
+    /// accumulators). Each AS takes its org name from its numerically
+    /// lowest resolver, so the rows do not depend on record order.
+    pub(crate) fn from_resolver_tallies(
+        tallies: impl Iterator<Item = (Ipv4Addr, u64)>,
+        geo: &GeoDb,
+    ) -> Self {
+        let mut counts: HashMap<u32, (Ipv4Addr, u64)> = HashMap::new();
+        for (resolver, n) in tallies {
+            let record = geo.lookup(resolver);
+            let entry = counts.entry(record.asn).or_insert((resolver, 0));
+            entry.0 = entry.0.min(resolver);
+            entry.1 += n;
         }
         let mut rows: Vec<(u32, String, u64)> = counts
             .into_iter()
-            .map(|(asn, (org, n))| (asn, org, n))
+            .map(|(asn, (resolver, n))| (asn, geo.lookup(resolver).org, n))
             .collect();
         rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         Self { rows }
@@ -1093,17 +1186,17 @@ pub struct AmplificationTable {
 }
 
 impl AmplificationTable {
-    /// Computes amplification factors from the raw captures.
+    /// Computes amplification factors from the classified records.
     pub fn measured(ds: &Dataset) -> Self {
-        let mut factors: Vec<f64> = ds
-            .raw
-            .iter()
-            .map(|cap| {
-                // The triggering Q1: header (12) + qname + qtype/qclass.
-                let query_len = (12 + cap.qname.wire_len() + 4) as f64;
-                cap.payload.len() as f64 / query_len
-            })
-            .collect();
+        let factors: Vec<f64> = ds.records.iter().map(amplification_factor).collect();
+        Self::from_factors(factors)
+    }
+
+    /// Reduces a multiset of factors (shared with the streaming
+    /// accumulators). Sorting before the mean keeps the float summation
+    /// order — and so the rendered output — identical regardless of the
+    /// order the factors accumulated in.
+    pub(crate) fn from_factors(mut factors: Vec<f64>) -> Self {
         if factors.is_empty() {
             return Self::default();
         }
@@ -1119,6 +1212,13 @@ impl AmplificationTable {
             max: factors[n - 1],
         }
     }
+}
+
+/// One record's bandwidth-amplification factor: response payload over
+/// the triggering query's size (header (12) + qname + qtype/qclass).
+pub(crate) fn amplification_factor(rec: &ClassifiedR2) -> f64 {
+    let query_len = (12 + rec.qname.wire_len() + 4) as f64;
+    rec.payload_len as f64 / query_len
 }
 
 impl fmt::Display for AmplificationTable {

@@ -133,13 +133,13 @@ fn shard(index: u32) -> Dataset {
 
 /// A comparable fingerprint of everything the merge affects.
 fn fingerprint(ds: &Dataset) -> String {
-    let raw: Vec<(String, Ipv4Addr, u64)> = ds
-        .raw
+    let records: Vec<(String, Ipv4Addr, u64)> = ds
+        .records
         .iter()
-        .map(|c| (c.qname.to_string(), c.target, c.at.as_nanos()))
+        .map(|r| (r.qname.to_string(), r.resolver, r.at.as_nanos()))
         .collect();
     format!(
-        "q1={} q2={} r1={} r2={} dur={} stats={:?} t2={:?} t3={:?} t4={:?} t5={:?} t6={:?} t7={:?} raw={raw:?}",
+        "q1={} q2={} r1={} r2={} dur={} stats={:?} t2={:?} t3={:?} t4={:?} t5={:?} t6={:?} t7={:?} records={records:?}",
         ds.q1,
         ds.q2,
         ds.r1,

@@ -30,6 +30,46 @@ pub struct CapturedPacket {
     pub payload: bytes::Bytes,
 }
 
+/// A capture-time consumer of server-side packets (streaming analysis).
+/// When installed, packets are handed to it instead of buffering.
+pub type PacketSink = Box<dyn FnMut(&CapturedPacket) + Send>;
+
+#[derive(Default)]
+struct Shared {
+    packets: Vec<CapturedPacket>,
+    /// Monotonic per-direction counters, maintained whether or not a
+    /// sink is installed, so `count` stays O(1) and meaningful in
+    /// streaming mode where `packets` never fills.
+    inbound: u64,
+    outbound: u64,
+    /// Streaming sink; `None` means buffer into `packets`.
+    sink: Option<PacketSink>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("packets", &self.packets)
+            .field("inbound", &self.inbound)
+            .field("outbound", &self.outbound)
+            .field("sink", &self.sink.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl Shared {
+    fn record(&mut self, packet: CapturedPacket) {
+        match packet.direction {
+            Direction::Inbound => self.inbound += 1,
+            Direction::Outbound => self.outbound += 1,
+        }
+        match self.sink.as_mut() {
+            Some(sink) => sink(&packet),
+            None => self.packets.push(packet),
+        }
+    }
+}
+
 /// A shared, cloneable handle to a capture buffer.
 ///
 /// The campaign creates one handle per capture point, hands clones to the
@@ -37,7 +77,7 @@ pub struct CapturedPacket {
 /// simulation drains.
 #[derive(Debug, Clone, Default)]
 pub struct CaptureHandle {
-    inner: Arc<Mutex<Vec<CapturedPacket>>>,
+    inner: Arc<Mutex<Shared>>,
 }
 
 impl CaptureHandle {
@@ -48,7 +88,7 @@ impl CaptureHandle {
 
     /// Records an inbound datagram at time `at`.
     pub fn record_inbound(&self, at: SimTime, dgram: &Datagram) {
-        self.inner.lock().push(CapturedPacket {
+        self.inner.lock().record(CapturedPacket {
             at,
             direction: Direction::Inbound,
             peer: dgram.src,
@@ -59,7 +99,7 @@ impl CaptureHandle {
 
     /// Records an outbound datagram at time `at`.
     pub fn record_outbound(&self, at: SimTime, dgram: &Datagram) {
-        self.inner.lock().push(CapturedPacket {
+        self.inner.lock().record(CapturedPacket {
             at,
             direction: Direction::Outbound,
             peer: dgram.dst,
@@ -68,33 +108,44 @@ impl CaptureHandle {
         });
     }
 
-    /// Number of captured packets.
+    /// Number of buffered packets (zero in streaming mode, where
+    /// packets are consumed at capture time).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().packets.len()
     }
 
-    /// Whether nothing has been captured.
+    /// Whether nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().packets.is_empty()
     }
 
-    /// Count by direction.
+    /// Packets seen in `direction` since creation. O(1): maintained as
+    /// a counter, unaffected by [`CaptureHandle::drain`] or a sink.
     pub fn count(&self, direction: Direction) -> usize {
-        self.inner
-            .lock()
-            .iter()
-            .filter(|p| p.direction == direction)
-            .count()
+        let shared = self.inner.lock();
+        let n = match direction {
+            Direction::Inbound => shared.inbound,
+            Direction::Outbound => shared.outbound,
+        };
+        n as usize
     }
 
-    /// Takes the captured packets, leaving the buffer empty.
+    /// Takes the buffered packets, leaving the buffer empty.
     pub fn drain(&self) -> Vec<CapturedPacket> {
-        std::mem::take(&mut *self.inner.lock())
+        std::mem::take(&mut self.inner.lock().packets)
     }
 
-    /// Clones the captured packets without draining.
+    /// Clones the buffered packets without draining.
     pub fn snapshot(&self) -> Vec<CapturedPacket> {
-        self.inner.lock().clone()
+        self.inner.lock().packets.clone()
+    }
+
+    /// Installs a streaming sink: every packet from now on is handed to
+    /// `sink` at capture time instead of buffering, so payloads drop as
+    /// soon as the sink returns. Install before the simulation starts;
+    /// already-buffered packets stay buffered.
+    pub fn set_sink(&self, sink: impl FnMut(&CapturedPacket) + Send + 'static) {
+        self.inner.lock().sink = Some(Box::new(sink));
     }
 }
 
@@ -129,6 +180,11 @@ mod tests {
         cap.record_inbound(SimTime::ZERO, &dgram());
         assert_eq!(cap.drain().len(), 1);
         assert!(cap.is_empty());
+        assert_eq!(
+            cap.count(Direction::Inbound),
+            1,
+            "direction counters survive drain"
+        );
     }
 
     #[test]
@@ -137,5 +193,19 @@ mod tests {
         let clone = cap.clone();
         clone.record_inbound(SimTime::ZERO, &dgram());
         assert_eq!(cap.len(), 1);
+    }
+
+    #[test]
+    fn sink_consumes_instead_of_buffering() {
+        let cap = CaptureHandle::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sunk = seen.clone();
+        cap.set_sink(move |p| sunk.lock().push((p.direction, p.peer)));
+        cap.record_inbound(SimTime::ZERO, &dgram());
+        cap.record_outbound(SimTime::from_secs(1), &dgram());
+        assert!(cap.is_empty(), "sink mode must not buffer");
+        assert_eq!(cap.count(Direction::Inbound), 1);
+        assert_eq!(cap.count(Direction::Outbound), 1);
+        assert_eq!(seen.lock().len(), 2);
     }
 }

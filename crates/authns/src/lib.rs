@@ -31,7 +31,7 @@ pub mod telemetry;
 pub mod zone;
 pub mod zonefile;
 
-pub use capture::{CaptureHandle, CapturedPacket, Direction};
+pub use capture::{CaptureHandle, CapturedPacket, Direction, PacketSink};
 pub use cluster::ClusterZone;
 pub use hierarchy::{RootServer, TldServer};
 pub use scheme::{ground_truth, ProbeLabel};

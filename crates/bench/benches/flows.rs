@@ -9,8 +9,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("flows");
     g.bench_function("match_q1_q2_r1_r2", |b| {
         b.iter(|| {
-            let flows = FlowSet::match_flows(
-                &result.dataset().raw,
+            let flows = FlowSet::match_records(
+                &result.dataset().records,
                 result.auth_packets(),
                 &result.config().infra.zone,
             );

@@ -5,7 +5,7 @@ use std::net::Ipv4Addr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use orscope_analysis::Dataset;
+use orscope_analysis::{AnalysisMode, Dataset, RecordSink, StreamingAnalyzer};
 use orscope_authns::{
     AuthTelemetry, AuthoritativeServer, CaptureHandle, CapturedPacket, ClusterZone, RootServer,
     TldServer, Zone,
@@ -88,6 +88,15 @@ pub struct CampaignConfig {
     /// Deterministic shard-failure injection for exercising the
     /// supervisor (tests and chaos drills only).
     pub sabotage: Option<ShardSabotage>,
+    /// How captures become tables: the default single-pass
+    /// [`AnalysisMode::Streaming`] classifies at capture time and keeps
+    /// only accumulators; [`AnalysisMode::Batch`] buffers every payload
+    /// and classifies after the scan (the original pipeline, kept as an
+    /// oracle). Both render byte-identical reports.
+    pub analysis: AnalysisMode,
+    /// Keep raw R2 captures alongside the streaming accumulators
+    /// (needed for pcap export; forfeits the memory bound).
+    pub retain_raw: bool,
     /// Infrastructure addresses.
     pub infra: Infra,
 }
@@ -113,8 +122,22 @@ impl CampaignConfig {
             telemetry: true,
             scheduler: SchedulerKind::default(),
             sabotage: None,
+            analysis: AnalysisMode::default(),
+            retain_raw: false,
             infra: Infra::default(),
         }
+    }
+
+    /// Selects how captures become tables (streaming or batch).
+    pub fn with_analysis(mut self, analysis: AnalysisMode) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Keeps raw R2 captures in streaming mode (pcap export).
+    pub fn with_retain_raw(mut self, retain_raw: bool) -> Self {
+        self.retain_raw = retain_raw;
+        self
     }
 
     /// Switches to full-Q1 mode (slower; exact Table II Q1).
@@ -490,7 +513,11 @@ impl Campaign {
 
         // ---- merge ----
         let analyze = collector.phase("phase.analyze");
-        let dataset = if outcomes.len() == 1 {
+        // In batch mode the per-shard datasets carry the classified
+        // records; in streaming mode they carry only counters (the
+        // records were folded into each shard's accumulators at capture
+        // time) and the analyzers are absorbed order-insensitively.
+        let mut dataset = if outcomes.len() == 1 {
             outcomes[0].dataset(config)
         } else {
             Dataset::merge(
@@ -500,18 +527,35 @@ impl Campaign {
                     .collect(),
             )
         };
-        analyze.finish();
-        let mut telemetry = collector.snapshot();
+        let mut stream: Option<StreamingAnalyzer> = None;
         let mut net_stats = NetStats::default();
         let mut auth_packets: Vec<CapturedPacket> = Vec::new();
+        let mut shard_telemetry: Vec<TelemetrySnapshot> = Vec::new();
         for outcome in outcomes {
-            telemetry.absorb(&outcome.telemetry);
+            shard_telemetry.push(outcome.telemetry);
             net_stats.absorb(&outcome.net_stats);
             auth_packets.extend(outcome.auth_packets);
+            if let Some(analysis) = outcome.analysis {
+                match stream.as_mut() {
+                    Some(merged) => merged.absorb(analysis),
+                    None => stream = Some(analysis),
+                }
+            }
+        }
+        if let Some(merged) = stream.as_mut() {
+            dataset.set_r2_total(merged.r2_classified());
+            if config.retain_raw {
+                dataset.attach_raw(merged.take_raw());
+            }
         }
         // Canonical merged capture order: chronological, with the stable
         // sort breaking cross-shard ties by shard index.
         auth_packets.sort_by_key(|packet| packet.at);
+        analyze.finish();
+        let mut telemetry = collector.snapshot();
+        for shard in &shard_telemetry {
+            telemetry.absorb(shard);
+        }
 
         Ok(CampaignResult::new(
             config.clone(),
@@ -524,6 +568,7 @@ impl Campaign {
             auth_packets,
             config.telemetry.then_some(telemetry),
             degraded,
+            stream,
         ))
     }
 
@@ -558,6 +603,9 @@ impl Campaign {
             }
         }
         let mut world = self.build_shard(plan, None);
+        if self.config.analysis == AnalysisMode::Streaming {
+            world.attach_streaming(self.config.infra.zone.clone(), self.config.retain_raw);
+        }
         // ---- run to completion ----
         let probe_span = world.collector.phase("phase.probe");
         world.net.run_until_idle();
@@ -675,6 +723,7 @@ impl Campaign {
             collector,
             q1_planned,
             cluster_capacity: plan.cluster_capacity,
+            analyzer: None,
         }
     }
 
@@ -784,9 +833,29 @@ pub(crate) struct ShardWorld {
     pub(crate) q1_planned: u64,
     /// Names per subdomain cluster (for the load-time model).
     pub(crate) cluster_capacity: u64,
+    /// The shard's streaming accumulators, when capture-time sinks are
+    /// installed (see [`ShardWorld::attach_streaming`]).
+    pub(crate) analyzer: Option<std::sync::Arc<parking_lot::Mutex<StreamingAnalyzer>>>,
 }
 
 impl ShardWorld {
+    /// Installs capture-time sinks on the prober and authoritative
+    /// capture handles, folding every packet into a shared
+    /// [`StreamingAnalyzer`] the moment it is captured. Payloads drop
+    /// as soon as each fold returns (unless `retain_raw`).
+    pub(crate) fn attach_streaming(&mut self, zone: orscope_dns_wire::Name, retain_raw: bool) {
+        let analyzer = std::sync::Arc::new(parking_lot::Mutex::new(StreamingAnalyzer::new(
+            zone, retain_raw,
+        )));
+        let r2_sink = analyzer.clone();
+        self.prober_handle
+            .set_sink(move |capture| r2_sink.lock().on_r2(capture));
+        let auth_sink = analyzer.clone();
+        self.auth_capture
+            .set_sink(move |packet| auth_sink.lock().on_auth(packet));
+        self.analyzer = Some(analyzer);
+    }
+
     /// Harvests a completed shard run into a mergeable outcome.
     pub(crate) fn collect(self, probe_span: PhaseSpan) -> ShardOutcome {
         let probe_stats = self.prober_handle.stats();
@@ -827,6 +896,10 @@ impl ShardWorld {
             net_stats: *self.net.stats(),
             auth_packets: self.auth_capture.drain(),
             telemetry: self.collector.snapshot(),
+            analysis: self
+                .analyzer
+                .as_ref()
+                .map(|analyzer| std::mem::take(&mut *analyzer.lock())),
         }
     }
 }
@@ -841,6 +914,9 @@ pub(crate) struct ShardOutcome {
     pub(crate) net_stats: NetStats,
     pub(crate) auth_packets: Vec<CapturedPacket>,
     pub(crate) telemetry: TelemetrySnapshot,
+    /// Streaming accumulators, present when the shard ran with
+    /// capture-time sinks installed.
+    pub(crate) analysis: Option<StreamingAnalyzer>,
 }
 
 impl ShardOutcome {

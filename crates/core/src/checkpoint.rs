@@ -181,6 +181,9 @@ impl Campaign {
             auth_packets,
             config.telemetry.then_some(outcome.telemetry),
             None,
+            // Checkpoint halves are merged as buffered captures, so the
+            // resumed result always analyzes in batch mode.
+            None,
         ))
     }
 }

@@ -34,5 +34,6 @@ pub use campaign::{Campaign, CampaignConfig};
 pub use checkpoint::CampaignCheckpoint;
 pub use error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 pub use infra::Infra;
+pub use orscope_analysis::AnalysisMode;
 pub use result::CampaignResult;
 pub use trend::{run_trend, TrendConfig, TrendPoint};

@@ -4,7 +4,7 @@ use orscope_analysis::tables::{
     AmplificationTable, AsnTable, CountryTable, EmptyQuestionReport, Table10, Table2, Table3,
     Table4, Table5, Table6, Table7, Table8, Table9,
 };
-use orscope_analysis::{Comparison, Dataset, FlowSet, TableReport};
+use orscope_analysis::{Comparison, Dataset, FlowSet, ScanSummary, StreamingAnalyzer, TableReport};
 use orscope_authns::CapturedPacket;
 use orscope_geo::GeoDb;
 use orscope_netsim::NetStats;
@@ -29,6 +29,14 @@ pub struct CampaignResult {
     auth_packets: Vec<CapturedPacket>,
     telemetry: Option<TelemetrySnapshot>,
     degraded: Option<DegradedReport>,
+    /// Streaming accumulators when the campaign ran in
+    /// [`orscope_analysis::AnalysisMode::Streaming`]; `None` means every
+    /// table computes from the buffered `dataset` (batch mode).
+    stream: Option<StreamingAnalyzer>,
+    /// The four-flow join, assembled once at construction: drained out
+    /// of the streaming accumulators, or recomputed from the classified
+    /// records in batch mode.
+    flows: FlowSet,
 }
 
 impl CampaignResult {
@@ -44,7 +52,14 @@ impl CampaignResult {
         auth_packets: Vec<CapturedPacket>,
         telemetry: Option<TelemetrySnapshot>,
         degraded: Option<DegradedReport>,
+        mut stream: Option<StreamingAnalyzer>,
     ) -> Self {
+        let flows = match stream.as_mut() {
+            // Drain rather than clone: the join state is the largest
+            // structure the streaming accumulators hold.
+            Some(stream) => stream.take_flows(),
+            None => FlowSet::match_records(&dataset.records, &auth_packets, &config.infra.zone),
+        };
         Self {
             config,
             spec,
@@ -56,6 +71,8 @@ impl CampaignResult {
             auth_packets,
             telemetry,
             degraded,
+            stream,
+            flows,
         }
     }
 
@@ -123,13 +140,12 @@ impl CampaignResult {
     }
 
     /// Joins the prober and authoritative captures into per-probe flows
-    /// (the qname-keyed Q1/Q2/R1/R2 grouping of section III-B).
-    pub fn flows(&self) -> FlowSet {
-        FlowSet::match_flows(
-            &self.dataset.raw,
-            &self.auth_packets,
-            &self.config.infra.zone,
-        )
+    /// (the qname-keyed Q1/Q2/R1/R2 grouping of section III-B). In
+    /// streaming mode the join state was folded at capture time; in
+    /// batch mode it was computed from the classified records when the
+    /// result was assembled.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
     }
 
     /// Measured Table II.
@@ -139,62 +155,112 @@ impl CampaignResult {
 
     /// Measured Table III.
     pub fn table3_measured(&self) -> Table3 {
-        Table3::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.table3(),
+            None => Table3::measured(&self.dataset),
+        }
     }
 
     /// Measured Table IV.
     pub fn table4_measured(&self) -> Table4 {
-        Table4::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.table4(),
+            None => Table4::measured(&self.dataset),
+        }
     }
 
     /// Measured Table V.
     pub fn table5_measured(&self) -> Table5 {
-        Table5::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.table5(),
+            None => Table5::measured(&self.dataset),
+        }
     }
 
     /// Measured Table VI.
     pub fn table6_measured(&self) -> Table6 {
-        Table6::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.table6(),
+            None => Table6::measured(&self.dataset),
+        }
     }
 
     /// Measured Table VII.
     pub fn table7_measured(&self) -> Table7 {
-        Table7::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.table7(),
+            None => Table7::measured(&self.dataset),
+        }
     }
 
     /// Measured Table VIII (top-10).
     pub fn table8_measured(&self) -> Table8 {
-        Table8::measured(&self.dataset, &self.geo, &self.threat, 10)
+        match &self.stream {
+            Some(stream) => stream.table8(&self.geo, &self.threat, 10),
+            None => Table8::measured(&self.dataset, &self.geo, &self.threat, 10),
+        }
     }
 
     /// Measured Table IX.
     pub fn table9_measured(&self) -> Table9 {
-        Table9::measured(&self.dataset, &self.threat)
+        match &self.stream {
+            Some(stream) => stream.table9(&self.threat),
+            None => Table9::measured(&self.dataset, &self.threat),
+        }
     }
 
     /// Measured Table X.
     pub fn table10_measured(&self) -> Table10 {
-        Table10::measured(&self.dataset, &self.threat)
+        match &self.stream {
+            Some(stream) => stream.table10(&self.threat),
+            None => Table10::measured(&self.dataset, &self.threat),
+        }
     }
 
     /// Measured country distribution.
     pub fn countries_measured(&self) -> CountryTable {
-        CountryTable::measured(&self.dataset, &self.geo, &self.threat)
+        match &self.stream {
+            Some(stream) => stream.countries(&self.geo, &self.threat),
+            None => CountryTable::measured(&self.dataset, &self.geo, &self.threat),
+        }
     }
 
     /// Measured AS distribution of malicious resolvers.
     pub fn asns_measured(&self) -> AsnTable {
-        AsnTable::measured(&self.dataset, &self.geo, &self.threat)
+        match &self.stream {
+            Some(stream) => stream.asns(&self.geo, &self.threat),
+            None => AsnTable::measured(&self.dataset, &self.geo, &self.threat),
+        }
     }
 
     /// Measured amplification exposure of the responding population.
     pub fn amplification_measured(&self) -> AmplificationTable {
-        AmplificationTable::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.amplification(),
+            None => AmplificationTable::measured(&self.dataset),
+        }
     }
 
     /// Measured empty-question report.
     pub fn empty_question_measured(&self) -> EmptyQuestionReport {
-        EmptyQuestionReport::measured(&self.dataset)
+        match &self.stream {
+            Some(stream) => stream.empty_question(),
+            None => EmptyQuestionReport::measured(&self.dataset),
+        }
+    }
+
+    /// The abstract-level headline numbers for this scan, computed from
+    /// the same tables either analysis mode produces.
+    pub fn scan_summary(&self) -> ScanSummary {
+        ScanSummary::from_tables(
+            self.dataset.year.as_u16(),
+            self.dataset.scale,
+            self.dataset.r2(),
+            self.table3_measured().0,
+            self.table4_measured().0,
+            self.table5_measured().0,
+            &self.table9_measured(),
+        )
     }
 
     /// De-scales a measured count to paper scale.

@@ -79,13 +79,41 @@ impl ProbeStats {
     }
 }
 
-#[derive(Debug, Default)]
+/// A capture-time consumer of R2 packets (streaming analysis). When
+/// installed, captures are handed to it instead of buffering.
+pub type R2Sink = Box<dyn FnMut(&R2Capture) + Send>;
+
+#[derive(Default)]
 pub(crate) struct Shared {
     pub(crate) captures: Vec<R2Capture>,
     pub(crate) stats: ProbeStats,
     /// Most recent auto-checkpoint (see
     /// `ProberConfig::checkpoint_every`).
     pub(crate) checkpoint: Option<ScanCheckpoint>,
+    /// Streaming sink; `None` means buffer into `captures`.
+    pub(crate) sink: Option<R2Sink>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("captures", &self.captures)
+            .field("stats", &self.stats)
+            .field("checkpoint", &self.checkpoint)
+            .field("sink", &self.sink.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl Shared {
+    /// Routes one captured R2 to the sink when streaming, or into the
+    /// buffer otherwise.
+    pub(crate) fn push_capture(&mut self, capture: R2Capture) {
+        match self.sink.as_mut() {
+            Some(sink) => sink(&capture),
+            None => self.captures.push(capture),
+        }
+    }
 }
 
 /// A cloneable handle to the prober's capture buffer and statistics.
@@ -127,6 +155,14 @@ impl ProberHandle {
     /// configured with `checkpoint_every` and has crossed a boundary.
     pub fn latest_checkpoint(&self) -> Option<ScanCheckpoint> {
         self.inner.lock().checkpoint.clone()
+    }
+
+    /// Installs a streaming sink: every capture from now on is handed
+    /// to `sink` at receive time instead of buffering, so payloads drop
+    /// as soon as the sink returns. Install before the scan starts;
+    /// already-buffered captures stay buffered.
+    pub fn set_sink(&self, sink: impl FnMut(&R2Capture) + Send + 'static) {
+        self.inner.lock().sink = Some(Box::new(sink));
     }
 }
 

@@ -439,7 +439,7 @@ impl Endpoint for Prober {
             .record(ctx.now().since(out.sent_at).as_nanos() as u64);
         let mut shared = self.handle.inner.lock();
         shared.stats.r2_captured += 1;
-        shared.captures.push(R2Capture {
+        shared.push_capture(R2Capture {
             target: out.target,
             label: question.is_some().then_some(label),
             qname,

@@ -9,7 +9,6 @@
 //! cargo run --release --example manipulation_hunt
 //! ```
 
-use orscope_analysis::AnswerKind;
 use orscope_core::{Campaign, CampaignConfig};
 use orscope_resolver::paper::Year;
 
@@ -38,17 +37,16 @@ fn main() {
     println!("{}\n", result.countries_measured());
 
     // Fig. 4: the reputation card of the most-redirected-to address.
-    let mut counts = std::collections::HashMap::new();
-    for rec in result.dataset().matched().filter(|r| r.incorrect()) {
-        if let AnswerKind::Ip(ip) = rec.answer {
-            if threat.is_reported(ip) {
-                *counts.entry(ip).or_insert(0u64) += 1;
-            }
-        }
-    }
-    if let Some((&worst, &n)) = counts
+    // Table VIII already ranks wrong answers by packet count (from the
+    // streaming accumulators — no buffered records needed), so the worst
+    // reported address is its first reported row.
+    let t8 = result.table8_measured();
+    if let Some((worst, n)) = t8
+        .rows
         .iter()
-        .max_by_key(|(ip, &n)| (n, std::cmp::Reverse(**ip)))
+        .filter(|row| threat.is_reported(row.ip))
+        .map(|row| (row.ip, row.count))
+        .next()
     {
         let record = geo.lookup(worst);
         println!("== Reputation card (cf. Fig. 4) ==");

@@ -5,8 +5,8 @@
 //!                  [--loss P] [--duplicate P] [--retries N] [--rate PPS]
 //!                  [--authns-outage FROM:UNTIL] [--faults FILE.json]
 //!                  [--checkpoint-every N] [--stop-after SECS --checkpoint-file FILE]
-//!                  [--json FILE] [--telemetry FILE]
-//! orscope tables   [--scale 500] [--json FILE]      # both years, all tables
+//!                  [--analysis streaming|batch] [--json FILE] [--telemetry FILE]
+//! orscope tables   [--scale 500] [--analysis streaming|batch] [--json FILE]
 //! orscope trend    [--steps 6] [--scale 2000]       # 2013 -> 2018 series
 //! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
 //! orscope help
@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use orscope_core::{run_trend, Campaign, CampaignConfig, TrendConfig};
+use orscope_core::{run_trend, AnalysisMode, Campaign, CampaignConfig, TrendConfig};
 use orscope_netsim::{FaultKind, FaultPlan, FaultRule, FaultScope};
 use orscope_resolver::paper::Year;
 
@@ -52,8 +52,9 @@ fn print_help() {
          \x20                  [--rate PPS] [--authns-outage FROM:UNTIL]\n\
          \x20                  [--faults FILE.json] [--checkpoint-every N]\n\
          \x20                  [--stop-after SECS --checkpoint-file FILE]\n\
-         \x20                  [--json FILE] [--telemetry FILE]\n\
-         \x20 orscope tables   [--scale S] [--json FILE]\n\
+         \x20                  [--analysis streaming|batch] [--json FILE]\n\
+         \x20                  [--telemetry FILE]\n\
+         \x20 orscope tables   [--scale S] [--analysis streaming|batch] [--json FILE]\n\
          \x20 orscope trend    [--steps N] [--scale S] [--seed N]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
          \n\
@@ -73,7 +74,12 @@ fn print_help() {
          \x20 --faults FILE.json    install a full fault plan from JSON\n\
          \x20 --checkpoint-every N  publish a scan checkpoint every N probes\n\
          \x20 --stop-after SECS     freeze at SECS of virtual time and write the\n\
-         \x20                       scan cursor to --checkpoint-file FILE"
+         \x20                       scan cursor to --checkpoint-file FILE\n\
+         \n\
+         ANALYSIS (campaign, tables):\n\
+         \x20 --analysis MODE       streaming (default): classify at capture time,\n\
+         \x20                       bounded memory; batch: buffer every payload and\n\
+         \x20                       classify after the scan. Reports are identical."
     );
 }
 
@@ -88,6 +94,13 @@ fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
         }
     }
     Ok(None)
+}
+
+fn parse_analysis(args: &[String]) -> Result<AnalysisMode, String> {
+    match flag_value(args, "--analysis")? {
+        None => Ok(AnalysisMode::default()),
+        Some(mode) => mode.parse(),
+    }
 }
 
 fn parse_year(args: &[String]) -> Result<Year, String> {
@@ -150,7 +163,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .with_shards(shards)
         .with_loss(parse_number(args, "--loss", 0.0)?)
         .with_duplication(parse_number(args, "--duplicate", 0.0)?)
-        .with_retries(parse_number(args, "--retries", 0u32)?);
+        .with_retries(parse_number(args, "--retries", 0u32)?)
+        .with_analysis(parse_analysis(args)?);
     if args.iter().any(|a| a == "--full-q1") {
         config = config.with_full_q1();
     }
@@ -218,9 +232,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
 fn cmd_tables(args: &[String]) -> Result<(), String> {
     let scale: f64 = parse_number(args, "--scale", 500.0)?;
+    let analysis = parse_analysis(args)?;
     let mut blobs = Vec::new();
     for year in Year::ALL {
-        let result = Campaign::new(CampaignConfig::new(year, scale))
+        let result = Campaign::new(CampaignConfig::new(year, scale).with_analysis(analysis))
             .run()
             .map_err(|e| e.to_string())?;
         println!("{}", result.render());
@@ -287,7 +302,9 @@ fn cmd_pcap(args: &[String]) -> Result<(), String> {
         .cloned()
         .cloned()
         .ok_or("pcap needs an output path")?;
-    let config = CampaignConfig::new(year, scale);
+    // Raw captures are dropped at capture time by default; pcap export
+    // is the one consumer that needs them retained.
+    let config = CampaignConfig::new(year, scale).with_retain_raw(true);
     let prober = config.infra.prober;
     let result = Campaign::new(config).run().map_err(|e| e.to_string())?;
     let packets: Vec<orscope_prober::pcap::PcapPacket> = result

@@ -106,8 +106,10 @@ fn empty_question_responses_are_excluded_from_matched_tables() {
         "empty-question {} vs ~{expected}",
         report.total
     );
-    // Matched + empty-question == all R2.
-    let matched = result.dataset().matched().count() as u64;
+    // Matched + empty-question == all R2 (Table III totals the matched
+    // packets in both analysis modes).
+    let t3 = result.table3_measured().0;
+    let matched = t3.wo + t3.w_corr + t3.w_incorr;
     assert_eq!(matched + report.total, result.dataset().r2());
     // Their RA distribution leans RA=1 with answers, as in §IV-B4.
     if report.with_answer > 0 {

@@ -97,18 +97,20 @@ fn sharding_does_not_change_the_seed_sensitivity() {
     let run = |seed: u64| {
         let config = CampaignConfig::new(Year::Y2018, 20_000.0)
             .with_seed(seed)
-            .with_shards(4);
+            .with_shards(4)
+            .with_analysis(orscope_core::AnalysisMode::Batch);
         Campaign::new(config).run().unwrap()
     };
     let a = run(1);
     let b = run(2);
-    // Aggregate R2 is scale-pinned, but the raw capture layout (which
-    // address answered which qname) must differ between seeds.
+    // Aggregate R2 is scale-pinned, but the capture layout (which
+    // address answered which qname) must differ between seeds. Batch
+    // mode keeps the classified records around to compare.
     let layout = |r: &orscope_core::CampaignResult| -> Vec<(String, std::net::Ipv4Addr)> {
         r.dataset()
-            .raw
+            .records
             .iter()
-            .map(|c| (c.qname.to_string(), c.target))
+            .map(|c| (c.qname.to_string(), c.resolver))
             .collect()
     };
     assert_ne!(layout(&a), layout(&b), "seed had no effect on the layout");

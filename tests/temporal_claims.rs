@@ -140,8 +140,8 @@ fn scan_durations_scale_with_rate() {
 fn abstract_claims_reproduce_end_to_end() {
     // The paper's abstract, recomputed from the two measured datasets.
     let (r13, r18) = results();
-    let earlier = orscope_analysis::ScanSummary::compute(r13.dataset(), r13.threat_db());
-    let later = orscope_analysis::ScanSummary::compute(r18.dataset(), r18.threat_db());
+    let earlier = r13.scan_summary();
+    let later = r18.scan_summary();
     let summary = orscope_analysis::TemporalSummary::new(earlier, later);
     assert!(
         summary.all_claims_hold(),
