@@ -75,4 +75,4 @@ pub use scheduler::SchedulerKind;
 pub use sim::{SimNet, SimNetBuilder};
 pub use stats::NetStats;
 pub use telemetry::NetTelemetry;
-pub use time::SimTime;
+pub use time::{EpochClock, SimTime};

@@ -68,6 +68,66 @@ impl Sub<SimTime> for SimTime {
     }
 }
 
+/// A virtual calendar spanning successive simulator runs.
+///
+/// Every [`SimNet`](crate::SimNet) starts its own clock at
+/// [`SimTime::ZERO`]; a long-running observatory executes one simulation
+/// per *epoch* (a virtual day of scanning) and needs a clock that keeps
+/// counting across them. `EpochClock` maps epoch indices to absolute
+/// virtual-time windows and local (per-run) times to absolute times, so
+/// a five-epoch service can report "day 4.0" instead of five unrelated
+/// zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochClock {
+    /// Virtual length of one epoch, in nanoseconds.
+    epoch_nanos: u64,
+}
+
+impl EpochClock {
+    /// A clock whose epochs last `epoch_len` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length epoch.
+    pub fn new(epoch_len: Duration) -> Self {
+        let epoch_nanos = epoch_len.as_nanos().min(u128::from(u64::MAX)) as u64;
+        assert!(epoch_nanos > 0, "epochs must have positive length");
+        Self { epoch_nanos }
+    }
+
+    /// The virtual length of one epoch.
+    pub fn epoch_len(&self) -> Duration {
+        Duration::from_nanos(self.epoch_nanos)
+    }
+
+    /// Absolute virtual time at which `epoch` begins.
+    pub fn start_of(&self, epoch: u64) -> SimTime {
+        SimTime(epoch.saturating_mul(self.epoch_nanos))
+    }
+
+    /// Absolute virtual time at which `epoch` ends (== the start of the
+    /// next one).
+    pub fn end_of(&self, epoch: u64) -> SimTime {
+        self.start_of(epoch.saturating_add(1))
+    }
+
+    /// The epoch containing the absolute time `at`.
+    pub fn epoch_of(&self, at: SimTime) -> u64 {
+        at.0 / self.epoch_nanos
+    }
+
+    /// Maps a run-local time (measured from that run's `SimTime::ZERO`)
+    /// into absolute time on this calendar.
+    pub fn absolute(&self, epoch: u64, local: SimTime) -> SimTime {
+        SimTime(self.start_of(epoch).0.saturating_add(local.0))
+    }
+
+    /// `epoch`'s start expressed in virtual days (for trend labels).
+    pub fn days_at(&self, epoch: u64) -> f64 {
+        self.start_of(epoch).as_secs_f64() / 86_400.0
+    }
+}
+
 impl fmt::Display for SimTime {
     /// Renders as `h:mm:ss.mmm` for scan-duration reporting.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -107,6 +167,26 @@ mod tests {
         let t = SimTime::from_secs(10 * 3600 + 35 * 60);
         assert_eq!(t.to_string(), "10:35:00.000");
         assert_eq!(SimTime::ZERO.to_string(), "0:00:00.000");
+    }
+
+    #[test]
+    fn epoch_clock_maps_epochs_to_windows() {
+        let clock = EpochClock::new(Duration::from_secs(86_400));
+        assert_eq!(clock.start_of(0), SimTime::ZERO);
+        assert_eq!(clock.start_of(3), SimTime::from_secs(3 * 86_400));
+        assert_eq!(clock.end_of(2), clock.start_of(3));
+        assert_eq!(clock.epoch_of(SimTime::from_secs(90_000)), 1);
+        assert_eq!(
+            clock.absolute(2, SimTime::from_secs(10)),
+            SimTime::from_secs(2 * 86_400 + 10)
+        );
+        assert!((clock.days_at(4) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn epoch_clock_rejects_zero_epochs() {
+        let _ = EpochClock::new(Duration::ZERO);
     }
 
     #[test]

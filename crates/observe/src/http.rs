@@ -1,0 +1,242 @@
+//! The live query/export surface: a hand-rolled HTTP/1.1 server.
+//!
+//! Four read-only GET endpoints over [`ObservatoryShared`]:
+//!
+//! | path       | body                                                |
+//! |------------|-----------------------------------------------------|
+//! | `/healthz` | scheduler liveness + epochs completed (JSON)        |
+//! | `/tables`  | latest epoch + cumulative transitions (JSON)        |
+//! | `/trends`  | per-epoch series + consecutive deltas (JSON)        |
+//! | `/metrics` | service + campaign telemetry (Prometheus text)      |
+//!
+//! Deliberately minimal — `std::net::TcpListener`, a nonblocking accept
+//! loop polling the shutdown flag, one short-lived thread per
+//! connection, `Connection: close` on every response. No keep-alive, no
+//! TLS, no routing table: the whole server is small enough to audit in
+//! one sitting, and the repo's no-new-dependencies rule holds.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::observatory::ObservatoryShared;
+
+/// Largest request head we accept; GETs are a few hundred bytes, so
+/// anything near this is garbage or abuse.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A running HTTP surface.
+pub struct HttpHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<()>,
+}
+
+impl HttpHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the accept loop to exit (it does so shortly after
+    /// [`ObservatoryShared::request_shutdown`]).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Starts serving `shared` on `listener` in a background thread. The
+/// accept loop runs until shutdown is requested on `shared`.
+///
+/// # Errors
+///
+/// Fails if the listener cannot be switched to nonblocking mode (the
+/// accept loop doubles as the shutdown poller, so it must not block).
+pub fn serve(listener: TcpListener, shared: Arc<ObservatoryShared>) -> io::Result<HttpHandle> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let thread = thread::spawn(move || accept_loop(&listener, &shared));
+    Ok(HttpHandle { addr, thread })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ObservatoryShared>) {
+    while !shared.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let _ = handle_connection(stream, &shared);
+                });
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            // Transient accept errors (ECONNABORTED and friends): back
+            // off briefly and keep serving.
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &ObservatoryShared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => return Ok(()), // slow loris or junk: just drop it
+    };
+    shared.record_http_request();
+    let (status, content_type, body) = respond(&head, shared);
+    write_response(&mut stream, status, content_type, &body)
+}
+
+/// Reads until the end of the request head (we ignore bodies: every
+/// endpoint is a GET).
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    String::from_utf8(head).map_err(|_| io::ErrorKind::InvalidData.into())
+}
+
+/// Routes one request to `(status line, content type, body)`.
+fn respond(head: &str, shared: &ObservatoryShared) -> (&'static str, &'static str, Vec<u8>) {
+    const JSON: &str = "application/json";
+    const PROM: &str = "text/plain; version=0.0.4";
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    // Strip any query string: the surface has no parameters (yet), and
+    // `/tables?pretty` should not 404.
+    let path = parts.next().unwrap_or("").split('?').next().unwrap_or("");
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            JSON,
+            b"{\"error\":\"only GET is supported\"}\n".to_vec(),
+        );
+    }
+    match path {
+        "/healthz" => ("200 OK", JSON, shared.healthz_bytes()),
+        "/tables" => ("200 OK", JSON, shared.tables_bytes()),
+        "/trends" => ("200 OK", JSON, shared.trends_bytes()),
+        "/metrics" => ("200 OK", PROM, shared.metrics_bytes()),
+        "/" => (
+            "200 OK",
+            JSON,
+            b"{\"endpoints\":[\"/healthz\",\"/tables\",\"/trends\",\"/metrics\"]}\n".to_vec(),
+        ),
+        _ => (
+            "404 Not Found",
+            JSON,
+            b"{\"error\":\"unknown path\"}\n".to_vec(),
+        ),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    #[test]
+    fn serves_every_endpoint_then_shuts_down() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let addr = handle.addr();
+
+        let healthz = get(addr, "/healthz");
+        assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+        assert!(healthz.contains("epochs_completed"), "{healthz}");
+
+        let tables = get(addr, "/tables?pretty");
+        assert!(tables.starts_with("HTTP/1.1 200 OK"), "query string ok");
+        assert!(tables.contains("cumulative_transitions"), "{tables}");
+
+        let trends = get(addr, "/trends");
+        assert!(trends.contains("\"series\""), "{trends}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("orscope_observe_http_requests"), "{metrics}");
+        assert!(metrics.contains("surface=\"service\""), "{metrics}");
+
+        let index = get(addr, "/");
+        assert!(index.contains("/tables"), "{index}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let post = request(
+            addr,
+            "POST /tables HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+        );
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let response = get(handle.addr(), "/healthz");
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let length: usize = head
+            .lines()
+            .find_map(|line| line.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(length, body.len());
+        shared.request_shutdown();
+        handle.join();
+    }
+}

@@ -1,0 +1,645 @@
+//! The epoch scheduler: rolling campaigns over a churning population.
+//!
+//! An [`Observatory`] owns a [`Resolve`] discovery source (by default
+//! the seeded [`ChurnModel`]) and a [`ServeConfig`]. Each virtual-day
+//! epoch it drains the discovery stream's membership updates, records
+//! the profile-transition matrix, runs one full campaign round over the
+//! current membership on the shared sharded/streaming infrastructure,
+//! reduces the round to an [`EpochRow`], and absorbs it into the
+//! [`RollingTables`] behind the HTTP surface. Determinism is end to
+//! end: membership is a pure function of the churn seed, each round's
+//! campaign seed is a pure function of `(serve seed, epoch)`, and
+//! campaign results are shard-invariant — so the same configuration
+//! produces byte-identical `/tables` and `/trends` documents at any
+//! shard count, and (via the checkpoint) across a kill-and-resume.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use orscope_core::{Campaign, CampaignConfig, CampaignError, Infra};
+use orscope_dns_wire::Rcode;
+use orscope_netsim::EpochClock;
+use orscope_resolver::paper::Year;
+use orscope_resolver::population::PopulationConfig;
+use orscope_resolver::{PlannedResolver, ProfileClass};
+use orscope_telemetry::{Collector, Counter, Gauge, Scope, TelemetrySnapshot};
+use parking_lot::{Mutex, RwLock};
+use serde_json::json;
+
+use crate::churn::{ChurnConfig, ChurnModel};
+use crate::resolve::{Resolution, Resolve, Update};
+use crate::series::{EpochRow, RollingTables, TransitionMatrix};
+use crate::state::{Fingerprint, ObservatoryCheckpoint};
+
+/// Multiplier for deriving per-epoch campaign seeds (SplitMix64's
+/// golden-ratio increment — any odd constant with good bit dispersion
+/// works; what matters is that it is fixed, so epoch seeds survive
+/// restarts).
+const EPOCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Everything that shapes a serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Which scan year's population mix to reproduce.
+    pub year: Year,
+    /// Population down-scaling factor (1:scale).
+    pub scale: f64,
+    /// Base seed: campaign rounds derive per-epoch seeds from it.
+    pub seed: u64,
+    /// Shards per campaign round (results are shard-invariant).
+    pub shards: usize,
+    /// Virtual seconds per epoch (86 400 = one virtual day).
+    pub epoch_virtual_secs: u64,
+    /// Stop after this many epochs; `None` = run until shutdown.
+    pub epochs: Option<u64>,
+    /// Churn model knobs.
+    pub churn: ChurnConfig,
+    /// Where the checkpoint lives. The library default is a path under
+    /// the OS temp dir so tests and casual runs never litter the
+    /// working tree; the CLI overrides it with a visible (gitignored)
+    /// default.
+    pub state_dir: PathBuf,
+    /// Also checkpoint every N completed epochs (0 = only the final
+    /// flush on exit).
+    pub checkpoint_every: u64,
+    /// Wall-clock pause between epochs, so a demo serve doesn't spin
+    /// a core replaying days as fast as it can.
+    pub interval: Duration,
+    /// Collect campaign telemetry for the `/metrics` surface.
+    pub telemetry: bool,
+}
+
+impl ServeConfig {
+    /// Defaults: one virtual day per epoch, default churn, telemetry
+    /// on, run-until-shutdown, state under the OS temp dir.
+    pub fn new(year: Year, scale: f64) -> Self {
+        Self {
+            year,
+            scale,
+            seed: 7,
+            shards: 1,
+            epoch_virtual_secs: 86_400,
+            epochs: None,
+            churn: ChurnConfig::default(),
+            state_dir: std::env::temp_dir().join("orscope-serve"),
+            checkpoint_every: 0,
+            interval: Duration::ZERO,
+            telemetry: true,
+        }
+    }
+
+    /// Checks the knobs for operator errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(format!("scale {} must be positive", self.scale));
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".to_string());
+        }
+        if self.epoch_virtual_secs == 0 {
+            return Err("epoch length must be positive".to_string());
+        }
+        if self.epochs == Some(0) {
+            return Err("epoch limit 0 would never scan".to_string());
+        }
+        self.churn.validate()
+    }
+
+    /// The identity of this run's deterministic output stream.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            year: self.year.as_u16(),
+            scale: self.scale,
+            seed: self.seed,
+            shards: self.shards,
+            epoch_virtual_secs: self.epoch_virtual_secs,
+            churn: self.churn.clone(),
+        }
+    }
+}
+
+/// A serve-run failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// A campaign round failed.
+    Campaign(CampaignError),
+    /// The state dir could not be read or written.
+    Io(std::io::Error),
+    /// The state dir holds a checkpoint from a different run identity;
+    /// continuing would splice two incompatible output streams.
+    IncompatibleCheckpoint(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(reason) => write!(f, "invalid serve config: {reason}"),
+            ServeError::Campaign(err) => write!(f, "campaign round failed: {err}"),
+            ServeError::Io(err) => write!(f, "serve state dir: {err}"),
+            ServeError::IncompatibleCheckpoint(reason) => {
+                write!(f, "incompatible checkpoint: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CampaignError> for ServeError {
+    fn from(err: CampaignError) -> Self {
+        ServeError::Campaign(err)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+/// What a finished (or shut down) run did.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Epochs absorbed into the tables, counting resumed ones.
+    pub epochs_completed: u64,
+    /// `Some(n)` when the run resumed a checkpoint with `n` epochs done.
+    pub resumed_from: Option<u64>,
+    /// Where the final checkpoint was flushed.
+    pub checkpoint_path: PathBuf,
+}
+
+/// State shared between the epoch scheduler and the HTTP surface.
+/// Readers (HTTP handlers) never block the scheduler for longer than
+/// one table clone.
+pub struct ObservatoryShared {
+    tables: RwLock<RollingTables>,
+    campaign_telemetry: Mutex<TelemetrySnapshot>,
+    service: Collector,
+    epochs_gauge: Gauge,
+    population_gauge: Gauge,
+    joins_counter: Counter,
+    leaves_counter: Counter,
+    drifts_counter: Counter,
+    rounds_counter: Counter,
+    http_requests: Counter,
+    epochs_completed: AtomicU64,
+    population: AtomicU64,
+    healthy: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+impl ObservatoryShared {
+    pub(crate) fn new() -> Arc<Self> {
+        let service = Collector::new();
+        Arc::new(Self {
+            tables: RwLock::new(RollingTables::default()),
+            campaign_telemetry: Mutex::new(TelemetrySnapshot::default()),
+            epochs_gauge: service.gauge(Scope::Shard, "observe.epochs_completed"),
+            population_gauge: service.gauge(Scope::Shard, "observe.population"),
+            joins_counter: service.counter(Scope::Shard, "observe.churn_joins"),
+            leaves_counter: service.counter(Scope::Shard, "observe.churn_leaves"),
+            drifts_counter: service.counter(Scope::Shard, "observe.churn_drifts"),
+            rounds_counter: service.counter(Scope::Shard, "observe.rounds"),
+            http_requests: service.counter(Scope::Shard, "observe.http_requests"),
+            service,
+            epochs_completed: AtomicU64::new(0),
+            population: AtomicU64::new(0),
+            healthy: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Asks the scheduler (and the HTTP accept loop) to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Epochs absorbed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed.load(Ordering::SeqCst)
+    }
+
+    /// Whether the scheduler is up (true from run start to final
+    /// checkpoint flush).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Counts one HTTP request against the service metrics.
+    pub fn record_http_request(&self) {
+        self.http_requests.inc();
+    }
+
+    /// A point-in-time clone of the rolling tables (for exporters and
+    /// invariant checks; the HTTP surface uses the `*_bytes` forms).
+    pub fn tables_snapshot(&self) -> RollingTables {
+        self.tables.read().clone()
+    }
+
+    /// The `/tables` document, as served.
+    pub fn tables_bytes(&self) -> Vec<u8> {
+        self.tables.read().tables_bytes()
+    }
+
+    /// The `/trends` document, as served.
+    pub fn trends_bytes(&self) -> Vec<u8> {
+        self.tables.read().trends_bytes()
+    }
+
+    /// The `/healthz` document, as served.
+    pub fn healthz_bytes(&self) -> Vec<u8> {
+        let status = if self.is_healthy() { "ok" } else { "stopping" };
+        let mut bytes = serde_json::to_string_pretty(&json!({
+            "status": status,
+            "epochs_completed": self.epochs_completed(),
+            "population": self.population.load(Ordering::SeqCst),
+        }))
+        .expect("healthz is plain data")
+        .into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
+
+    /// The `/metrics` document: service gauges/counters plus the
+    /// absorbed campaign telemetry, both in Prometheus text format with
+    /// a `surface` label telling them apart.
+    pub fn metrics_bytes(&self) -> Vec<u8> {
+        let mut out = self
+            .service
+            .snapshot()
+            .to_prometheus_labeled(&[("surface", "service")]);
+        out.push_str(
+            &self
+                .campaign_telemetry
+                .lock()
+                .to_prometheus_labeled(&[("surface", "campaign")]),
+        );
+        out.into_bytes()
+    }
+}
+
+/// The long-running service: epoch scheduler plus shared state.
+pub struct Observatory<R: Resolve = ChurnModel> {
+    config: ServeConfig,
+    resolve: R,
+    shared: Arc<ObservatoryShared>,
+}
+
+impl Observatory<ChurnModel> {
+    /// An observatory over the built-in seeded churn model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`] failures.
+    pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        let churn = ChurnModel::new(config.churn.clone());
+        Self::with_resolve(config, churn)
+    }
+}
+
+impl<R: Resolve> Observatory<R> {
+    /// An observatory over a custom discovery source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`] failures.
+    pub fn with_resolve(config: ServeConfig, resolve: R) -> Result<Self, ServeError> {
+        config.validate().map_err(ServeError::InvalidConfig)?;
+        Ok(Self {
+            config,
+            resolve,
+            shared: ObservatoryShared::new(),
+        })
+    }
+
+    /// The state the HTTP surface (and tests) read.
+    pub fn shared(&self) -> Arc<ObservatoryShared> {
+        self.shared.clone()
+    }
+
+    /// The configuration this observatory runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs epochs until the limit is reached or shutdown is requested,
+    /// then flushes the final checkpoint. Blocking; pair with
+    /// [`crate::http::serve`] on another thread for the live surface.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a campaign-round error, an unreadable/unwritable state
+    /// dir, or a state dir holding an incompatible checkpoint.
+    pub fn run(&mut self) -> Result<RunReport, ServeError> {
+        let config = &self.config;
+        let shared = &self.shared;
+        let clock = EpochClock::new(Duration::from_secs(config.epoch_virtual_secs));
+
+        let mut target = PopulationConfig::new(config.year, config.scale);
+        target.seed = config.seed;
+        target.reserved_hosts = Infra::default().addresses();
+        let mut resolution = self.resolve.resolve(&target);
+        let statics = resolution.seed_population();
+
+        // Resume: load tables, then fast-forward churn through the
+        // completed epochs (membership is a pure function of the seed,
+        // so no scans re-run).
+        let mut resumed_from = None;
+        if let Some(checkpoint) = ObservatoryCheckpoint::load(&config.state_dir)? {
+            let ours = config.fingerprint();
+            if !checkpoint.fingerprint.compatible_with(&ours) {
+                return Err(ServeError::IncompatibleCheckpoint(format!(
+                    "state dir {} was written by a different run \
+                     (theirs: {:?}, ours: {:?}); move it aside or change --state-dir",
+                    config.state_dir.display(),
+                    checkpoint.fingerprint,
+                    ours
+                )));
+            }
+            resumed_from = Some(checkpoint.epochs_done);
+            *shared.tables.write() = checkpoint.tables;
+        }
+        let start_epoch = resumed_from.unwrap_or(0);
+
+        let mut members: BTreeMap<Ipv4Addr, PlannedResolver> = BTreeMap::new();
+        let mut classes: BTreeMap<Ipv4Addr, ProfileClass> = BTreeMap::new();
+        for epoch in 0..start_epoch {
+            while let Some(update) = resolution.poll_update(epoch) {
+                apply_update(update, &mut members, &mut classes);
+            }
+        }
+
+        shared.epochs_completed.store(start_epoch, Ordering::SeqCst);
+        shared
+            .population
+            .store(members.len() as u64, Ordering::SeqCst);
+        shared.healthy.store(true, Ordering::SeqCst);
+
+        let mut epochs_completed = start_epoch;
+        let result = loop {
+            if config.epochs.is_some_and(|limit| epochs_completed >= limit) {
+                break Ok(());
+            }
+            if shared.shutdown_requested() {
+                break Ok(());
+            }
+            let epoch = epochs_completed;
+
+            let prev_classes = classes.clone();
+            let (mut joins, mut leaves, mut drifts) = (0u64, 0u64, 0u64);
+            while let Some(update) = resolution.poll_update(epoch) {
+                match apply_update(update, &mut members, &mut classes) {
+                    Applied::Join => joins += 1,
+                    Applied::Leave => leaves += 1,
+                    Applied::Drift => drifts += 1,
+                    Applied::Ignored => {}
+                }
+            }
+
+            let mut transitions = TransitionMatrix::default();
+            let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
+            for (addr, class) in &classes {
+                transitions.record(prev_classes.get(addr).copied(), *class);
+                *class_counts.entry(class.as_str().to_string()).or_insert(0) += 1;
+            }
+
+            let mut population = statics.clone();
+            population.resolvers = members.values().cloned().collect();
+
+            let campaign_config = CampaignConfig::new(config.year, config.scale)
+                .with_seed(config.seed.wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE)))
+                .with_shards(config.shards)
+                .with_telemetry(config.telemetry);
+            let round = match Campaign::new(campaign_config).run_with_population(population) {
+                Ok(round) => round,
+                Err(err) => break Err(ServeError::Campaign(err)),
+            };
+
+            let breakdown = round.table3_measured().0;
+            let rcodes = round.table6_measured();
+            let (nx_w, nx_wo) = rcodes.get(Rcode::NXDomain);
+            let (ref_w, ref_wo) = rcodes.get(Rcode::Refused);
+            let row = EpochRow {
+                epoch,
+                virtual_day: clock.days_at(epoch),
+                population: members.len() as u64,
+                joins,
+                leaves,
+                drifts,
+                r2: breakdown.total(),
+                without_answer: breakdown.wo,
+                correct: breakdown.w_corr,
+                incorrect: breakdown.w_incorr,
+                err_pct: breakdown.err_pct(),
+                nxdomain: nx_w + nx_wo,
+                refused: ref_w + ref_wo,
+                malicious: round.table9_measured().total_r2(),
+                class_counts,
+                transitions,
+            };
+            shared.tables.write().absorb_epoch(row);
+            if let Some(snapshot) = round.telemetry() {
+                shared.campaign_telemetry.lock().absorb(snapshot);
+            }
+
+            epochs_completed += 1;
+            shared
+                .epochs_completed
+                .store(epochs_completed, Ordering::SeqCst);
+            shared
+                .population
+                .store(members.len() as u64, Ordering::SeqCst);
+            shared.epochs_gauge.set(epochs_completed);
+            shared.population_gauge.set(members.len() as u64);
+            if epoch > 0 {
+                shared.joins_counter.add(joins);
+            }
+            shared.leaves_counter.add(leaves);
+            shared.drifts_counter.add(drifts);
+            shared.rounds_counter.inc();
+
+            if config.checkpoint_every > 0 && epochs_completed % config.checkpoint_every == 0 {
+                self.flush_checkpoint(epochs_completed)?;
+            }
+            wait_interval(shared, config.interval);
+        };
+
+        // Final flush happens even on a campaign error: the completed
+        // epochs are valid and resumable.
+        let checkpoint_path = self.flush_checkpoint(epochs_completed)?;
+        shared.healthy.store(false, Ordering::SeqCst);
+        result.map(|()| RunReport {
+            epochs_completed,
+            resumed_from,
+            checkpoint_path,
+        })
+    }
+
+    fn flush_checkpoint(&self, epochs_done: u64) -> Result<PathBuf, ServeError> {
+        let checkpoint = ObservatoryCheckpoint {
+            fingerprint: self.config.fingerprint(),
+            epochs_done,
+            tables: self.shared.tables.read().clone(),
+        };
+        Ok(checkpoint.save(&self.config.state_dir)?)
+    }
+}
+
+/// What applying one update did to the membership table.
+enum Applied {
+    Join,
+    Leave,
+    Drift,
+    Ignored,
+}
+
+fn apply_update(
+    update: Update,
+    members: &mut BTreeMap<Ipv4Addr, PlannedResolver>,
+    classes: &mut BTreeMap<Ipv4Addr, ProfileClass>,
+) -> Applied {
+    match update {
+        Update::Add(planned) => {
+            classes.insert(planned.addr, planned.policy.class());
+            members.insert(planned.addr, *planned);
+            Applied::Join
+        }
+        Update::Remove(addr) => {
+            if members.remove(&addr).is_some() {
+                classes.remove(&addr);
+                Applied::Leave
+            } else {
+                Applied::Ignored
+            }
+        }
+        Update::Drift { addr, to } => match members.get_mut(&addr) {
+            Some(member) => {
+                member.policy = *to;
+                classes.insert(addr, member.policy.class());
+                Applied::Drift
+            }
+            None => Applied::Ignored,
+        },
+    }
+}
+
+/// Sleeps `interval` in short slices, returning early on shutdown.
+fn wait_interval(shared: &ObservatoryShared, interval: Duration) {
+    let mut remaining = interval;
+    while !remaining.is_zero() && !shared.shutdown_requested() {
+        let slice = remaining.min(Duration::from_millis(20));
+        std::thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "orscope-observatory-test-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(label: &str) -> ServeConfig {
+        let mut config = ServeConfig::new(Year::Y2018, 60_000.0);
+        config.epochs = Some(3);
+        config.state_dir = scratch(label);
+        config
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut bad = config("validate");
+        bad.shards = 0;
+        assert!(matches!(
+            Observatory::new(bad).err(),
+            Some(ServeError::InvalidConfig(_))
+        ));
+        let mut zero_epochs = config("validate2");
+        zero_epochs.epochs = Some(0);
+        assert!(Observatory::new(zero_epochs).is_err());
+    }
+
+    #[test]
+    fn runs_the_configured_number_of_epochs() {
+        let mut observatory = Observatory::new(config("runs")).unwrap();
+        let shared = observatory.shared();
+        let report = observatory.run().unwrap();
+        assert_eq!(report.epochs_completed, 3);
+        assert_eq!(report.resumed_from, None);
+        assert_eq!(shared.epochs_completed(), 3);
+        assert!(!shared.is_healthy(), "unhealthy after final flush");
+        let tables = shared.tables_bytes();
+        assert!(!tables.is_empty());
+        assert!(report.checkpoint_path.exists());
+        std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+    }
+
+    #[test]
+    fn transition_rows_sum_to_population_every_epoch() {
+        let mut observatory = Observatory::new(config("conserve")).unwrap();
+        let shared = observatory.shared();
+        observatory.run().unwrap();
+        let tables = shared.tables.read();
+        assert_eq!(tables.epochs().len(), 3);
+        for row in tables.epochs() {
+            assert_eq!(
+                row.transitions.total(),
+                row.population,
+                "epoch {}: every member must land in exactly one cell",
+                row.epoch
+            );
+            assert!(row.population > 0);
+            assert!(row.r2 > 0, "epoch {} campaign saw responses", row.epoch);
+        }
+        drop(tables);
+        std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+    }
+
+    #[test]
+    fn incompatible_checkpoint_is_refused() {
+        let dir = scratch("refuse");
+        let mut first = config("refuse");
+        first.state_dir = dir.clone();
+        first.epochs = Some(1);
+        Observatory::new(first.clone()).unwrap().run().unwrap();
+        let mut reseeded = first;
+        reseeded.seed = 999;
+        let err = Observatory::new(reseeded).unwrap().run().unwrap_err();
+        assert!(matches!(err, ServeError::IncompatibleCheckpoint(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_before_first_epoch_still_flushes_a_checkpoint() {
+        let mut config = config("early-shutdown");
+        config.epochs = None;
+        let mut observatory = Observatory::new(config).unwrap();
+        observatory.shared().request_shutdown();
+        let report = observatory.run().unwrap();
+        assert_eq!(report.epochs_completed, 0);
+        assert!(report.checkpoint_path.exists());
+        std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+    }
+}

@@ -1,0 +1,404 @@
+//! Rolling time-series tables the observatory accumulates.
+//!
+//! Each epoch's campaign round is reduced to one [`EpochRow`] — the
+//! classification counts the paper's tables track, plus the churn
+//! bookkeeping (joins/leaves/drifts and a profile-transition matrix) —
+//! and absorbed into [`RollingTables`], the single structure behind the
+//! `/tables` and `/trends` endpoints and the serve checkpoint. Every
+//! field is integer counts or ratios of them, serialized through
+//! `serde_json` with fixed insertion order, so two observatories that
+//! absorbed the same rows render byte-identical documents — the
+//! property the shard-count and resume determinism suites assert.
+
+use std::collections::BTreeMap;
+
+use orscope_resolver::ProfileClass;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Map, Value};
+
+/// Number of behavior classes a member can be in.
+pub const N_CLASSES: usize = ProfileClass::ALL.len();
+
+/// How members moved between behavior classes across one epoch (or
+/// cumulatively). Rows are the previous-epoch class plus a `join`
+/// pseudo-row for members that were not present last epoch; columns are
+/// the current class. Every *current* member lands in exactly one cell,
+/// so a per-epoch matrix totals to that epoch's population size — the
+/// conservation law the determinism suite checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl Default for TransitionMatrix {
+    fn default() -> Self {
+        Self {
+            counts: vec![vec![0; N_CLASSES]; N_CLASSES + 1],
+        }
+    }
+}
+
+impl TransitionMatrix {
+    /// Records one member that is now in `to`, coming from `from`
+    /// (`None` = joined this epoch).
+    pub fn record(&mut self, from: Option<ProfileClass>, to: ProfileClass) {
+        let row = from.map_or(N_CLASSES, |class| class.index());
+        self.counts[row][to.index()] += 1;
+    }
+
+    /// The count in one cell (`from: None` = the join pseudo-row).
+    pub fn get(&self, from: Option<ProfileClass>, to: ProfileClass) -> u64 {
+        self.counts[from.map_or(N_CLASSES, |class| class.index())][to.index()]
+    }
+
+    /// Sum over all cells — for a per-epoch matrix, the population size.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Members that changed class this epoch (off-diagonal, excluding
+    /// joins).
+    pub fn moved(&self) -> u64 {
+        let mut moved = 0;
+        for (row, cols) in self.counts.iter().take(N_CLASSES).enumerate() {
+            for (col, &count) in cols.iter().enumerate() {
+                if row != col {
+                    moved += count;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Adds `other`'s cells into this matrix.
+    pub fn absorb(&mut self, other: &TransitionMatrix) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (cell, &add) in mine.iter_mut().zip(theirs) {
+                *cell += add;
+            }
+        }
+    }
+
+    /// A labeled JSON rendering: `{"from_honest": {"honest": n, ...},
+    /// ..., "join": {...}}`, rows and columns in [`ProfileClass::ALL`]
+    /// order.
+    pub fn to_json(&self) -> Value {
+        let mut rows = Map::new();
+        let row_json = |cols: &[u64]| {
+            let mut row = Map::new();
+            for (class, &count) in ProfileClass::ALL.iter().zip(cols) {
+                row.insert(class.as_str().to_string(), json!(count));
+            }
+            Value::Object(row)
+        };
+        for (class, cols) in ProfileClass::ALL.iter().zip(&self.counts) {
+            rows.insert(format!("from_{class}"), row_json(cols));
+        }
+        rows.insert("join".to_string(), row_json(&self.counts[N_CLASSES]));
+        Value::Object(rows)
+    }
+}
+
+/// One epoch's reduction: classification counts from the campaign round
+/// plus the churn that produced this epoch's membership.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRow {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Virtual days since the observatory started, at epoch open.
+    pub virtual_day: f64,
+    /// Members scanned this epoch.
+    pub population: u64,
+    /// Members that joined at this epoch's open.
+    pub joins: u64,
+    /// Members that left at this epoch's open.
+    pub leaves: u64,
+    /// Members whose profile drifted at this epoch's open.
+    pub drifts: u64,
+    /// R2 responses classified this epoch (Table III total).
+    pub r2: u64,
+    /// R2 responses without an answer section.
+    pub without_answer: u64,
+    /// R2 responses with the correct answer.
+    pub correct: u64,
+    /// R2 responses with an incorrect answer.
+    pub incorrect: u64,
+    /// Incorrect as a percentage of answered (Table III err%).
+    pub err_pct: f64,
+    /// NXDOMAIN responses (Table VI row).
+    pub nxdomain: u64,
+    /// REFUSED responses (Table VI row).
+    pub refused: u64,
+    /// Answers matching the malicious threat DB (Table IX).
+    pub malicious: u64,
+    /// Current membership by behavior class.
+    pub class_counts: BTreeMap<String, u64>,
+    /// Class movement from the previous epoch.
+    pub transitions: TransitionMatrix,
+}
+
+/// Whole-run accumulators.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Totals {
+    /// Campaign rounds absorbed.
+    pub epochs_completed: u64,
+    /// R2 responses across all epochs.
+    pub r2: u64,
+    /// Incorrect answers across all epochs.
+    pub incorrect: u64,
+    /// Malicious answers across all epochs.
+    pub malicious: u64,
+    /// Join events across all epochs (excluding epoch 0's initial
+    /// discovery, which is arrival, not churn).
+    pub joins: u64,
+    /// Leave events across all epochs.
+    pub leaves: u64,
+    /// Drift events across all epochs.
+    pub drifts: u64,
+}
+
+/// The observatory's accumulated state: every absorbed epoch row, the
+/// cumulative transition matrix, and run totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RollingTables {
+    epochs: Vec<EpochRow>,
+    cumulative: TransitionMatrix,
+    totals: Totals,
+}
+
+impl RollingTables {
+    /// Folds one epoch's reduction into the rolling state.
+    pub fn absorb_epoch(&mut self, row: EpochRow) {
+        self.cumulative.absorb(&row.transitions);
+        self.totals.epochs_completed += 1;
+        self.totals.r2 += row.r2;
+        self.totals.incorrect += row.incorrect;
+        self.totals.malicious += row.malicious;
+        if row.epoch > 0 {
+            self.totals.joins += row.joins;
+        }
+        self.totals.leaves += row.leaves;
+        self.totals.drifts += row.drifts;
+        self.epochs.push(row);
+    }
+
+    /// The most recently absorbed epoch.
+    pub fn latest(&self) -> Option<&EpochRow> {
+        self.epochs.last()
+    }
+
+    /// All absorbed epochs, in order.
+    pub fn epochs(&self) -> &[EpochRow] {
+        &self.epochs
+    }
+
+    /// Run totals.
+    pub fn totals(&self) -> &Totals {
+        &self.totals
+    }
+
+    /// The `/tables` document: the latest epoch in full, cumulative
+    /// transitions, and run totals.
+    pub fn tables_json(&self) -> Value {
+        let latest = self.epochs.last();
+        json!({
+            "epochs_completed": self.totals.epochs_completed,
+            "latest": latest.map(|row| json!({
+                "epoch": row.epoch,
+                "virtual_day": row.virtual_day,
+                "population": row.population,
+                "churn": {
+                    "joins": row.joins,
+                    "leaves": row.leaves,
+                    "drifts": row.drifts,
+                },
+                "classification": {
+                    "r2": row.r2,
+                    "without_answer": row.without_answer,
+                    "correct": row.correct,
+                    "incorrect": row.incorrect,
+                    "err_pct": row.err_pct,
+                    "nxdomain": row.nxdomain,
+                    "refused": row.refused,
+                    "malicious": row.malicious,
+                },
+                "population_by_class": row.class_counts,
+                "transitions": row.transitions.to_json(),
+            })),
+            "cumulative_transitions": self.cumulative.to_json(),
+            "totals": {
+                "r2": self.totals.r2,
+                "incorrect": self.totals.incorrect,
+                "malicious": self.totals.malicious,
+                "joins": self.totals.joins,
+                "leaves": self.totals.leaves,
+                "drifts": self.totals.drifts,
+            },
+        })
+    }
+
+    /// The `/trends` document: the per-epoch series plus consecutive-
+    /// epoch deltas of the headline numbers.
+    pub fn trends_json(&self) -> Value {
+        let series: Vec<Value> = self
+            .epochs
+            .iter()
+            .map(|row| {
+                json!({
+                    "epoch": row.epoch,
+                    "virtual_day": row.virtual_day,
+                    "population": row.population,
+                    "joins": row.joins,
+                    "leaves": row.leaves,
+                    "drifts": row.drifts,
+                    "moved": row.transitions.moved(),
+                    "r2": row.r2,
+                    "incorrect": row.incorrect,
+                    "err_pct": row.err_pct,
+                    "malicious": row.malicious,
+                    "population_by_class": row.class_counts,
+                })
+            })
+            .collect();
+        let deltas: Vec<Value> = self
+            .epochs
+            .windows(2)
+            .map(|pair| {
+                let (prev, next) = (&pair[0], &pair[1]);
+                json!({
+                    "epoch": next.epoch,
+                    "population": next.population as i64 - prev.population as i64,
+                    "r2": next.r2 as i64 - prev.r2 as i64,
+                    "incorrect": next.incorrect as i64 - prev.incorrect as i64,
+                    "err_pct": next.err_pct - prev.err_pct,
+                    "malicious": next.malicious as i64 - prev.malicious as i64,
+                })
+            })
+            .collect();
+        json!({
+            "epochs_completed": self.totals.epochs_completed,
+            "series": series,
+            "deltas": deltas,
+        })
+    }
+
+    /// `/tables` as the exact bytes served (pretty JSON + newline).
+    pub fn tables_bytes(&self) -> Vec<u8> {
+        render(&self.tables_json())
+    }
+
+    /// `/trends` as the exact bytes served (pretty JSON + newline).
+    pub fn trends_bytes(&self) -> Vec<u8> {
+        render(&self.trends_json())
+    }
+}
+
+fn render(value: &Value) -> Vec<u8> {
+    let mut bytes = serde_json::to_string_pretty(value)
+        .expect("tables are plain data")
+        .into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(epoch: u64, population: u64) -> EpochRow {
+        let mut transitions = TransitionMatrix::default();
+        for _ in 0..population {
+            transitions.record(
+                if epoch == 0 { None } else { Some(ProfileClass::Honest) },
+                ProfileClass::Honest,
+            );
+        }
+        EpochRow {
+            epoch,
+            virtual_day: epoch as f64,
+            population,
+            joins: if epoch == 0 { population } else { 2 },
+            leaves: if epoch == 0 { 0 } else { 1 },
+            drifts: 0,
+            r2: population,
+            without_answer: 1,
+            correct: population.saturating_sub(2),
+            incorrect: 1,
+            err_pct: 1.0,
+            nxdomain: 0,
+            refused: 0,
+            malicious: 1,
+            class_counts: BTreeMap::from([("honest".to_string(), population)]),
+            transitions,
+        }
+    }
+
+    #[test]
+    fn matrix_conserves_population() {
+        let mut matrix = TransitionMatrix::default();
+        matrix.record(None, ProfileClass::Honest);
+        matrix.record(Some(ProfileClass::Honest), ProfileClass::Refusing);
+        matrix.record(Some(ProfileClass::Refusing), ProfileClass::Refusing);
+        assert_eq!(matrix.total(), 3);
+        assert_eq!(matrix.moved(), 1, "one class change, joins excluded");
+        assert_eq!(matrix.get(None, ProfileClass::Honest), 1);
+        assert_eq!(
+            matrix.get(Some(ProfileClass::Honest), ProfileClass::Refusing),
+            1
+        );
+    }
+
+    #[test]
+    fn matrix_json_labels_every_cell() {
+        let mut matrix = TransitionMatrix::default();
+        matrix.record(Some(ProfileClass::Forwarder), ProfileClass::Silent);
+        let value = matrix.to_json();
+        assert_eq!(value["from_forwarder"]["silent"], json!(1));
+        assert_eq!(value["join"]["honest"], json!(0));
+        assert_eq!(
+            value.as_object().unwrap().len(),
+            N_CLASSES + 1,
+            "one row per class plus the join pseudo-row"
+        );
+    }
+
+    #[test]
+    fn absorb_accumulates_totals_and_cumulative_matrix() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        tables.absorb_epoch(row(1, 11));
+        assert_eq!(tables.totals().epochs_completed, 2);
+        assert_eq!(tables.totals().r2, 21);
+        assert_eq!(tables.totals().joins, 2, "epoch 0 arrival not counted");
+        assert_eq!(tables.totals().leaves, 1);
+        assert_eq!(tables.latest().unwrap().epoch, 1);
+        let cumulative = tables.tables_json()["cumulative_transitions"].clone();
+        assert_eq!(cumulative["join"]["honest"], json!(10));
+        assert_eq!(cumulative["from_honest"]["honest"], json!(11));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_roundtrips() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        tables.absorb_epoch(row(1, 11));
+        assert_eq!(tables.tables_bytes(), tables.tables_bytes());
+        assert_eq!(tables.trends_bytes(), tables.trends_bytes());
+        let encoded = serde_json::to_string(&tables).unwrap();
+        let decoded: RollingTables = serde_json::from_str(&encoded).unwrap();
+        assert_eq!(decoded, tables);
+        assert_eq!(decoded.tables_bytes(), tables.tables_bytes());
+    }
+
+    #[test]
+    fn trends_include_consecutive_deltas() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        tables.absorb_epoch(row(1, 8));
+        let trends = tables.trends_json();
+        assert_eq!(trends["series"].as_array().unwrap().len(), 2);
+        let deltas = trends["deltas"].as_array().unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0]["population"], json!(-2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Serve-state persistence: the final-epoch checkpoint.
+//!
+//! On graceful shutdown (and periodically, if asked) the observatory
+//! flushes an [`ObservatoryCheckpoint`] — the run [`Fingerprint`], how
+//! many epochs completed, and the full [`RollingTables`] — to
+//! `<state-dir>/checkpoint.json` via a write-then-rename so a kill
+//! mid-flush leaves the previous checkpoint intact. Resume loads it,
+//! verifies the fingerprint matches the requested run (a checkpoint
+//! from a different seed or shard count silently continuing would
+//! poison the determinism guarantee), fast-forwards the churn stream
+//! past the completed epochs, and continues — producing trend tables
+//! byte-identical to a run that was never interrupted.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::churn::ChurnConfig;
+use crate::series::RollingTables;
+
+/// The identity of a serve run: everything that determines its output.
+/// Two runs with equal fingerprints produce byte-identical tables, so a
+/// checkpoint is only resumable into a run with the same fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Scan year being reproduced.
+    pub year: u16,
+    /// Population down-scaling factor.
+    pub scale: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Shard count (results are shard-invariant, but the fingerprint
+    /// records it so an operator sees what the run was using).
+    pub shards: usize,
+    /// Virtual seconds per epoch.
+    pub epoch_virtual_secs: u64,
+    /// The churn model's knobs and seed.
+    pub churn: ChurnConfig,
+}
+
+impl Fingerprint {
+    /// Whether `other` identifies the same deterministic output stream.
+    /// Shard count is excluded: results are shard-invariant, so a
+    /// checkpoint written at `--shards 2` resumes cleanly at `--shards
+    /// 4`.
+    pub fn compatible_with(&self, other: &Fingerprint) -> bool {
+        self.year == other.year
+            && self.scale == other.scale
+            && self.seed == other.seed
+            && self.epoch_virtual_secs == other.epoch_virtual_secs
+            && self.churn == other.churn
+    }
+}
+
+/// A resumable snapshot of an observatory run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservatoryCheckpoint {
+    /// Identity of the run that wrote this.
+    pub fingerprint: Fingerprint,
+    /// Epochs fully absorbed into `tables`.
+    pub epochs_done: u64,
+    /// The rolling state as of `epochs_done`.
+    pub tables: RollingTables,
+}
+
+impl ObservatoryCheckpoint {
+    /// File name inside the state dir.
+    pub const FILE_NAME: &'static str = "checkpoint.json";
+
+    /// Writes the checkpoint into `dir` (created if missing), replacing
+    /// any previous one atomically (write temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(Self::FILE_NAME);
+        let staging = dir.join(format!("{}.tmp", Self::FILE_NAME));
+        let mut bytes = serde_json::to_vec_pretty(self)
+            .map_err(|err| io::Error::other(err.to_string()))?;
+        bytes.push(b'\n');
+        fs::write(&staging, bytes)?;
+        fs::rename(&staging, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the checkpoint from `dir`; `Ok(None)` when none exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a present-but-unparseable file is
+    /// `InvalidData` (never silently ignored — that would turn a
+    /// corrupt state dir into a fresh-start data loss).
+    pub fn load(dir: &Path) -> io::Result<Option<Self>> {
+        let path = dir.join(Self::FILE_NAME);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err),
+        };
+        serde_json::from_slice(&bytes)
+            .map(Some)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fingerprint(seed: u64) -> Fingerprint {
+        Fingerprint {
+            year: 2018,
+            scale: 50_000.0,
+            seed,
+            shards: 2,
+            epoch_virtual_secs: 86_400,
+            churn: ChurnConfig::default(),
+        }
+    }
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "orscope-state-test-{label}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = scratch("roundtrip");
+        let checkpoint = ObservatoryCheckpoint {
+            fingerprint: fingerprint(7),
+            epochs_done: 3,
+            tables: RollingTables::default(),
+        };
+        checkpoint.save(&dir).unwrap();
+        let loaded = ObservatoryCheckpoint::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, checkpoint);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_but_corrupt_is_an_error() {
+        let dir = scratch("corrupt");
+        assert!(ObservatoryCheckpoint::load(&dir).unwrap().is_none());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(ObservatoryCheckpoint::FILE_NAME), b"not json").unwrap();
+        let err = ObservatoryCheckpoint::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_compatibility_ignores_shards_only() {
+        let base = fingerprint(7);
+        let mut resharded = base.clone();
+        resharded.shards = 4;
+        assert!(base.compatible_with(&resharded));
+        let mut reseeded = base.clone();
+        reseeded.seed = 8;
+        assert!(!base.compatible_with(&reseeded));
+        let mut rescaled = base.clone();
+        rescaled.churn.drift_rate = 0.5;
+        assert!(!base.compatible_with(&rescaled));
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end serve test: the HTTP surface answers while epochs run,
+//! the documents it serves match the shared state, and shutdown is
+//! graceful.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use orscope_observe::{http, Observatory, ServeConfig};
+use orscope_resolver::paper::Year;
+
+fn get(addr: SocketAddr, path: &str) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = String::from_utf8(response[..split].to_vec()).unwrap();
+    (head, response[split + 4..].to_vec())
+}
+
+#[test]
+fn serves_live_documents_while_epochs_run_then_shuts_down_cleanly() {
+    let mut config = ServeConfig::new(Year::Y2018, 60_000.0);
+    config.epochs = Some(3);
+    // A small wall-clock pause per epoch so the surface is observably
+    // live *during* the run, not only after it.
+    config.interval = Duration::from_millis(50);
+    config.state_dir = std::env::temp_dir().join(format!(
+        "orscope-serve-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&config.state_dir);
+    let state_dir = config.state_dir.clone();
+
+    let mut observatory = Observatory::new(config).unwrap();
+    let shared = observatory.shared();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let surface = http::serve(listener, shared.clone()).unwrap();
+    let addr = surface.addr();
+    let scheduler = std::thread::spawn(move || observatory.run());
+
+    // Poll /healthz until the final epoch lands (epoch rounds at this
+    // scale take well under the deadline).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut saw_midrun_health = false;
+    loop {
+        assert!(Instant::now() < deadline, "epochs never completed");
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let health: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        let epochs = health["epochs_completed"].as_u64().unwrap();
+        if epochs > 0 && epochs < 3 && health["status"] == "ok" {
+            saw_midrun_health = true;
+        }
+        if epochs >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        saw_midrun_health,
+        "surface must answer between epochs, not only at the end"
+    );
+
+    let report = scheduler.join().unwrap().unwrap();
+    assert_eq!(report.epochs_completed, 3);
+
+    // Served documents are exactly the shared state.
+    let (head, tables) = get(addr, "/tables");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(tables, shared.tables_bytes());
+    let (_, trends) = get(addr, "/trends");
+    assert_eq!(trends, shared.trends_bytes());
+    let parsed: serde_json::Value = serde_json::from_slice(&trends).unwrap();
+    assert_eq!(parsed["series"].as_array().unwrap().len(), 3);
+    assert!(!parsed["deltas"].as_array().unwrap().is_empty());
+
+    let (_, metrics) = get(addr, "/metrics");
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(metrics.contains("orscope_observe_epochs_completed"), "{metrics}");
+    assert!(
+        metrics.contains("surface=\"campaign\""),
+        "campaign telemetry absorbed into /metrics"
+    );
+
+    // Graceful shutdown: accept loop exits, checkpoint was flushed.
+    shared.request_shutdown();
+    surface.join();
+    assert!(report.checkpoint_path.exists());
+    std::fs::remove_dir_all(&state_dir).unwrap();
+}

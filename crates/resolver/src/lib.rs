@@ -33,6 +33,7 @@ pub use cache::DnsCache;
 pub use engine::{ProfiledResolver, ResolverConfig};
 pub use population::{PlannedResolver, Population, PopulationConfig};
 pub use profile::{
-    AnswerData, ForwardPolicy, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy,
+    AnswerData, ForwardPolicy, ImmediateResponse, ProfileClass, RecursePolicy, ResponseAction,
+    ResponsePolicy,
 };
 pub use telemetry::ResolverTelemetry;

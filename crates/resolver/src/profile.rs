@@ -150,6 +150,81 @@ pub enum ResponseAction {
     Forward(ForwardPolicy),
 }
 
+/// Coarse behavioral classes over [`ResponsePolicy`] — the unit of the
+/// observatory's profile-drift transition matrix.
+///
+/// Classification is total: every policy the population generator can
+/// produce maps to exactly one class, so per-class counts always sum to
+/// the population size. The classes mirror the paper's behavioral
+/// buckets (honest forwarding, NXDOMAIN walls, ad redirection, outright
+/// malice) at the granularity churn drifts between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProfileClass {
+    /// Standards-conforming recursion with a correct answer.
+    Honest,
+    /// Recurses but rewrites the rcode (filtering middleboxes).
+    Filtering,
+    /// Relays to an upstream resolver (CPE proxy).
+    Forwarder,
+    /// Answers immediately with a wrong value (ad redirection et al.).
+    Misdirecting,
+    /// Reported in threat intelligence: a malicious redirector.
+    Malicious,
+    /// Answers Refused without an answer section.
+    Refusing,
+    /// Answers NXDOMAIN for every name (the NXDOMAIN wall).
+    NxWall,
+    /// Some other immediate answer-less response (ServFail, FormErr,
+    /// empty NoError, malformed packets).
+    OtherImmediate,
+    /// Accepts the packet but never answers.
+    Silent,
+}
+
+impl ProfileClass {
+    /// Every class, in matrix row/column order.
+    pub const ALL: [ProfileClass; 9] = [
+        ProfileClass::Honest,
+        ProfileClass::Filtering,
+        ProfileClass::Forwarder,
+        ProfileClass::Misdirecting,
+        ProfileClass::Malicious,
+        ProfileClass::Refusing,
+        ProfileClass::NxWall,
+        ProfileClass::OtherImmediate,
+        ProfileClass::Silent,
+    ];
+
+    /// Stable label (used in served JSON and Prometheus labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProfileClass::Honest => "honest",
+            ProfileClass::Filtering => "filtering",
+            ProfileClass::Forwarder => "forwarder",
+            ProfileClass::Misdirecting => "misdirecting",
+            ProfileClass::Malicious => "malicious",
+            ProfileClass::Refusing => "refusing",
+            ProfileClass::NxWall => "nxwall",
+            ProfileClass::OtherImmediate => "other",
+            ProfileClass::Silent => "silent",
+        }
+    }
+
+    /// Position in [`ProfileClass::ALL`].
+    pub fn index(self) -> usize {
+        ProfileClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+impl std::fmt::Display for ProfileClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The full behavior profile of one probed host.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResponsePolicy {
@@ -226,6 +301,36 @@ impl ResponsePolicy {
         matches!(self.action, ResponseAction::Forward(_))
     }
 
+    /// The coarse behavioral class of this policy (see
+    /// [`ProfileClass`]).
+    pub fn class(&self) -> ProfileClass {
+        if self.malicious_category.is_some() {
+            return ProfileClass::Malicious;
+        }
+        match &self.action {
+            ResponseAction::Recurse(rp) => {
+                if rp.rcode_override.is_some() {
+                    ProfileClass::Filtering
+                } else {
+                    ProfileClass::Honest
+                }
+            }
+            ResponseAction::Forward(_) => ProfileClass::Forwarder,
+            ResponseAction::Silent => ProfileClass::Silent,
+            ResponseAction::Immediate(ir) => {
+                if ir.answer.is_some() {
+                    ProfileClass::Misdirecting
+                } else {
+                    match ir.rcode {
+                        Rcode::Refused => ProfileClass::Refusing,
+                        Rcode::NXDomain => ProfileClass::NxWall,
+                        _ => ProfileClass::OtherImmediate,
+                    }
+                }
+            }
+        }
+    }
+
     /// The upstream address a forwarder relays to, if any. Sharded
     /// campaigns use this as the host's placement affinity: a forwarder
     /// must live in the same partition as its upstream or the relayed
@@ -289,5 +394,44 @@ mod tests {
             _ => unreachable!(),
         }
         assert_eq!(p.malicious_category, Some(Category::Malware));
+    }
+
+    #[test]
+    fn classification_is_total_and_stable() {
+        assert_eq!(ResponsePolicy::honest().class(), ProfileClass::Honest);
+        assert_eq!(ResponsePolicy::refusing().class(), ProfileClass::Refusing);
+        assert_eq!(
+            ResponsePolicy::forwarder(Ipv4Addr::new(9, 9, 9, 9)).class(),
+            ProfileClass::Forwarder
+        );
+        assert_eq!(
+            ResponsePolicy::malicious(Ipv4Addr::new(1, 2, 3, 4), true, false, Category::Malware)
+                .class(),
+            ProfileClass::Malicious
+        );
+        let nxwall = ResponsePolicy {
+            action: ResponseAction::Immediate(ImmediateResponse::empty(
+                true,
+                false,
+                Rcode::NXDomain,
+            )),
+            malicious_category: None,
+            version_banner: None,
+        };
+        assert_eq!(nxwall.class(), ProfileClass::NxWall);
+        let silent = ResponsePolicy {
+            action: ResponseAction::Silent,
+            malicious_category: None,
+            version_banner: None,
+        };
+        assert_eq!(silent.class(), ProfileClass::Silent);
+        // Indexing round-trips through ALL.
+        for (i, class) in ProfileClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        // Labels are unique (Prometheus label safety).
+        let labels: std::collections::HashSet<_> =
+            ProfileClass::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(labels.len(), ProfileClass::ALL.len());
     }
 }

@@ -81,6 +81,12 @@ impl Counter {
 
 /// A high-water-mark gauge: `record_max` keeps the largest value seen,
 /// which merges order-insensitively across shards.
+///
+/// Long-running services (the observatory's population-size and
+/// epochs-completed gauges) instead use [`Gauge::set`], which stores the
+/// current value: a population that shrinks must be able to pull its
+/// gauge back down. Pick one discipline per gauge — a metric that mixes
+/// `set` and `record_max` has no coherent merge semantics.
 #[derive(Clone, Debug, Default)]
 pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
 
@@ -90,6 +96,15 @@ impl Gauge {
     pub fn record_max(&self, value: u64) {
         if let Some(cell) = &self.0 {
             cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores `value`, replacing whatever the gauge held (level
+    /// semantics, for service gauges that go down as well as up).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
         }
     }
 

@@ -20,7 +20,9 @@
 //! - [`geo`] — the ip2location-like geolocation database,
 //! - [`analysis`] — classification and the Table II-X generators,
 //! - [`telemetry`] — metric registry, virtual-time spans, exporters,
-//! - [`core`] — end-to-end campaigns.
+//! - [`core`] — end-to-end campaigns,
+//! - [`observe`] — the resolver observatory: rolling campaigns over a
+//!   churning population with a live HTTP query/export surface.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub use orscope_dns_wire as dns_wire;
 pub use orscope_geo as geo;
 pub use orscope_ipspace as ipspace;
 pub use orscope_netsim as netsim;
+pub use orscope_observe as observe;
 pub use orscope_prober as prober;
 pub use orscope_resolver as resolver;
 pub use orscope_telemetry as telemetry;

@@ -8,15 +8,22 @@
 //!                  [--analysis streaming|batch] [--json FILE] [--telemetry FILE]
 //! orscope tables   [--scale 500] [--analysis streaming|batch] [--json FILE]
 //! orscope trend    [--steps 6] [--scale 2000]       # 2013 -> 2018 series
+//! orscope serve    [--scale 20000] [--epochs N] [--port 7353] [--state-dir DIR]
+//!                  [--epoch-secs 86400] [--join R] [--leave R] [--drift R]
+//!                  [--interval-ms 500] [--checkpoint-every N] [--fresh]
 //! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
 //! orscope help
 //! ```
 
+use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use orscope_core::{run_trend, AnalysisMode, Campaign, CampaignConfig, TrendConfig};
 use orscope_netsim::{FaultKind, FaultPlan, FaultRule, FaultScope};
+use orscope_observe::{http, ChurnConfig, Observatory, ServeConfig};
 use orscope_resolver::paper::Year;
 
 fn main() -> ExitCode {
@@ -26,6 +33,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args[1..]),
         "tables" => cmd_tables(&args[1..]),
         "trend" => cmd_trend(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "pcap" => cmd_pcap(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
@@ -56,12 +64,22 @@ fn print_help() {
          \x20                  [--telemetry FILE]\n\
          \x20 orscope tables   [--scale S] [--analysis streaming|batch] [--json FILE]\n\
          \x20 orscope trend    [--steps N] [--scale S] [--seed N]\n\
+         \x20 orscope serve    [--year 2013|2018] [--scale S] [--seed N] [--shards N]\n\
+         \x20                  [--epochs N] [--epoch-secs SECS] [--port P]\n\
+         \x20                  [--join R] [--leave R] [--drift R] [--headroom H]\n\
+         \x20                  [--interval-ms MS] [--state-dir DIR]\n\
+         \x20                  [--checkpoint-every N] [--fresh]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
          \n\
          COMMANDS:\n\
          \x20 campaign  replay one scan and print every table, paper vs measured\n\
          \x20 tables    replay both scans (the full evaluation of the paper)\n\
          \x20 trend     the 2013->2018 continuous-monitoring series (section V)\n\
+         \x20 serve     run the resolver observatory: one campaign round per\n\
+         \x20           virtual day over a churning population, live HTTP surface\n\
+         \x20           (/tables /trends /metrics /healthz), checkpointed state;\n\
+         \x20           resumes from --state-dir unless --fresh; SIGTERM/SIGINT\n\
+         \x20           flush a final checkpoint and exit cleanly\n\
          \x20 pcap      run a scan and export the captured R2 traffic as libpcap\n\
          \n\
          CHAOS / ROBUSTNESS (campaign):\n\
@@ -275,6 +293,120 @@ fn cmd_trend(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Set by the signal handler; polled by the serve watcher thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via the raw libc
+/// `signal(2)` (already linked by std; avoids a signal-handling crate
+/// for two constants and one registration).
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {
+    // No graceful-signal support off Unix; Ctrl-C hard-kills, and the
+    // periodic checkpoint (--checkpoint-every) limits lost work.
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let year = parse_year(args)?;
+    let mut config = ServeConfig::new(year, parse_number(args, "--scale", 20_000.0)?);
+    config.seed = parse_number(args, "--seed", 0xD5A1_2019u64)?;
+    config.shards = parse_number(args, "--shards", 1usize)?;
+    config.epoch_virtual_secs = parse_number(args, "--epoch-secs", 86_400u64)?;
+    if let Some(epochs) = flag_value(args, "--epochs")? {
+        let epochs: u64 = epochs
+            .parse()
+            .map_err(|_| format!("--epochs: bad number {epochs:?}"))?;
+        config.epochs = Some(epochs);
+    }
+    let default_churn = ChurnConfig::default();
+    config.churn = ChurnConfig {
+        join_rate: parse_number(args, "--join", default_churn.join_rate)?,
+        leave_rate: parse_number(args, "--leave", default_churn.leave_rate)?,
+        drift_rate: parse_number(args, "--drift", default_churn.drift_rate)?,
+        pool_headroom: parse_number(args, "--headroom", default_churn.pool_headroom)?,
+        seed: parse_number(args, "--churn-seed", default_churn.seed)?,
+    };
+    config.checkpoint_every = parse_number(args, "--checkpoint-every", 0u64)?;
+    config.interval = Duration::from_millis(parse_number(args, "--interval-ms", 500u64)?);
+    // The CLI default is a visible (gitignored) path so an operator can
+    // find their state; the library default stays under the temp dir.
+    config.state_dir = PathBuf::from(
+        flag_value(args, "--state-dir")?.unwrap_or_else(|| "serve-state".to_string()),
+    );
+    if args.iter().any(|a| a == "--fresh") {
+        match std::fs::remove_dir_all(&config.state_dir) {
+            Ok(()) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(format!("--fresh: {}: {err}", config.state_dir.display())),
+        }
+    }
+    let port: u16 = parse_number(args, "--port", 7353u16)?;
+
+    let mut observatory = Observatory::new(config).map_err(|e| e.to_string())?;
+    let shared = observatory.shared();
+
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let surface = http::serve(listener, shared.clone()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "observatory listening on http://{} (/healthz /tables /trends /metrics)",
+        surface.addr()
+    );
+
+    install_signal_handlers();
+    let watcher_shared = shared.clone();
+    let watcher = std::thread::spawn(move || {
+        while !watcher_shared.shutdown_requested() {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("signal received: flushing checkpoint and shutting down");
+                watcher_shared.request_shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+
+    let run = observatory.run();
+    // Stops the HTTP accept loop and the watcher even when the run
+    // ended by epoch limit or error rather than by signal.
+    shared.request_shutdown();
+    let _ = watcher.join();
+    surface.join();
+
+    let report = run.map_err(|e| e.to_string())?;
+    match report.resumed_from {
+        Some(done) => eprintln!(
+            "served {} epochs ({} resumed + {} new); checkpoint at {}",
+            report.epochs_completed,
+            done,
+            report.epochs_completed - done,
+            report.checkpoint_path.display()
+        ),
+        None => eprintln!(
+            "served {} epochs; checkpoint at {}",
+            report.epochs_completed,
+            report.checkpoint_path.display()
+        ),
+    }
+    Ok(())
+}
+
 /// The positional (non-flag, non-flag-value) arguments.
 fn positionals(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
@@ -286,7 +418,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
         }
         if arg.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = arg != "--full-q1";
+            skip_next = !matches!(arg.as_str(), "--full-q1" | "--fresh");
             continue;
         }
         out.push(arg);
