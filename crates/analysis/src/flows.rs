@@ -7,7 +7,6 @@
 //! authoritative server's Q2/R1 log, yielding one [`Flow`] per probed
 //! responder with the complete packet timeline of Fig. 2.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::OnceLock;
 
@@ -15,6 +14,7 @@ use orscope_authns::scheme::ProbeLabel;
 use orscope_authns::{CapturedPacket, Direction};
 use orscope_dns_wire::wire::Reader;
 use orscope_dns_wire::{Header, Name, Question};
+use orscope_netsim::fxhash::{fx_map_with_capacity, FxHashMap};
 use orscope_netsim::SimTime;
 use orscope_prober::R2Capture;
 
@@ -63,6 +63,61 @@ impl Flow {
     }
 }
 
+/// Label-keyed flow join state: a compact index over a dense arena.
+///
+/// A plain `HashMap<ProbeLabel, Flow>` stores every `Flow` inline in
+/// its buckets — at paper scale (~6.5M flows) that is a gigabyte-class
+/// table whose finish-time drain into a `Vec` doubles the footprint at
+/// the worst possible moment. Splitting the join into a 20-byte
+/// label -> slot index plus a `Vec<Flow>` arena keeps the map small,
+/// turns the drain into a move of the arena, and lets the batch and
+/// streaming paths reduce their captures through one structure.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlowTable {
+    index: FxHashMap<ProbeLabel, u32>,
+    flows: Vec<Flow>,
+}
+
+impl FlowTable {
+    /// A table pre-sized for `capacity` flows: one allocation each for
+    /// the index and the arena.
+    pub(crate) fn with_capacity(capacity: usize) -> FlowTable {
+        FlowTable {
+            index: fx_map_with_capacity(capacity),
+            flows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Grows the table to hold `additional` more flows without
+    /// reallocating. At full scale the arena's last doubling overshoots
+    /// the final footprint by ~0.4 GB, so callers that know the
+    /// responder count ahead of time should reserve it.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.index.reserve(additional);
+        self.flows.reserve(additional);
+    }
+
+    /// The flow for `label`, created as a stub on first touch.
+    pub(crate) fn entry(&mut self, label: ProbeLabel) -> &mut Flow {
+        let FlowTable { index, flows } = self;
+        let slot = *index.entry(label).or_insert_with(|| {
+            flows.push(Flow::stub(label));
+            (flows.len() - 1) as u32
+        });
+        &mut flows[slot as usize]
+    }
+
+    /// Moves the joined flows out, dropping the index.
+    pub(crate) fn into_flows(self) -> Vec<Flow> {
+        self.flows
+    }
+
+    /// Clones the joined flows (mid-scan snapshots).
+    pub(crate) fn cloned_flows(&self) -> Vec<Flow> {
+        self.flows.clone()
+    }
+}
+
 /// The joined flow set for one scan.
 #[derive(Debug, Clone, Default)]
 pub struct FlowSet {
@@ -78,7 +133,11 @@ pub struct FlowSet {
 impl FlowSet {
     /// Assembles a flow set from already-joined flows (streaming mode).
     pub(crate) fn from_parts(mut flows: Vec<Flow>, foreign_auth_packets: u64) -> FlowSet {
-        flows.sort_by_key(|f| f.label);
+        // Labels are unique per flow, so the unstable sort is as
+        // deterministic as a stable one — and it sorts in place instead
+        // of allocating an n/2 scratch buffer, which at paper scale
+        // would sit beside a live multi-million-flow vector.
+        flows.sort_unstable_by_key(|f| f.label);
         FlowSet {
             flows,
             foreign_auth_packets,
@@ -92,8 +151,8 @@ impl FlowSet {
     pub fn match_flows(r2: &[R2Capture], auth: &[CapturedPacket], zone: &Name) -> FlowSet {
         // Nearly every R2 carries a distinct label, so r2.len() is a
         // tight lower bound that avoids rehash-and-move cycles while the
-        // map fills.
-        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::with_capacity(r2.len());
+        // table fills.
+        let mut by_label = FlowTable::with_capacity(r2.len());
         for capture in r2 {
             let Some(label) = capture
                 .label
@@ -113,7 +172,7 @@ impl FlowSet {
         for packet in auth {
             fold_auth(&mut by_label, &mut foreign, packet, zone);
         }
-        FlowSet::from_parts(by_label.into_values().collect(), foreign)
+        FlowSet::from_parts(by_label.into_flows(), foreign)
     }
 
     /// Joins classified records and server-side captures: the same
@@ -125,7 +184,7 @@ impl FlowSet {
         auth: &[CapturedPacket],
         zone: &Name,
     ) -> FlowSet {
-        let mut by_label: HashMap<ProbeLabel, Flow> = HashMap::with_capacity(records.len());
+        let mut by_label = FlowTable::with_capacity(records.len());
         for rec in records {
             let Some(label) = rec.label.or_else(|| ProbeLabel::parse(&rec.qname, zone)) else {
                 continue;
@@ -136,7 +195,7 @@ impl FlowSet {
         for packet in auth {
             fold_auth(&mut by_label, &mut foreign, packet, zone);
         }
-        FlowSet::from_parts(by_label.into_values().collect(), foreign)
+        FlowSet::from_parts(by_label.into_flows(), foreign)
     }
 
     /// Number of flows that recursed (reached the authoritative server).
@@ -188,13 +247,13 @@ impl FlowSet {
 
 /// Folds one R2 observation into the label-keyed flow table.
 pub(crate) fn fold_r2(
-    by_label: &mut HashMap<ProbeLabel, Flow>,
+    by_label: &mut FlowTable,
     label: ProbeLabel,
     resolver: Ipv4Addr,
     sent_at: SimTime,
     at: SimTime,
 ) {
-    let flow = by_label.entry(label).or_insert_with(|| Flow::stub(label));
+    let flow = by_label.entry(label);
     flow.resolver = Some(resolver);
     flow.q1_at = Some(sent_at);
     flow.r2_at = Some(at);
@@ -203,14 +262,14 @@ pub(crate) fn fold_r2(
 /// Folds one authoritative-server packet into the flow table, counting
 /// packets whose qname is not a probe name as foreign.
 pub(crate) fn fold_auth(
-    by_label: &mut HashMap<ProbeLabel, Flow>,
+    by_label: &mut FlowTable,
     foreign: &mut u64,
     packet: &CapturedPacket,
     zone: &Name,
 ) {
     match question_of(&packet.payload).and_then(|q| ProbeLabel::parse(q.qname(), zone)) {
         Some(label) => {
-            let flow = by_label.entry(label).or_insert_with(|| Flow::stub(label));
+            let flow = by_label.entry(label);
             match packet.direction {
                 Direction::Inbound => {
                     flow.q2_at.push(packet.at);

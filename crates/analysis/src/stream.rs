@@ -26,11 +26,12 @@ use orscope_authns::scheme::ProbeLabel;
 use orscope_authns::CapturedPacket;
 use orscope_dns_wire::{Name, Rcode};
 use orscope_geo::GeoDb;
+use orscope_netsim::fxhash::FxHashMap;
 use orscope_prober::R2Capture;
 use orscope_threatintel::ThreatDb;
 
 use crate::classify::{classify, AnswerKind};
-use crate::flows::{fold_auth, fold_r2, Flow, FlowSet};
+use crate::flows::{fold_auth, fold_r2, Flow, FlowSet, FlowTable};
 use crate::tables::{
     amplification_factor, AmplificationTable, AnswerBreakdown, AsnTable, CountryTable,
     EmptyQuestionReport, FlagTable, Table10, Table3, Table4, Table5, Table6, Table7, Table8,
@@ -95,7 +96,7 @@ struct WrongIpTally {
     /// Packets with a nonzero rcode.
     nonzero_rcode: u64,
     /// Packets per responding resolver (country/AS attribution).
-    by_resolver: HashMap<Ipv4Addr, u64>,
+    by_resolver: FxHashMap<Ipv4Addr, u64>,
 }
 
 impl WrongIpTally {
@@ -147,14 +148,14 @@ pub struct StreamingAnalyzer {
     /// Table VII: undecodable (N/A) incorrect packets.
     na_r2: u64,
     /// Tables VII–X and country/AS: tallies per wrong answer address.
-    wrong_ips: HashMap<Ipv4Addr, WrongIpTally>,
+    wrong_ips: FxHashMap<Ipv4Addr, WrongIpTally>,
     /// §IV-B4 empty-question accumulator.
     empty_question: EmptyQuestionReport,
     /// Exact amplification-factor reservoir (8 bytes per response vs
     /// the full payload; sorted at finish for order-independent output).
     amp_factors: Vec<f64>,
-    /// Four-flow join state, keyed by probe label.
-    flows: HashMap<ProbeLabel, Flow>,
+    /// Four-flow join state: a compact label index over a dense arena.
+    flows: FlowTable,
     /// Auth-server packets whose qname was not a probe name.
     foreign_auth_packets: u64,
 }
@@ -168,6 +169,16 @@ impl StreamingAnalyzer {
             retain_raw,
             ..Self::default()
         }
+    }
+
+    /// Pre-sizes the per-flow state for `expected` flows. Every flow
+    /// keys on a probed responder, so the responder count bounds the
+    /// join exactly; reserving it keeps the full-scale arena at its
+    /// final footprint instead of growth-doubling past it. Capacity
+    /// only — folds behave identically with or without the hint.
+    pub fn reserve_flows(&mut self, expected: usize) {
+        self.flows.reserve(expected);
+        self.amp_factors.reserve(expected);
     }
 
     /// Classified R2 packets folded so far.
@@ -205,22 +216,16 @@ impl StreamingAnalyzer {
         self.empty_question.absorb(&other.empty_question);
         self.amp_factors.extend(other.amp_factors);
         self.raw.extend(other.raw);
-        for (label, flow) in other.flows {
-            match self.flows.entry(label) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(flow);
-                }
-                // Shards probe disjoint cluster ranges, so a label
-                // never spans analyzers; merge defensively anyway.
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    let into = slot.get_mut();
-                    into.resolver = into.resolver.or(flow.resolver);
-                    into.q1_at = into.q1_at.or(flow.q1_at);
-                    into.r2_at = into.r2_at.or(flow.r2_at);
-                    into.q2_at.extend(flow.q2_at);
-                    into.r1_at.extend(flow.r1_at);
-                }
-            }
+        // Shards probe disjoint cluster ranges, so a label never spans
+        // analyzers and the entry below is almost always a fresh stub;
+        // merge field-by-field anyway so overlap stays defensible.
+        for flow in other.flows.into_flows() {
+            let into = self.flows.entry(flow.label);
+            into.resolver = into.resolver.or(flow.resolver);
+            into.q1_at = into.q1_at.or(flow.q1_at);
+            into.r2_at = into.r2_at.or(flow.r2_at);
+            into.q2_at.extend(flow.q2_at);
+            into.r1_at.extend(flow.r1_at);
         }
         self.foreign_auth_packets += other.foreign_auth_packets;
     }
@@ -314,17 +319,18 @@ impl StreamingAnalyzer {
 
     /// The four-flow join, assembled from the streamed flow state.
     pub fn flows(&self) -> FlowSet {
-        let mut flows: Vec<Flow> = self.flows.values().cloned().collect();
+        let mut flows = self.flows.cloned_flows();
         Self::finish_flows(&mut flows);
         FlowSet::from_parts(flows, self.foreign_auth_packets)
     }
 
-    /// Like [`StreamingAnalyzer::flows`] but drains the join state,
-    /// moving each flow out instead of cloning the map beside itself —
-    /// the finish-time path, where the per-flow timestamp vectors are
-    /// the largest live structure the streaming mode holds.
+    /// Like [`StreamingAnalyzer::flows`] but drains the join state: the
+    /// arena moves into the `FlowSet` without a single flow copied, and
+    /// only the label index is dropped — the finish-time path, where
+    /// the joined flows are the largest live structure the streaming
+    /// mode holds.
     pub fn take_flows(&mut self) -> FlowSet {
-        let mut flows: Vec<Flow> = std::mem::take(&mut self.flows).into_values().collect();
+        let mut flows = std::mem::take(&mut self.flows).into_flows();
         Self::finish_flows(&mut flows);
         FlowSet::from_parts(flows, self.foreign_auth_packets)
     }

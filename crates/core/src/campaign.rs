@@ -1,6 +1,5 @@
 //! Campaign assembly and execution.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -12,7 +11,8 @@ use orscope_authns::{
 };
 use orscope_ipspace::{AllowedSpace, ScanPermutation};
 use orscope_netsim::{
-    FaultPlan, HashLatency, NetStats, NetTelemetry, SchedulerKind, SimNet, SimTime,
+    fx_map_with_capacity, FaultPlan, FxHashMap, HashLatency, LazyRegistry, NetStats, NetTelemetry,
+    SchedulerKind, SimNet, SimTime,
 };
 use orscope_prober::{
     ProbeStats, Prober, ProberConfig, ProberHandle, ProberTelemetry, R2Capture, ScanCheckpoint,
@@ -97,8 +97,28 @@ pub struct CampaignConfig {
     /// Keep raw R2 captures alongside the streaming accumulators
     /// (needed for pcap export; forfeits the memory bound).
     pub retain_raw: bool,
+    /// How resolver endpoints come into existence: the default
+    /// [`Materialization::Lazy`] builds each host on its first packet
+    /// from the population's interned profile table (paper-scale
+    /// populations run in a bounded host table);
+    /// [`Materialization::Eager`] pre-registers every host up front (the
+    /// original pipeline, kept as an oracle). Both produce byte-identical
+    /// reports — see `tests/materialization_oracle.rs`.
+    pub materialization: Materialization,
     /// Infrastructure addresses.
     pub infra: Infra,
+}
+
+/// When resolver endpoints are constructed (see
+/// [`CampaignConfig::materialization`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Materialization {
+    /// Build each host on first packet delivery; release it when it goes
+    /// quiescent (fault-free plans only — impaired hosts stay pinned).
+    #[default]
+    Lazy,
+    /// Pre-register every host before the scan starts.
+    Eager,
 }
 
 impl CampaignConfig {
@@ -124,8 +144,15 @@ impl CampaignConfig {
             sabotage: None,
             analysis: AnalysisMode::default(),
             retain_raw: false,
+            materialization: Materialization::default(),
             infra: Infra::default(),
         }
+    }
+
+    /// Selects when resolver endpoints are constructed (lazy or eager).
+    pub fn with_materialization(mut self, materialization: Materialization) -> Self {
+        self.materialization = materialization;
+        self
     }
 
     /// Selects how captures become tables (streaming or batch).
@@ -396,15 +423,22 @@ impl Campaign {
             shard_slots[0] = (0..targets.len() as u64).collect();
             shard_targets[0] = targets;
         } else {
-            let mut owner: HashMap<Ipv4Addr, usize> = HashMap::new();
-            for (index, part) in shard_populations.iter().enumerate() {
-                for planned in part
-                    .resolvers
+            // Pre-sized FxHash map: this is O(population) inserts on the
+            // planning path and would otherwise rehash its way up.
+            let mut owner: FxHashMap<Ipv4Addr, usize> = fx_map_with_capacity(
+                shard_populations
                     .iter()
-                    .chain(&part.off_port)
-                    .chain(&part.upstreams)
+                    .map(|p| p.resolvers.len() + p.off_port.len() + p.upstreams.len())
+                    .sum(),
+            );
+            for (index, part) in shard_populations.iter().enumerate() {
+                for addr in part
+                    .resolvers
+                    .addrs()
+                    .chain(part.off_port.addrs())
+                    .chain(part.upstreams.addrs())
                 {
-                    owner.insert(planned.addr, index);
+                    owner.insert(addr, index);
                 }
             }
             for (global_index, addr) in targets.into_iter().enumerate() {
@@ -434,6 +468,11 @@ impl Campaign {
                 .enumerate()
                 .map(|(index, (shard_pop, (targets, slots)))| {
                     scope.spawn(move || {
+                        // Shared buffers: attempt 0 and the retry plan
+                        // read the same allocation instead of doubling
+                        // ~12 bytes per target for the whole scan.
+                        let targets = std::sync::Arc::new(targets);
+                        let slots = std::sync::Arc::new(slots);
                         let mut retried = false;
                         for attempt in 0..2u32 {
                             let plan = ShardPlan {
@@ -448,8 +487,8 @@ impl Campaign {
                                 total_rate_pps: knobs.total_rate,
                                 base_cluster: index as u32 * cluster_stride,
                                 cluster_capacity: knobs.cluster_capacity,
-                                targets: targets.clone(),
-                                slot_indices: slots.clone(),
+                                targets: std::sync::Arc::clone(&targets),
+                                slot_indices: std::sync::Arc::clone(&slots),
                                 population: shard_pop,
                             };
                             match catch_unwind(AssertUnwindSafe(|| self.run_shard(plan))) {
@@ -531,8 +570,10 @@ impl Campaign {
         let mut net_stats = NetStats::default();
         let mut auth_packets: Vec<CapturedPacket> = Vec::new();
         let mut shard_telemetry: Vec<TelemetrySnapshot> = Vec::new();
+        let mut materialized_hosts = 0usize;
         for outcome in outcomes {
             shard_telemetry.push(outcome.telemetry);
+            materialized_hosts += outcome.materialized_peak;
             net_stats.absorb(&outcome.net_stats);
             auth_packets.extend(outcome.auth_packets);
             if let Some(analysis) = outcome.analysis {
@@ -565,6 +606,7 @@ impl Campaign {
             geo,
             population,
             net_stats,
+            materialized_hosts,
             auth_packets,
             config.telemetry.then_some(telemetry),
             degraded,
@@ -602,9 +644,19 @@ impl Campaign {
                 );
             }
         }
+        // Every flow keys on a probed responder, so the shard's share of
+        // the responder population bounds the join state exactly. Sizing
+        // the analyzer up front keeps the full-scale arena at its final
+        // footprint instead of doubling past it (the last doubling alone
+        // is ~0.4 GB at scale 1.0).
+        let expected_flows = plan.population.resolvers.len() + plan.population.off_port.len();
         let mut world = self.build_shard(plan, None);
         if self.config.analysis == AnalysisMode::Streaming {
-            world.attach_streaming(self.config.infra.zone.clone(), self.config.retain_raw);
+            world.attach_streaming(
+                self.config.infra.zone.clone(),
+                self.config.retain_raw,
+                expected_flows,
+            );
         }
         // ---- run to completion ----
         let probe_span = world.collector.phase("phase.probe");
@@ -632,7 +684,9 @@ impl Campaign {
         };
 
         // ---- network & name-server hierarchy ----
-        let mut net = SimNet::builder()
+        let resolver_config = ResolverConfig::new(infra.root);
+        let resolver_telemetry = ResolverTelemetry::from_collector(&collector);
+        let mut builder = SimNet::builder()
             .seed(plan.sim_seed)
             // Latency hashes from the master seed in every shard so a
             // host's RTTs do not depend on the shard layout.
@@ -643,8 +697,19 @@ impl Campaign {
             // chaos decisions identical regardless of layout.
             .faults(config.effective_faults())
             .scheduler(config.scheduler)
-            .telemetry(NetTelemetry::from_collector(&collector))
-            .build();
+            .telemetry(NetTelemetry::from_collector(&collector));
+        if config.materialization == Materialization::Lazy {
+            // Probed hosts materialize on first packet from the interned
+            // profile table; only the upstreams are pre-registered below,
+            // because forwarders from many clients share their caches
+            // across the whole scan.
+            builder = builder.lazy_hosts(PopulationRegistry::new(
+                plan.population,
+                resolver_config.clone(),
+                resolver_telemetry.clone(),
+            ));
+        }
+        let mut net = builder.build();
         let mut root = RootServer::new();
         root.delegate(
             "net".parse().expect("static name"),
@@ -672,19 +737,30 @@ impl Campaign {
         net.register(infra.auth, auth);
 
         // ---- resolver population (this shard's slice) ----
-        let resolver_config = ResolverConfig::new(infra.root);
-        let resolver_telemetry = ResolverTelemetry::from_collector(&collector);
-        for planned in plan
-            .population
-            .resolvers
-            .iter()
-            .chain(&plan.population.off_port)
-            .chain(&plan.population.upstreams)
-        {
-            net.register(
-                planned.addr,
-                ProfiledResolver::new(planned.policy.clone(), resolver_config.clone())
+        if config.materialization == Materialization::Eager {
+            for host in plan
+                .population
+                .resolvers()
+                .chain(plan.population.off_port())
+            {
+                net.register(
+                    host.addr,
+                    ProfiledResolver::new_shared(
+                        std::sync::Arc::clone(host.policy),
+                        resolver_config.clone(),
+                    )
                     .with_telemetry(resolver_telemetry.clone()),
+                );
+            }
+        }
+        for host in plan.population.upstreams() {
+            net.register(
+                host.addr,
+                ProfiledResolver::new_shared(
+                    std::sync::Arc::clone(host.policy),
+                    resolver_config.clone(),
+                )
+                .with_telemetry(resolver_telemetry.clone()),
             );
         }
 
@@ -733,9 +809,8 @@ impl Campaign {
         let config = &self.config;
         let mut targets: Vec<Ipv4Addr> = population
             .resolvers
-            .iter()
-            .chain(&population.off_port)
-            .map(|r| r.addr)
+            .addrs()
+            .chain(population.off_port.addrs())
             .collect();
         let responders = targets.len() as u64;
         let total = if config.full_q1 {
@@ -744,7 +819,7 @@ impl Campaign {
             responders + (responders as f64 * config.non_responder_factor) as u64
         };
         // Silent fill: fresh probeable addresses not already used.
-        let used: std::collections::HashSet<Ipv4Addr> = targets
+        let used: orscope_netsim::FxHashSet<Ipv4Addr> = targets
             .iter()
             .copied()
             .chain(config.infra.addresses())
@@ -811,12 +886,58 @@ pub(crate) struct ShardPlan<'a> {
     pub(crate) base_cluster: u32,
     /// Names per cluster (shared across shards).
     pub(crate) cluster_capacity: u64,
-    /// This shard's targets, in global scan order.
-    pub(crate) targets: Vec<Ipv4Addr>,
+    /// This shard's targets, in global scan order. Shared with the
+    /// supervisor's retry plan and the prober: at full paper scale these
+    /// lists run to hundreds of megabytes, so the plan must be cheap to
+    /// clone for the second supervised attempt.
+    pub(crate) targets: std::sync::Arc<Vec<Ipv4Addr>>,
     /// Global scan index of each target (drives the send-slot grid).
-    pub(crate) slot_indices: Vec<u64>,
+    pub(crate) slot_indices: std::sync::Arc<Vec<u64>>,
     /// The resolvers, off-port responders, and upstreams this shard owns.
     pub(crate) population: &'a Population,
+}
+
+/// Materializes `ProfiledResolver` endpoints on demand from a shard's
+/// compact population: a sorted `(packed address, profile id)` index plus
+/// the shared profile table. Covers probed hosts (resolvers and off-port
+/// responders); upstreams are always registered eagerly.
+struct PopulationRegistry {
+    hosts: Vec<(u32, orscope_resolver::ProfileId)>,
+    table: std::sync::Arc<orscope_resolver::ProfileTable>,
+    config: ResolverConfig,
+    telemetry: ResolverTelemetry,
+}
+
+impl PopulationRegistry {
+    fn new(population: &Population, config: ResolverConfig, telemetry: ResolverTelemetry) -> Self {
+        let mut hosts = Vec::with_capacity(population.resolvers.len() + population.off_port.len());
+        for list in [&population.resolvers, &population.off_port] {
+            for i in 0..list.len() {
+                hosts.push((u32::from(list.addr(i)), list.profile_id(i)));
+            }
+        }
+        hosts.sort_unstable_by_key(|&(addr, _)| addr);
+        Self {
+            hosts,
+            table: std::sync::Arc::clone(population.table()),
+            config,
+            telemetry,
+        }
+    }
+}
+
+impl LazyRegistry for PopulationRegistry {
+    fn materialize(&self, addr: Ipv4Addr) -> Option<Box<dyn orscope_netsim::Endpoint>> {
+        let slot = self
+            .hosts
+            .binary_search_by_key(&u32::from(addr), |&(a, _)| a)
+            .ok()?;
+        let policy = std::sync::Arc::clone(self.table.get(self.hosts[slot].1));
+        Some(Box::new(
+            ProfiledResolver::new_shared(policy, self.config.clone())
+                .with_telemetry(self.telemetry.clone()),
+        ))
+    }
 }
 
 /// A fully-assembled shard simulation, ready to run.
@@ -843,10 +964,18 @@ impl ShardWorld {
     /// capture handles, folding every packet into a shared
     /// [`StreamingAnalyzer`] the moment it is captured. Payloads drop
     /// as soon as each fold returns (unless `retain_raw`).
-    pub(crate) fn attach_streaming(&mut self, zone: orscope_dns_wire::Name, retain_raw: bool) {
-        let analyzer = std::sync::Arc::new(parking_lot::Mutex::new(StreamingAnalyzer::new(
-            zone, retain_raw,
-        )));
+    ///
+    /// `expected_flows` pre-sizes the analyzer's join state (pass the
+    /// shard's responder count; an estimate only costs capacity).
+    pub(crate) fn attach_streaming(
+        &mut self,
+        zone: orscope_dns_wire::Name,
+        retain_raw: bool,
+        expected_flows: usize,
+    ) {
+        let mut streaming = StreamingAnalyzer::new(zone, retain_raw);
+        streaming.reserve_flows(expected_flows);
+        let analyzer = std::sync::Arc::new(parking_lot::Mutex::new(streaming));
         let r2_sink = analyzer.clone();
         self.prober_handle
             .set_sink(move |capture| r2_sink.lock().on_r2(capture));
@@ -893,6 +1022,7 @@ impl ShardWorld {
             q2,
             r1,
             duration_secs,
+            materialized_peak: self.net.materialized_peak(),
             net_stats: *self.net.stats(),
             auth_packets: self.auth_capture.drain(),
             telemetry: self.collector.snapshot(),
@@ -911,6 +1041,8 @@ pub(crate) struct ShardOutcome {
     pub(crate) q2: u64,
     pub(crate) r1: u64,
     pub(crate) duration_secs: f64,
+    /// Peak live lazily-materialized hosts (0 in eager mode).
+    pub(crate) materialized_peak: usize,
     pub(crate) net_stats: NetStats,
     pub(crate) auth_packets: Vec<CapturedPacket>,
     pub(crate) telemetry: TelemetrySnapshot,

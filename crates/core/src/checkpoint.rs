@@ -81,8 +81,8 @@ impl Campaign {
             total_rate_pps: knobs.total_rate,
             base_cluster: 0,
             cluster_capacity: knobs.cluster_capacity,
-            targets,
-            slot_indices,
+            targets: std::sync::Arc::new(targets),
+            slot_indices: std::sync::Arc::new(slot_indices),
             population: &population,
         };
         let mut world = self.build_shard(plan, None);
@@ -149,10 +149,10 @@ impl Campaign {
             total_rate_pps: knobs.total_rate,
             base_cluster: 0,
             cluster_capacity: knobs.cluster_capacity,
-            targets,
+            targets: std::sync::Arc::new(targets),
             // Resume paces locally: the global slot grid described the
             // uninterrupted scan, not the remaining-targets tail.
-            slot_indices: Vec::new(),
+            slot_indices: std::sync::Arc::new(Vec::new()),
             population: &population,
         };
         let mut world = self.build_shard(plan, Some(&checkpoint.scan));
@@ -178,6 +178,7 @@ impl Campaign {
             geo,
             population,
             outcome.net_stats,
+            outcome.materialized_peak,
             auth_packets,
             config.telemetry.then_some(outcome.telemetry),
             None,

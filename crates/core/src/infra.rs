@@ -90,7 +90,7 @@ pub fn seed_geo_db(population: &Population) -> GeoDb {
             GeoRecord::new(country_of_org(org), asn_of_org(org), org),
         );
     }
-    for resolver in &population.resolvers {
+    for resolver in population.resolvers() {
         if let Some(country) = resolver.country {
             db.insert_exact(
                 resolver.addr,
@@ -171,7 +171,7 @@ mod tests {
     fn geo_db_covers_malicious_resolvers() {
         let pop = Population::generate(&PopulationConfig::new(Year::Y2018, 500.0));
         let db = seed_geo_db(&pop);
-        for resolver in &pop.resolvers {
+        for resolver in pop.resolvers() {
             if let Some(country) = resolver.country {
                 assert_eq!(db.lookup(resolver.addr).country, country);
             }

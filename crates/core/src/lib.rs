@@ -30,7 +30,7 @@ pub mod infra;
 pub mod result;
 pub mod trend;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, Materialization};
 pub use checkpoint::CampaignCheckpoint;
 pub use error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 pub use infra::Infra;

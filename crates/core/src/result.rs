@@ -26,6 +26,7 @@ pub struct CampaignResult {
     geo: GeoDb,
     population: Population,
     net_stats: NetStats,
+    materialized_hosts: usize,
     auth_packets: Vec<CapturedPacket>,
     telemetry: Option<TelemetrySnapshot>,
     degraded: Option<DegradedReport>,
@@ -49,6 +50,7 @@ impl CampaignResult {
         geo: GeoDb,
         population: Population,
         net_stats: NetStats,
+        materialized_hosts: usize,
         auth_packets: Vec<CapturedPacket>,
         telemetry: Option<TelemetrySnapshot>,
         degraded: Option<DegradedReport>,
@@ -68,6 +70,7 @@ impl CampaignResult {
             geo,
             population,
             net_stats,
+            materialized_hosts,
             auth_packets,
             telemetry,
             degraded,
@@ -124,6 +127,14 @@ impl CampaignResult {
     /// Simulator counters for the run.
     pub fn net_stats(&self) -> &NetStats {
         &self.net_stats
+    }
+
+    /// Peak live lazily-materialized hosts, summed over shards (0 in
+    /// eager mode, where every host exists for the whole run). At paper
+    /// scale this stays orders of magnitude below the population size —
+    /// the number that makes `scale == 1.0` fit in memory.
+    pub fn materialized_hosts(&self) -> usize {
+        self.materialized_hosts
     }
 
     /// The authoritative server's raw Q2/R1 capture.

@@ -88,17 +88,13 @@ pub fn interpolated_population(
                 merged = Some(part);
             }
             Some(base) => {
-                let taken: std::collections::HashSet<_> =
-                    base.resolvers.iter().map(|r| r.addr).collect();
-                part.resolvers.retain(|r| !taken.contains(&r.addr));
-                base.resolvers.append(&mut part.resolvers);
+                let taken: std::collections::HashSet<_> = base.resolvers.addrs().collect();
+                base.merge(&part, |addr| !taken.contains(&addr));
                 base.malicious_answers.append(&mut part.malicious_answers);
                 // Answer-org seeds may repeat across years; dedup by IP.
                 base.answer_orgs.extend(part.answer_orgs);
                 base.answer_orgs.sort_by_key(|&(ip, _)| ip);
                 base.answer_orgs.dedup_by_key(|&mut (ip, _)| ip);
-                base.off_port.append(&mut part.off_port);
-                base.upstreams.append(&mut part.upstreams);
             }
         }
     }
@@ -178,8 +174,7 @@ mod tests {
             population.resolvers.len()
         );
         // No duplicate addresses survived the merge.
-        let unique: std::collections::HashSet<_> =
-            population.resolvers.iter().map(|r| r.addr).collect();
+        let unique: std::collections::HashSet<_> = population.resolvers.addrs().collect();
         assert_eq!(unique.len(), population.resolvers.len());
     }
 

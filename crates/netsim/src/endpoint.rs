@@ -28,28 +28,49 @@ pub trait Endpoint {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Whether the endpoint holds no in-flight state, i.e. dropping it
+    /// now and rebuilding it from its configuration later would be
+    /// indistinguishable to the rest of the network. Lazily
+    /// materialized hosts that report `true` after an event are
+    /// released back to the registry, which is how a full-scale
+    /// population runs in a bounded-size host table. Default: `false`
+    /// (never released).
+    fn is_quiescent(&self) -> bool {
+        false
+    }
 }
 
 /// Operations an endpoint may perform while handling an event.
 ///
 /// Sends and timers are buffered and applied by the simulator after the
 /// handler returns, preserving deterministic event ordering.
+/// The send/timer buffers are borrowed from simulator-owned scratch
+/// vectors, so steady-state dispatch performs no allocations once the
+/// buffers have grown to the working-set size.
 #[derive(Debug)]
 pub struct Context<'a> {
     now: SimTime,
     local_addr: Ipv4Addr,
-    pub(crate) outgoing: Vec<Datagram>,
-    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) outgoing: &'a mut Vec<Datagram>,
+    pub(crate) timers: &'a mut Vec<(SimTime, u64)>,
     pub(crate) rng: &'a mut ChaCha12Rng,
 }
 
 impl<'a> Context<'a> {
-    pub(crate) fn new(now: SimTime, local_addr: Ipv4Addr, rng: &'a mut ChaCha12Rng) -> Self {
+    pub(crate) fn new(
+        now: SimTime,
+        local_addr: Ipv4Addr,
+        outgoing: &'a mut Vec<Datagram>,
+        timers: &'a mut Vec<(SimTime, u64)>,
+        rng: &'a mut ChaCha12Rng,
+    ) -> Self {
+        debug_assert!(outgoing.is_empty() && timers.is_empty());
         Self {
             now,
             local_addr,
-            outgoing: Vec::new(),
-            timers: Vec::new(),
+            outgoing,
+            timers,
             rng,
         }
     }

@@ -5,20 +5,36 @@
 //! simulator's hot path. SipHash's DoS resistance buys nothing there —
 //! the key space is simulator-controlled — so we use the multiply-xor
 //! scheme popularized by rustc's `FxHasher`, reimplemented here to keep
-//! the workspace dependency-free.
+//! the workspace dependency-free. The aliases are public so the other
+//! crates' campaign-startup paths (shard planning, address scattering,
+//! profile interning) can share the same hasher instead of paying
+//! SipHash per O(population) insert.
 //!
 //! [`HostId`]: crate::scheduler::HostId
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// `HashMap` keyed through [`FxHasher64`].
-pub(crate) type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+
+/// `HashSet` keyed through [`FxHasher64`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher64>>;
+
+/// Pre-sized [`FxHashMap`]: one allocation for an expected-size table.
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+/// Pre-sized [`FxHashSet`]: one allocation for an expected-size table.
+pub fn fx_set_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
 
 /// Multiply-xor hasher over 64-bit state. Not DoS-resistant; only for
 /// keys the simulator itself controls.
 #[derive(Debug, Default)]
-pub(crate) struct FxHasher64 {
+pub struct FxHasher64 {
     hash: u64,
 }
 

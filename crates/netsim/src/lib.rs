@@ -59,7 +59,7 @@
 pub mod datagram;
 pub mod endpoint;
 pub mod fault;
-mod fxhash;
+pub mod fxhash;
 pub mod latency;
 pub mod scheduler;
 pub mod sim;
@@ -70,9 +70,10 @@ pub mod time;
 pub use datagram::Datagram;
 pub use endpoint::{Context, Endpoint};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultScope};
+pub use fxhash::{fx_map_with_capacity, fx_set_with_capacity, FxHashMap, FxHashSet};
 pub use latency::{FixedLatency, HashLatency, LatencyModel};
 pub use scheduler::SchedulerKind;
-pub use sim::{SimNet, SimNetBuilder};
+pub use sim::{LazyRegistry, SimNet, SimNetBuilder};
 pub use stats::NetStats;
 pub use telemetry::NetTelemetry;
 pub use time::{EpochClock, SimTime};

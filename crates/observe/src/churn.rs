@@ -21,8 +21,9 @@
 //! re-joins comes back with its factory profile.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use orscope_resolver::population::{Population, PopulationConfig};
+use orscope_resolver::population::{HostList, Population, PopulationConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::resolve::{Resolution, Resolve, Update};
@@ -209,7 +210,7 @@ impl ChurnResolution {
             // as `Add`s, exactly like a discovery stream warming up.
             for &i in &self.active {
                 self.pending
-                    .push_back(Update::Add(Box::new(self.pool.resolvers[i].clone())));
+                    .push_back(Update::Add(Box::new(self.pool.resolver(i).to_planned())));
             }
             return;
         }
@@ -230,7 +231,7 @@ impl ChurnResolution {
             let index = self.active.swap_remove(slot);
             self.spares.push(index);
             self.pending
-                .push_back(Update::Remove(self.pool.resolvers[index].addr));
+                .push_back(Update::Remove(self.pool.resolvers.addr(index)));
         }
         for _ in 0..joins {
             if self.spares.is_empty() {
@@ -239,8 +240,9 @@ impl ChurnResolution {
             let slot = rng.below(self.spares.len());
             let index = self.spares.swap_remove(slot);
             self.active.push(index);
-            self.pending
-                .push_back(Update::Add(Box::new(self.pool.resolvers[index].clone())));
+            self.pending.push_back(Update::Add(Box::new(
+                self.pool.resolver(index).to_planned(),
+            )));
         }
         for _ in 0..drifts {
             if self.active.is_empty() {
@@ -252,8 +254,8 @@ impl ChurnResolution {
             // distribution rather than toward any single class.
             let donor = rng.below(self.pool.resolvers.len());
             self.pending.push_back(Update::Drift {
-                addr: self.pool.resolvers[member].addr,
-                to: Box::new(self.pool.resolvers[donor].policy.clone()),
+                addr: self.pool.resolvers.addr(member),
+                to: Box::new((**self.pool.resolver(donor).policy).clone()),
             });
         }
     }
@@ -273,11 +275,12 @@ impl Resolution for ChurnResolution {
         Population {
             year: self.pool.year,
             scale: self.pool.scale,
-            resolvers: Vec::new(),
+            resolvers: HostList::default(),
             malicious_answers: self.pool.malicious_answers.clone(),
             answer_orgs: self.pool.answer_orgs.clone(),
             off_port: self.pool.off_port.clone(),
             upstreams: self.pool.upstreams.clone(),
+            table: Arc::clone(&self.pool.table),
         }
     }
 }

@@ -203,7 +203,10 @@ mod tests {
         assert!(trends.contains("\"series\""), "{trends}");
 
         let metrics = get(addr, "/metrics");
-        assert!(metrics.contains("orscope_observe_http_requests"), "{metrics}");
+        assert!(
+            metrics.contains("orscope_observe_http_requests"),
+            "{metrics}"
+        );
         assert!(metrics.contains("surface=\"service\""), "{metrics}");
 
         let index = get(addr, "/");

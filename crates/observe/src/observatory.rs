@@ -25,7 +25,7 @@ use orscope_dns_wire::Rcode;
 use orscope_netsim::EpochClock;
 use orscope_resolver::paper::Year;
 use orscope_resolver::population::PopulationConfig;
-use orscope_resolver::{PlannedResolver, ProfileClass};
+use orscope_resolver::{HostList, PlannedResolver, ProfileClass};
 use orscope_telemetry::{Collector, Counter, Gauge, Scope, TelemetrySnapshot};
 use parking_lot::{Mutex, RwLock};
 use serde_json::json;
@@ -187,6 +187,7 @@ pub struct ObservatoryShared {
     service: Collector,
     epochs_gauge: Gauge,
     population_gauge: Gauge,
+    materialized_gauge: Gauge,
     joins_counter: Counter,
     leaves_counter: Counter,
     drifts_counter: Counter,
@@ -206,6 +207,7 @@ impl ObservatoryShared {
             campaign_telemetry: Mutex::new(TelemetrySnapshot::default()),
             epochs_gauge: service.gauge(Scope::Shard, "observe.epochs_completed"),
             population_gauge: service.gauge(Scope::Shard, "observe.population"),
+            materialized_gauge: service.gauge(Scope::Shard, "observe.materialized_hosts"),
             joins_counter: service.counter(Scope::Shard, "observe.churn_joins"),
             leaves_counter: service.counter(Scope::Shard, "observe.churn_leaves"),
             drifts_counter: service.counter(Scope::Shard, "observe.churn_drifts"),
@@ -418,11 +420,28 @@ impl<R: Resolve> Observatory<R> {
                 *class_counts.entry(class.as_str().to_string()).or_insert(0) += 1;
             }
 
+            // The epoch membership re-enters the compact representation
+            // here: each member's (owned) policy is interned against the
+            // shared pool table, so a round's storage stays ~10 bytes
+            // per host no matter how large the membership grows. For the
+            // built-in churn model every policy is already a pool
+            // profile and interning allocates nothing new.
             let mut population = statics.clone();
-            population.resolvers = members.values().cloned().collect();
+            let table = Arc::make_mut(&mut population.table);
+            let mut resolvers = HostList::with_capacity(members.len());
+            for member in members.values() {
+                let profile = table.intern(member.policy.clone());
+                let country = table.intern_country(member.country);
+                resolvers.push(member.addr, profile, country);
+            }
+            population.resolvers = resolvers;
 
             let campaign_config = CampaignConfig::new(config.year, config.scale)
-                .with_seed(config.seed.wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE)))
+                .with_seed(
+                    config
+                        .seed
+                        .wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE)),
+                )
                 .with_shards(config.shards)
                 .with_telemetry(config.telemetry);
             let round = match Campaign::new(campaign_config).run_with_population(population) {
@@ -466,6 +485,9 @@ impl<R: Resolve> Observatory<R> {
                 .store(members.len() as u64, Ordering::SeqCst);
             shared.epochs_gauge.set(epochs_completed);
             shared.population_gauge.set(members.len() as u64);
+            shared
+                .materialized_gauge
+                .set(round.materialized_hosts() as u64);
             if epoch > 0 {
                 shared.joins_counter.add(joins);
             }
@@ -627,7 +649,10 @@ mod tests {
         let mut reseeded = first;
         reseeded.seed = 999;
         let err = Observatory::new(reseeded).unwrap().run().unwrap_err();
-        assert!(matches!(err, ServeError::IncompatibleCheckpoint(_)), "{err}");
+        assert!(
+            matches!(err, ServeError::IncompatibleCheckpoint(_)),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

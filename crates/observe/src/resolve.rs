@@ -87,20 +87,27 @@ mod tests {
 
     impl Resolution for Scripted {
         fn poll_update(&mut self, epoch: u64) -> Option<Update> {
-            self.batches
-                .get_mut(epoch as usize)
-                .and_then(|batch| if batch.is_empty() { None } else { Some(batch.remove(0)) })
+            self.batches.get_mut(epoch as usize).and_then(|batch| {
+                if batch.is_empty() {
+                    None
+                } else {
+                    Some(batch.remove(0))
+                }
+            })
         }
 
         fn seed_population(&self) -> Population {
+            use orscope_resolver::population::HostList;
+            use orscope_resolver::ProfileTable;
             Population {
                 year: Year::Y2018,
                 scale: 1_000.0,
-                resolvers: Vec::new(),
+                resolvers: HostList::default(),
                 malicious_answers: Vec::new(),
                 answer_orgs: Vec::new(),
-                off_port: Vec::new(),
-                upstreams: Vec::new(),
+                off_port: HostList::default(),
+                upstreams: HostList::default(),
+                table: std::sync::Arc::new(ProfileTable::new()),
             }
         }
     }
@@ -112,10 +119,7 @@ mod tests {
 
         fn resolve(&self, _target: &PopulationConfig) -> Scripted {
             Scripted {
-                batches: vec![
-                    vec![Update::Remove(Ipv4Addr::new(1, 2, 3, 4))],
-                    Vec::new(),
-                ],
+                batches: vec![vec![Update::Remove(Ipv4Addr::new(1, 2, 3, 4))], Vec::new()],
             }
         }
     }

@@ -309,7 +309,11 @@ mod tests {
         let mut transitions = TransitionMatrix::default();
         for _ in 0..population {
             transitions.record(
-                if epoch == 0 { None } else { Some(ProfileClass::Honest) },
+                if epoch == 0 {
+                    None
+                } else {
+                    Some(ProfileClass::Honest)
+                },
                 ProfileClass::Honest,
             );
         }

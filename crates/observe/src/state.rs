@@ -79,8 +79,8 @@ impl ObservatoryCheckpoint {
         fs::create_dir_all(dir)?;
         let path = dir.join(Self::FILE_NAME);
         let staging = dir.join(format!("{}.tmp", Self::FILE_NAME));
-        let mut bytes = serde_json::to_vec_pretty(self)
-            .map_err(|err| io::Error::other(err.to_string()))?;
+        let mut bytes =
+            serde_json::to_vec_pretty(self).map_err(|err| io::Error::other(err.to_string()))?;
         bytes.push(b'\n');
         fs::write(&staging, bytes)?;
         fs::rename(&staging, &path)?;
@@ -123,10 +123,8 @@ mod tests {
     }
 
     fn scratch(label: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "orscope-state-test-{label}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("orscope-state-test-{label}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

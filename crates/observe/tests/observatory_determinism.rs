@@ -61,10 +61,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     let dir = scratch("resumed");
     let mut first_half = config("resumed", 2, EPOCHS / 2);
     first_half.state_dir = dir.clone();
-    let report = Observatory::new(first_half)
-        .unwrap()
-        .run()
-        .unwrap();
+    let report = Observatory::new(first_half).unwrap().run().unwrap();
     assert_eq!(report.epochs_completed, EPOCHS / 2);
     assert_eq!(report.resumed_from, None);
 

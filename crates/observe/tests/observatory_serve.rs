@@ -12,7 +12,9 @@ use orscope_resolver::paper::Year;
 fn get(addr: SocketAddr, path: &str) -> (String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
-        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .unwrap();
     let mut response = Vec::new();
     stream.read_to_end(&mut response).unwrap();
@@ -31,10 +33,8 @@ fn serves_live_documents_while_epochs_run_then_shuts_down_cleanly() {
     // A small wall-clock pause per epoch so the surface is observably
     // live *during* the run, not only after it.
     config.interval = Duration::from_millis(50);
-    config.state_dir = std::env::temp_dir().join(format!(
-        "orscope-serve-test-{}",
-        std::process::id()
-    ));
+    config.state_dir =
+        std::env::temp_dir().join(format!("orscope-serve-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&config.state_dir);
     let state_dir = config.state_dir.clone();
 
@@ -83,10 +83,33 @@ fn serves_live_documents_while_epochs_run_then_shuts_down_cleanly() {
 
     let (_, metrics) = get(addr, "/metrics");
     let metrics = String::from_utf8(metrics).unwrap();
-    assert!(metrics.contains("orscope_observe_epochs_completed"), "{metrics}");
+    assert!(
+        metrics.contains("orscope_observe_epochs_completed"),
+        "{metrics}"
+    );
     assert!(
         metrics.contains("surface=\"campaign\""),
         "campaign telemetry absorbed into /metrics"
+    );
+
+    // Lazy materialization surfaces on the service metrics: each round
+    // touches every member once, but the peak number of *live* host
+    // slots stays below the full membership — that gap is what lets a
+    // serve run scale far past what eager registration could hold.
+    let parse_gauge = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|line| line.starts_with(name))
+            .and_then(|line| line.rsplit(' ').next())
+            .and_then(|value| value.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from /metrics:\n{metrics}"))
+    };
+    let materialized = parse_gauge("orscope_observe_materialized_hosts");
+    let population = parse_gauge("orscope_observe_population");
+    assert!(materialized >= 1.0, "lazy rounds materialize hosts");
+    assert!(
+        materialized < population,
+        "peak live hosts ({materialized}) must stay below membership ({population})"
     );
 
     // Graceful shutdown: accept loop exits, checkpoint was flushed.

@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -31,8 +32,10 @@ pub struct SlotSchedule {
     /// Campaign-wide packet rate shared by every shard.
     pub total_rate_pps: u64,
     /// Global scan index of each entry in `ProberConfig::targets`
-    /// (same length, same order).
-    pub indices: Vec<u64>,
+    /// (same length, same order). Shared: at full paper scale this is
+    /// hundreds of megabytes, and the campaign supervisor keeps a copy
+    /// for the retry plan, so cloning must not duplicate the buffer.
+    pub indices: Arc<Vec<u64>>,
 }
 
 /// Prober configuration.
@@ -40,8 +43,10 @@ pub struct SlotSchedule {
 pub struct ProberConfig {
     /// The measurement zone (e.g. `ucfsealresearch.net`).
     pub zone: Name,
-    /// Targets in scan order (the campaign pre-permutes them).
-    pub targets: Vec<Ipv4Addr>,
+    /// Targets in scan order (the campaign pre-permutes them). Shared
+    /// for the same reason as [`SlotSchedule::indices`]: the prober only
+    /// ever reads this list, and at full scale it is too large to clone.
+    pub targets: Arc<Vec<Ipv4Addr>>,
     /// Send rate in packets per second.
     pub rate_pps: u64,
     /// Names per subdomain cluster.
@@ -65,10 +70,10 @@ pub struct ProberConfig {
 
 impl ProberConfig {
     /// A 2018-style configuration: 100k pps, 2-second reuse window.
-    pub fn new(zone: Name, targets: Vec<Ipv4Addr>) -> Self {
+    pub fn new(zone: Name, targets: impl Into<Arc<Vec<Ipv4Addr>>>) -> Self {
         Self {
             zone,
-            targets,
+            targets: targets.into(),
             rate_pps: 100_000,
             cluster_capacity: orscope_authns::scheme::CLUSTER_CAPACITY,
             base_cluster: 0,
@@ -779,7 +784,7 @@ mod tests {
         let legacy = sent_times(None);
         let slotted = sent_times(Some(SlotSchedule {
             total_rate_pps: 1_000,
-            indices: (0..250).collect(),
+            indices: Arc::new((0..250).collect()),
         }));
         assert_eq!(legacy.len(), 250);
         assert_eq!(legacy, slotted);
@@ -802,7 +807,7 @@ mod tests {
             |config| {
                 config.slots = Some(SlotSchedule {
                     total_rate_pps: 1_000,
-                    indices: vec![100],
+                    indices: Arc::new(vec![100]),
                 });
             },
         );

@@ -110,7 +110,9 @@ fn interrupted_scan_resumes_to_full_coverage() {
     // targets are re-appended so their probes are re-sent.
     let resume_handle = ProberHandle::new();
     let mut resume_config = config();
-    resume_config.targets.extend(remaining_targets);
+    let mut resume_targets = targets();
+    resume_targets.extend(remaining_targets);
+    resume_config.targets = resume_targets.into();
     let mut net3 = build_net(true);
     net3.register(
         PROBER,

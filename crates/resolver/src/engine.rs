@@ -97,7 +97,7 @@ struct Pending {
 /// calls for a genuine answer.
 #[derive(Debug)]
 pub struct ProfiledResolver {
-    policy: ResponsePolicy,
+    policy: std::sync::Arc<ResponsePolicy>,
     config: ResolverConfig,
     cache: DnsCache,
     /// Zone apex -> (name-server address, expiry): the referral cache.
@@ -120,6 +120,16 @@ pub struct ProfiledResolver {
 impl ProfiledResolver {
     /// Creates a resolver with `policy`, recursing via `config`.
     pub fn new(policy: ResponsePolicy, config: ResolverConfig) -> Self {
+        Self::new_shared(std::sync::Arc::new(policy), config)
+    }
+
+    /// Creates a resolver sharing an interned `policy`.
+    ///
+    /// Lazy materialization builds one resolver per first packet; taking
+    /// the policy from the population's
+    /// [`ProfileTable`](crate::intern::ProfileTable) makes that
+    /// construction allocation-free on the policy side.
+    pub fn new_shared(policy: std::sync::Arc<ResponsePolicy>, config: ResolverConfig) -> Self {
         let cache = DnsCache::new(config.cache_capacity);
         Self {
             policy,
@@ -151,6 +161,11 @@ impl ProfiledResolver {
 
     /// The behaviour profile.
     pub fn policy(&self) -> &ResponsePolicy {
+        &self.policy
+    }
+
+    /// The behaviour profile, shared.
+    pub fn policy_shared(&self) -> &std::sync::Arc<ResponsePolicy> {
         &self.policy
     }
 
@@ -733,6 +748,15 @@ impl Endpoint for ProfiledResolver {
         let before = self.stats;
         self.on_timer(token, ctx);
         self.telemetry.observe(&before, &self.stats);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        // No in-flight recursion or relay: rebuilding this resolver from
+        // its (shared) policy and config later is indistinguishable on
+        // the wire, because campaign probes carry unique qnames that
+        // never hit the dropped caches. The simulator uses this to
+        // release lazily materialized hosts after each event.
+        self.pending.is_empty() && self.forward_pending.is_empty()
     }
 }
 

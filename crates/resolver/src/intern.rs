@@ -1,0 +1,199 @@
+//! Profile interning: the compact half of paper-scale populations.
+//!
+//! `Population::generate` draws every host's behavior from a small
+//! number of calibrated year-spec cells, so a full-scale population of
+//! millions of responders contains only a few hundred *distinct*
+//! [`ResponsePolicy`] values (banner variants included). A
+//! [`ProfileTable`] stores each distinct policy exactly once behind an
+//! `Arc` and hands out dense `u32` ids; a planned responder is then a
+//! packed IPv4 address plus a profile id plus a country id — a few
+//! bytes of struct-of-arrays storage instead of an owned policy with
+//! its heap-allocated banners and URLs (see
+//! [`crate::population::HostList`]).
+//!
+//! The `Arc` is deliberate: lazily materialized resolver endpoints
+//! share the interned policy instead of cloning it, so materializing a
+//! host on first packet delivery allocates no policy state at all.
+
+use std::sync::Arc;
+
+use orscope_netsim::fxhash::FxHashMap;
+
+use crate::profile::ResponsePolicy;
+
+/// Dense index of a policy in a [`ProfileTable`].
+pub type ProfileId = u32;
+
+/// Country id marking "no country assigned".
+pub const COUNTRY_NONE: u16 = u16::MAX;
+
+/// An interning table over [`ResponsePolicy`] values (and the static
+/// country labels that ride along with them).
+///
+/// Ids are assigned in first-intern order, so identically generated
+/// populations produce identical tables — the property the sharding
+/// and observatory layers rely on when they exchange bare ids.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileTable {
+    profiles: Vec<Arc<ResponsePolicy>>,
+    index: FxHashMap<Arc<ResponsePolicy>, ProfileId>,
+    countries: Vec<&'static str>,
+    country_index: FxHashMap<&'static str, u16>,
+}
+
+impl ProfileTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `policy`, interning it on first sight.
+    pub fn intern(&mut self, policy: ResponsePolicy) -> ProfileId {
+        // `Arc<T>: Borrow<T>` lets the owned-key map answer a
+        // borrowed-key lookup, so the hit path clones nothing.
+        if let Some(&id) = self.index.get(&policy) {
+            return id;
+        }
+        let id = ProfileId::try_from(self.profiles.len()).expect("profile table full");
+        let shared = Arc::new(policy);
+        self.profiles.push(Arc::clone(&shared));
+        self.index.insert(shared, id);
+        id
+    }
+
+    /// The id of `policy` if it is already interned.
+    pub fn lookup(&self, policy: &ResponsePolicy) -> Option<ProfileId> {
+        self.index.get(policy).copied()
+    }
+
+    /// The interned policy for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: ProfileId) -> &Arc<ResponsePolicy> {
+        &self.profiles[id as usize]
+    }
+
+    /// Number of distinct interned policies.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no policy has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Interns a country label, mapping `None` to [`COUNTRY_NONE`].
+    pub fn intern_country(&mut self, country: Option<&'static str>) -> u16 {
+        let Some(country) = country else {
+            return COUNTRY_NONE;
+        };
+        if let Some(&id) = self.country_index.get(country) {
+            return id;
+        }
+        let id = u16::try_from(self.countries.len()).expect("country table full");
+        assert!(id != COUNTRY_NONE, "country table full");
+        self.countries.push(country);
+        self.country_index.insert(country, id);
+        id
+    }
+
+    /// The country label for `id` ([`COUNTRY_NONE`] maps back to
+    /// `None`).
+    pub fn country(&self, id: u16) -> Option<&'static str> {
+        if id == COUNTRY_NONE {
+            None
+        } else {
+            Some(self.countries[id as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::Year;
+    use crate::population::{Population, PopulationConfig};
+    use crate::profile::ResponsePolicy;
+    use orscope_threatintel::Category;
+    use std::net::Ipv4Addr;
+
+    // Deterministic twins of the proptests in
+    // `crates/resolver/tests/properties.rs`, kept as plain unit tests
+    // so the properties are exercised even when the workspace builds
+    // without the proptest harness.
+
+    fn assorted_policies() -> Vec<ResponsePolicy> {
+        vec![
+            ResponsePolicy::honest(),
+            ResponsePolicy::refusing(),
+            ResponsePolicy::honest().with_version_banner("9.8.2rc1"),
+            ResponsePolicy::honest().with_version_banner("dnsmasq-2.51"),
+            ResponsePolicy::forwarder(Ipv4Addr::new(9, 9, 9, 9)),
+            ResponsePolicy::malicious(
+                Ipv4Addr::new(208, 91, 197, 91),
+                true,
+                false,
+                Category::Malware,
+            ),
+        ]
+    }
+
+    #[test]
+    fn interning_round_trips_and_deduplicates() {
+        let mut table = ProfileTable::new();
+        let policies = assorted_policies();
+        let ids: Vec<_> = policies.iter().cloned().map(|p| table.intern(p)).collect();
+        // Round-trip: the id resolves back to an equal policy.
+        for (policy, &id) in policies.iter().zip(&ids) {
+            assert_eq!(table.get(id).as_ref(), policy);
+            assert_eq!(table.lookup(policy), Some(id));
+        }
+        // Distinct policies get distinct ids.
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), policies.len());
+        // Re-interning is a no-op.
+        for (policy, &id) in policies.iter().zip(&ids) {
+            assert_eq!(table.intern(policy.clone()), id);
+        }
+        assert_eq!(table.len(), policies.len());
+    }
+
+    #[test]
+    fn country_ids_round_trip() {
+        let mut table = ProfileTable::new();
+        assert_eq!(table.intern_country(None), COUNTRY_NONE);
+        let us = table.intern_country(Some("US"));
+        let cn = table.intern_country(Some("CN"));
+        assert_ne!(us, cn);
+        assert_eq!(table.intern_country(Some("US")), us);
+        assert_eq!(table.country(us), Some("US"));
+        assert_eq!(table.country(COUNTRY_NONE), None);
+    }
+
+    #[test]
+    fn generated_population_table_is_exactly_its_unique_policies() {
+        for year in Year::ALL {
+            let mut config = PopulationConfig::new(year, 40_000.0);
+            config.forwarder_fraction = 0.2;
+            config.off_port_responders = 5;
+            let pop = Population::generate(&config);
+            let mut seen: std::collections::HashSet<ResponsePolicy> =
+                std::collections::HashSet::new();
+            for host in pop.resolvers().chain(pop.off_port()).chain(pop.upstreams()) {
+                // Round-trip: every host's policy is interned and its
+                // id resolves back to an equal policy.
+                let id = pop
+                    .table()
+                    .lookup(host.policy)
+                    .expect("host policy interned");
+                assert_eq!(pop.table().get(id), host.policy);
+                seen.insert((**host.policy).clone());
+            }
+            // Table size == number of unique policies in use.
+            assert_eq!(pop.table().len(), seen.len(), "{year}");
+        }
+    }
+}

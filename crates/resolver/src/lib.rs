@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod intern;
 pub mod paper;
 pub mod population;
 pub mod profile;
@@ -31,7 +32,8 @@ pub mod telemetry;
 
 pub use cache::DnsCache;
 pub use engine::{ProfiledResolver, ResolverConfig};
-pub use population::{PlannedResolver, Population, PopulationConfig};
+pub use intern::{ProfileId, ProfileTable, COUNTRY_NONE};
+pub use population::{HostList, HostRef, PlannedResolver, Population, PopulationConfig};
 pub use profile::{
     AnswerData, ForwardPolicy, ImmediateResponse, ProfileClass, RecursePolicy, ResponseAction,
     ResponsePolicy,

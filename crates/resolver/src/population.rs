@@ -6,15 +6,25 @@
 //! year's calibrated cells. At `scale == 1.0` the population reproduces
 //! the paper's tables exactly; at larger scales every cell is reduced by
 //! the largest-remainder method so marginals stay consistent.
+//!
+//! Hosts are stored struct-of-arrays in a [`HostList`] — packed address,
+//! interned profile id, country id — so the full-scale population of
+//! ~6.5M responders costs ~10 bytes per host instead of an owned
+//! [`ResponsePolicy`] each. Consumers iterate [`HostRef`]s, which borrow
+//! the shared [`ProfileTable`]; [`PlannedResolver`] remains the owned
+//! exchange type for code (churn, the observatory) that tracks
+//! individual hosts.
 
-use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use orscope_dns_wire::Rcode;
 use orscope_ipspace::AllowedSpace;
 use orscope_ipspace::ScanPermutation;
+use orscope_netsim::fxhash::{fx_set_with_capacity, FxHashMap, FxHashSet};
 use orscope_threatintel::Category;
 
+use crate::intern::{ProfileId, ProfileTable, COUNTRY_NONE};
 use crate::paper::{AnswerClass, IncorrectPool, Year, YearSpec};
 use crate::profile::{
     AnswerData, ImmediateResponse, RecursePolicy, ResponseAction, ResponsePolicy,
@@ -57,7 +67,11 @@ impl PopulationConfig {
     }
 }
 
-/// One planned responder.
+/// One planned responder, with an owned policy.
+///
+/// This is the *exchange* representation: churn updates and observatory
+/// membership carry it. Bulk storage uses [`HostList`] instead; a
+/// [`HostRef`] converts via [`HostRef::to_planned`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlannedResolver {
     /// The host's address in the probeable space.
@@ -67,6 +81,106 @@ pub struct PlannedResolver {
     /// Country tag for malicious responders (drives the geolocation
     /// analysis of §IV-C2); `None` for everything else.
     pub country: Option<&'static str>,
+}
+
+/// Struct-of-arrays storage for planned hosts: packed IPv4 address,
+/// interned profile id, country id — ~10 bytes per host.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostList {
+    addrs: Vec<u32>,
+    profiles: Vec<ProfileId>,
+    countries: Vec<u16>,
+}
+
+impl HostList {
+    /// An empty list with room for `n` hosts.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            addrs: Vec::with_capacity(n),
+            profiles: Vec::with_capacity(n),
+            countries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a host.
+    pub fn push(&mut self, addr: Ipv4Addr, profile: ProfileId, country: u16) {
+        self.addrs.push(u32::from(addr));
+        self.profiles.push(profile);
+        self.countries.push(country);
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The address of host `i`.
+    pub fn addr(&self, i: usize) -> Ipv4Addr {
+        Ipv4Addr::from(self.addrs[i])
+    }
+
+    /// The profile id of host `i`.
+    pub fn profile_id(&self, i: usize) -> ProfileId {
+        self.profiles[i]
+    }
+
+    /// The country id of host `i`.
+    pub fn country_id(&self, i: usize) -> u16 {
+        self.countries[i]
+    }
+
+    /// Replaces the profile id of host `i`.
+    pub fn set_profile(&mut self, i: usize, profile: ProfileId) {
+        self.profiles[i] = profile;
+    }
+
+    /// Iterates addresses without touching the profile table (the shard
+    /// planner and target builder need nothing else).
+    pub fn addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.addrs.iter().map(|&a| Ipv4Addr::from(a))
+    }
+
+    /// The host at `i`, resolved against `table`.
+    pub fn get<'a>(&self, i: usize, table: &'a ProfileTable) -> HostRef<'a> {
+        HostRef {
+            addr: self.addr(i),
+            policy: table.get(self.profiles[i]),
+            country: table.country(self.countries[i]),
+        }
+    }
+
+    /// Iterates hosts resolved against `table`.
+    pub fn iter<'a>(&'a self, table: &'a ProfileTable) -> impl Iterator<Item = HostRef<'a>> + 'a {
+        (0..self.len()).map(move |i| self.get(i, table))
+    }
+}
+
+/// A borrowed view of one planned host: the compact record resolved
+/// against its [`ProfileTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostRef<'a> {
+    /// The host's address in the probeable space.
+    pub addr: Ipv4Addr,
+    /// Its behaviour, shared with every other host of the same profile.
+    pub policy: &'a Arc<ResponsePolicy>,
+    /// Country tag for malicious responders; `None` for everything else.
+    pub country: Option<&'static str>,
+}
+
+impl HostRef<'_> {
+    /// Materializes an owned [`PlannedResolver`].
+    pub fn to_planned(&self) -> PlannedResolver {
+        PlannedResolver {
+            addr: self.addr,
+            policy: (**self.policy).clone(),
+            country: self.country,
+        }
+    }
 }
 
 /// A unique malicious answer address with its category and packet count,
@@ -88,17 +202,21 @@ pub struct Population {
     pub year: Year,
     /// The scale it was generated at.
     pub scale: f64,
-    /// Every responding host.
-    pub resolvers: Vec<PlannedResolver>,
+    /// Every responding host (compact; iterate via
+    /// [`Population::resolvers`]).
+    pub resolvers: HostList,
     /// Unique malicious answer addresses (seed data for the threat DB).
     pub malicious_answers: Vec<MaliciousAnswer>,
     /// Org-name seed data for the geolocation DB (Table VIII orgs).
     pub answer_orgs: Vec<(Ipv4Addr, &'static str)>,
     /// Off-port (blind-spot) responders, not counted in R2.
-    pub off_port: Vec<PlannedResolver>,
+    pub off_port: HostList,
     /// Shared upstream recursive resolvers serving the forwarder
     /// population; registered on the network but never probed.
-    pub upstreams: Vec<PlannedResolver>,
+    pub upstreams: HostList,
+    /// The interned profile/country table all three lists resolve
+    /// against; shared (not cloned) by shard sub-populations.
+    pub table: Arc<ProfileTable>,
 }
 
 impl Population {
@@ -110,7 +228,18 @@ impl Population {
     pub fn generate(config: &PopulationConfig) -> Population {
         assert!(config.scale > 0.0, "scale must be positive");
         let spec = YearSpec::get(config.year);
-        let mut used: HashSet<Ipv4Addr> = config.reserved_hosts.iter().copied().collect();
+        // Pre-sized FxHash set: this is O(population) inserts on the
+        // campaign-startup path, and at full scale a SipHash map that
+        // rehashes its way up to ~7M entries is measurable.
+        let expected_hosts = (spec.r2 as f64 / config.scale).round() as usize;
+        let mut used: FxHashSet<Ipv4Addr> = fx_set_with_capacity(
+            expected_hosts
+                + expected_hosts / 4
+                + config.off_port_responders as usize
+                + config.reserved_hosts.len()
+                + 64,
+        );
+        used.extend(config.reserved_hosts.iter().copied());
 
         // ---- 1. Scale every atom with one largest-remainder pass ----
         let mut atoms: Vec<u64> = Vec::new();
@@ -160,8 +289,12 @@ impl Population {
         let mut url_values = synth.url_pool(url_total, config.scale);
         let mut str_values = synth.str_pool(str_total, config.scale);
 
-        // ---- 3. Expand cells into policies ----
-        let mut policies: Vec<(ResponsePolicy, Option<&'static str>)> = Vec::new();
+        // ---- 3. Expand cells into interned policies ----
+        // Each planned host is (profile id, country id); owned policy
+        // values live once in the working table. Ids are compacted to
+        // first-use order in step 5.
+        let mut table = ProfileTable::new();
+        let mut planned: Vec<(ProfileId, u16)> = Vec::with_capacity(expected_hosts);
         // Correct/None cells.
         let n_correct_scaled: u64 = spec
             .flag_cells
@@ -208,7 +341,7 @@ impl Population {
                         version_banner: None,
                     },
                 };
-                policies.push((policy, None));
+                planned.push((table.intern(policy), COUNTRY_NONE));
             }
         }
         // Incorrect slices, drawing answer values from the pools.
@@ -253,28 +386,27 @@ impl Population {
                     version_banner: None,
                 };
                 let country = category.is_some().then(|| countries.next()).flatten();
-                policies.push((policy, country));
+                let cid = table.intern_country(country);
+                planned.push((table.intern(policy), cid));
             }
         }
         // Empty-question responders.
         for (cell, &n) in spec.empty_question.iter().zip(eq_counts) {
             for _ in 0..n {
-                policies.push((
-                    ResponsePolicy {
-                        action: ResponseAction::Immediate(ImmediateResponse {
-                            answer: cell.answer.clone(),
-                            ra: cell.ra,
-                            aa: cell.aa,
-                            rcode: cell.rcode,
-                            empty_question: true,
-                            src_port: None,
-                            malformed_rdata: false,
-                        }),
-                        malicious_category: None,
-                        version_banner: None,
-                    },
-                    None,
-                ));
+                let policy = ResponsePolicy {
+                    action: ResponseAction::Immediate(ImmediateResponse {
+                        answer: cell.answer.clone(),
+                        ra: cell.ra,
+                        aa: cell.aa,
+                        rcode: cell.rcode,
+                        empty_question: true,
+                        src_port: None,
+                        malformed_rdata: false,
+                    }),
+                    malicious_category: None,
+                    version_banner: None,
+                };
+                planned.push((table.intern(policy), COUNTRY_NONE));
             }
         }
 
@@ -291,7 +423,11 @@ impl Population {
             "Microsoft DNS 6.1.7601",
             "unbound 1.6.7",
         ];
-        for (i, (policy, _)) in policies.iter_mut().enumerate() {
+        // (base profile, banner) -> banner-equipped profile, so a
+        // full-scale run interns each variant once instead of cloning
+        // millions of policies.
+        let mut banner_memo: FxHashMap<(ProfileId, usize), ProfileId> = FxHashMap::default();
+        for (i, (profile, _)) in planned.iter_mut().enumerate() {
             // Mix the index so hiding and banner choice decorrelate and
             // all banners appear with uneven, realistic shares.
             let h = (i as u64)
@@ -310,19 +446,33 @@ impl Population {
                     33..=34 => 4, // ~6%
                     _ => 5,       // ~3%
                 };
-                policy.version_banner = Some(BANNERS[idx].to_owned());
+                *profile = match banner_memo.get(&(*profile, idx)) {
+                    Some(&bannered) => bannered,
+                    None => {
+                        let policy = ResponsePolicy::clone(table.get(*profile))
+                            .with_version_banner(BANNERS[idx]);
+                        let bannered = table.intern(policy);
+                        banner_memo.insert((*profile, idx), bannered);
+                        bannered
+                    }
+                };
             }
         }
 
         // ---- 3b. Demote a fraction of plain honest resolvers to CPE
         // forwarders behind shared upstream resolvers ----
-        let mut upstream_policies: Vec<ResponsePolicy> = Vec::new();
+        // The forwarder policy embeds its upstream's address, which is
+        // assigned only in step 4; demoted hosts carry a sentinel id
+        // until the patch loop below interns the real Forward policies.
+        const FORWARDER_PENDING: ProfileId = ProfileId::MAX;
+        let mut n_upstreams = 0usize;
+        let mut upstream_profile: Option<ProfileId> = None;
         if config.forwarder_fraction > 0.0 {
-            let plain_honest: Vec<usize> = policies
+            let plain_honest: Vec<usize> = planned
                 .iter()
                 .enumerate()
-                .filter(|(_, (p, _))| {
-                    matches!(&p.action, ResponseAction::Recurse(rp)
+                .filter(|(_, (profile, _))| {
+                    matches!(&table.get(*profile).action, ResponseAction::Recurse(rp)
                         if rp.ra && !rp.aa && rp.rcode_override.is_none())
                 })
                 .map(|(i, _)| i)
@@ -330,38 +480,24 @@ impl Population {
             let n_forwarders =
                 (plain_honest.len() as f64 * config.forwarder_fraction.clamp(0.0, 1.0)) as usize;
             // One shared upstream per ~500 forwarders, at least one.
-            let n_upstreams = (n_forwarders.div_ceil(500)).max(usize::from(n_forwarders > 0));
-            for u in 0..n_upstreams {
+            n_upstreams = (n_forwarders.div_ceil(500)).max(usize::from(n_forwarders > 0));
+            if n_upstreams > 0 {
                 let mut policy = ResponsePolicy::honest();
                 if let ResponseAction::Recurse(rp) = &mut policy.action {
                     rp.auth_duplicates = spec.auth_dup_base;
                 }
-                let _ = u;
-                upstream_policies.push(policy);
+                upstream_profile = Some(table.intern(policy));
             }
-            // Addresses are assigned below; temporarily mark forwarders
-            // with a placeholder upstream and patch after address
-            // assignment (the upstream address is not yet known).
             for (k, &idx) in plain_honest.iter().take(n_forwarders).enumerate() {
-                policies[idx].0 = ResponsePolicy {
-                    action: ResponseAction::Forward(crate::profile::ForwardPolicy {
-                        upstream: Ipv4Addr::UNSPECIFIED,
-                        ra_override: None,
-                    }),
-                    malicious_category: None,
-                    version_banner: None,
-                };
-                // Stash the upstream index in the country slot? No —
-                // record separately.
+                planned[idx].0 = FORWARDER_PENDING;
                 forwarder_upstream_index.push((idx, k % n_upstreams));
             }
         }
 
         // ---- 4. Scatter addresses over the probeable space ----
         let space = AllowedSpace::probeable();
-        let total_hosts = policies.len() as u64 + config.off_port_responders;
         let mut ranks = ScanPermutation::new(space.len(), config.seed ^ 0xADD2).iter();
-        let mut next_addr = |used: &mut HashSet<Ipv4Addr>| -> Ipv4Addr {
+        let mut next_addr = |used: &mut FxHashSet<Ipv4Addr>| -> Ipv4Addr {
             loop {
                 let rank = ranks.next().expect("address space exhausted") as u64;
                 // Ranks are u32 only when the space fits; probeable space
@@ -372,48 +508,63 @@ impl Population {
                 }
             }
         };
-        let _ = total_hosts;
-        let mut resolvers = Vec::with_capacity(policies.len());
-        for (policy, country) in policies {
+        let mut resolvers = HostList::with_capacity(planned.len());
+        for &(profile, country) in &planned {
             let addr = next_addr(&mut used);
-            resolvers.push(PlannedResolver {
-                addr,
-                policy,
-                country,
-            });
+            resolvers.push(addr, profile, country);
         }
-        let mut off_port = Vec::with_capacity(config.off_port_responders as usize);
+        drop(planned);
+        let off_port_profile = (config.off_port_responders > 0).then(|| {
+            table.intern(ResponsePolicy {
+                action: ResponseAction::Immediate(ImmediateResponse {
+                    src_port: Some(1024),
+                    ..ImmediateResponse::refused()
+                }),
+                malicious_category: None,
+                version_banner: None,
+            })
+        });
+        let mut off_port = HostList::with_capacity(config.off_port_responders as usize);
         for _ in 0..config.off_port_responders {
             let addr = next_addr(&mut used);
-            off_port.push(PlannedResolver {
+            off_port.push(
                 addr,
-                policy: ResponsePolicy {
-                    action: ResponseAction::Immediate(ImmediateResponse {
-                        src_port: Some(1024),
-                        ..ImmediateResponse::refused()
-                    }),
-                    malicious_category: None,
-                    version_banner: None,
-                },
-                country: None,
-            });
+                off_port_profile.expect("interned above"),
+                COUNTRY_NONE,
+            );
         }
 
         // Upstream hosts get addresses outside the probe population.
-        let mut upstreams = Vec::with_capacity(upstream_policies.len());
-        for policy in upstream_policies {
+        let mut upstreams = HostList::with_capacity(n_upstreams);
+        for _ in 0..n_upstreams {
             let addr = next_addr(&mut used);
-            upstreams.push(PlannedResolver {
+            upstreams.push(
                 addr,
-                policy,
-                country: None,
-            });
+                upstream_profile.expect("interned above"),
+                COUNTRY_NONE,
+            );
         }
+        // Patch the demoted hosts now that upstream addresses exist:
+        // one interned Forward policy per upstream.
+        let mut forward_profiles: FxHashMap<usize, ProfileId> = FxHashMap::default();
         for (idx, upstream_idx) in forwarder_upstream_index {
-            if let ResponseAction::Forward(fp) = &mut resolvers[idx].policy.action {
-                fp.upstream = upstreams[upstream_idx].addr;
-            }
+            let profile = *forward_profiles.entry(upstream_idx).or_insert_with(|| {
+                table.intern(ResponsePolicy::forwarder(upstreams.addr(upstream_idx)))
+            });
+            resolvers.set_profile(idx, profile);
         }
+
+        // ---- 5. Compact the table to first-use order ----
+        // Banner assignment and forwarder demotion orphan intermediate
+        // entries (a base profile whose every instance gained a banner,
+        // the demoted honest variants), so rebuild the table over the
+        // ids actually referenced: the shipped table is then exactly
+        // the population's set of distinct policies.
+        let mut compact = ProfileTable::new();
+        let mut profile_map: Vec<Option<ProfileId>> = vec![None; table.len()];
+        remap_hosts(&mut resolvers, &table, &mut compact, &mut profile_map);
+        remap_hosts(&mut off_port, &table, &mut compact, &mut profile_map);
+        remap_hosts(&mut upstreams, &table, &mut compact, &mut profile_map);
 
         // Org-name seeds for the geolocation DB.
         let answer_orgs = spec
@@ -431,6 +582,7 @@ impl Population {
             answer_orgs,
             off_port,
             upstreams,
+            table: Arc::new(compact),
         }
     }
 
@@ -445,8 +597,36 @@ impl Population {
     }
 
     /// Counts resolvers matching a predicate.
-    pub fn count_by(&self, pred: impl Fn(&PlannedResolver) -> bool) -> u64 {
-        self.resolvers.iter().filter(|r| pred(r)).count() as u64
+    pub fn count_by(&self, pred: impl Fn(HostRef<'_>) -> bool) -> u64 {
+        self.resolvers
+            .iter(&self.table)
+            .filter(|r| pred(*r))
+            .count() as u64
+    }
+
+    /// The shared profile table all three host lists index into.
+    pub fn table(&self) -> &Arc<ProfileTable> {
+        &self.table
+    }
+
+    /// Iterates the probed resolver population.
+    pub fn resolvers(&self) -> impl Iterator<Item = HostRef<'_>> + '_ {
+        self.resolvers.iter(&self.table)
+    }
+
+    /// Iterates the off-port responders.
+    pub fn off_port(&self) -> impl Iterator<Item = HostRef<'_>> + '_ {
+        self.off_port.iter(&self.table)
+    }
+
+    /// Iterates the forwarder upstream hosts.
+    pub fn upstreams(&self) -> impl Iterator<Item = HostRef<'_>> + '_ {
+        self.upstreams.iter(&self.table)
+    }
+
+    /// The `i`-th planned resolver, resolved against the table.
+    pub fn resolver(&self, i: usize) -> HostRef<'_> {
+        self.resolvers.get(i, &self.table)
     }
 
     /// Partitions the population into `shards` disjoint sub-populations
@@ -471,26 +651,74 @@ impl Population {
             .map(|_| Population {
                 year: self.year,
                 scale: self.scale,
-                resolvers: Vec::new(),
+                resolvers: HostList::default(),
                 malicious_answers: self.malicious_answers.clone(),
                 answer_orgs: self.answer_orgs.clone(),
-                off_port: Vec::new(),
-                upstreams: Vec::new(),
+                off_port: HostList::default(),
+                upstreams: HostList::default(),
+                table: Arc::clone(&self.table),
             })
             .collect();
-        for r in &self.resolvers {
-            let affinity = r.policy.upstream_addr().unwrap_or(r.addr);
-            parts[shard_index(affinity, shards)]
-                .resolvers
-                .push(r.clone());
+        for i in 0..self.resolvers.len() {
+            let addr = self.resolvers.addr(i);
+            let profile = self.resolvers.profile_id(i);
+            let affinity = self.table.get(profile).upstream_addr().unwrap_or(addr);
+            parts[shard_index(affinity, shards)].resolvers.push(
+                addr,
+                profile,
+                self.resolvers.country_id(i),
+            );
         }
-        for r in &self.off_port {
-            parts[shard_index(r.addr, shards)].off_port.push(r.clone());
+        for i in 0..self.off_port.len() {
+            let addr = self.off_port.addr(i);
+            parts[shard_index(addr, shards)].off_port.push(
+                addr,
+                self.off_port.profile_id(i),
+                self.off_port.country_id(i),
+            );
         }
-        for r in &self.upstreams {
-            parts[shard_index(r.addr, shards)].upstreams.push(r.clone());
+        for i in 0..self.upstreams.len() {
+            let addr = self.upstreams.addr(i);
+            parts[shard_index(addr, shards)].upstreams.push(
+                addr,
+                self.upstreams.profile_id(i),
+                self.upstreams.country_id(i),
+            );
         }
         parts
+    }
+
+    /// Appends `part`'s hosts to this population, re-interning their
+    /// profiles and countries into this population's table (ids from
+    /// different `generate` calls are not comparable). Resolvers for
+    /// which `keep(addr)` is false are dropped — trend interpolation
+    /// uses this to discard address collisions between samples; off-port
+    /// and upstream hosts are appended unconditionally.
+    pub fn merge(&mut self, part: &Population, keep: impl Fn(Ipv4Addr) -> bool) {
+        let table = Arc::make_mut(&mut self.table);
+        let mut memo: Vec<Option<ProfileId>> = vec![None; part.table.len()];
+        let mut copy = |dst: &mut HostList, src: &HostList, filtered: bool| {
+            for i in 0..src.len() {
+                let addr = src.addr(i);
+                if filtered && !keep(addr) {
+                    continue;
+                }
+                let old = src.profile_id(i) as usize;
+                let profile = match memo[old] {
+                    Some(id) => id,
+                    None => {
+                        let id = table.intern(ResponsePolicy::clone(part.table.get(old as u32)));
+                        memo[old] = Some(id);
+                        id
+                    }
+                };
+                let country = table.intern_country(part.table.country(src.country_id(i)));
+                dst.push(addr, profile, country);
+            }
+        };
+        copy(&mut self.resolvers, &part.resolvers, true);
+        copy(&mut self.off_port, &part.off_port, false);
+        copy(&mut self.upstreams, &part.upstreams, false);
     }
 }
 
@@ -505,16 +733,41 @@ pub fn shard_index(addr: Ipv4Addr, shards: usize) -> usize {
     ((mixed >> 32) % shards as u64) as usize
 }
 
+/// Rewrites `hosts` to index into `compact`, interning each profile and
+/// country on first use. `profile_map` memoizes old-id -> new-id so the
+/// remap touches each distinct profile once, not once per host.
+fn remap_hosts(
+    hosts: &mut HostList,
+    table: &ProfileTable,
+    compact: &mut ProfileTable,
+    profile_map: &mut [Option<ProfileId>],
+) {
+    for profile in &mut hosts.profiles {
+        let old = *profile as usize;
+        *profile = match profile_map[old] {
+            Some(new) => new,
+            None => {
+                let new = compact.intern(ResponsePolicy::clone(table.get(*profile)));
+                profile_map[old] = Some(new);
+                new
+            }
+        };
+    }
+    for country in &mut hosts.countries {
+        *country = compact.intern_country(table.country(*country));
+    }
+}
+
 /// Deterministic synthesis of answer-value pools.
 struct ValueSynth<'a> {
     seed: u64,
     spec: &'a YearSpec,
-    used: &'a mut HashSet<Ipv4Addr>,
+    used: &'a mut FxHashSet<Ipv4Addr>,
     counter: u64,
 }
 
 impl<'a> ValueSynth<'a> {
-    fn new(seed: u64, spec: &'a YearSpec, used: &'a mut HashSet<Ipv4Addr>) -> Self {
+    fn new(seed: u64, spec: &'a YearSpec, used: &'a mut FxHashSet<Ipv4Addr>) -> Self {
         Self {
             seed,
             spec,
@@ -750,6 +1003,7 @@ impl CountryAssigner {
 mod tests {
     use super::*;
     use crate::paper::Year;
+    use std::collections::HashSet;
 
     fn population(year: Year, scale: f64) -> Population {
         Population::generate(&PopulationConfig::new(year, scale))
@@ -771,12 +1025,11 @@ mod tests {
     fn addresses_are_unique_and_probeable() {
         let pop = population(Year::Y2018, 1000.0);
         let mut seen = HashSet::new();
-        for r in &pop.resolvers {
-            assert!(seen.insert(r.addr), "duplicate {}", r.addr);
+        for addr in pop.resolvers.addrs() {
+            assert!(seen.insert(addr), "duplicate {addr}");
             assert!(
-                !orscope_ipspace::reserved::is_reserved(u32::from(r.addr)),
-                "{} is reserved",
-                r.addr
+                !orscope_ipspace::reserved::is_reserved(u32::from(addr)),
+                "{addr} is reserved"
             );
         }
     }
@@ -789,24 +1042,23 @@ mod tests {
         let mut cfg = PopulationConfig::new(Year::Y2018, 1000.0);
         cfg.seed = 99;
         let c = Population::generate(&cfg);
-        assert_ne!(a.resolvers[0].addr, c.resolvers[0].addr);
+        assert_ne!(a.resolver(0).addr, c.resolver(0).addr);
     }
 
     #[test]
     fn respects_reserved_hosts() {
         let mut cfg = PopulationConfig::new(Year::Y2018, 2000.0);
-        let probe = population(Year::Y2018, 2000.0).resolvers[0].addr;
+        let probe = population(Year::Y2018, 2000.0).resolver(0).addr;
         cfg.reserved_hosts = vec![probe];
         let pop = Population::generate(&cfg);
-        assert!(pop.resolvers.iter().all(|r| r.addr != probe));
+        assert!(pop.resolvers.addrs().all(|a| a != probe));
     }
 
     #[test]
     fn malicious_resolvers_have_countries_and_categories() {
         let pop = population(Year::Y2018, 500.0);
         let malicious: Vec<_> = pop
-            .resolvers
-            .iter()
+            .resolvers()
             .filter(|r| r.policy.malicious_category.is_some())
             .collect();
         let expected = (26_926.0_f64 / 500.0).round() as usize;
@@ -825,7 +1077,7 @@ mod tests {
     fn malicious_answer_seeds_cover_all_malicious_resolvers() {
         let pop = population(Year::Y2018, 500.0);
         let seeded: HashSet<Ipv4Addr> = pop.malicious_answers.iter().map(|m| m.ip).collect();
-        for r in &pop.resolvers {
+        for r in pop.resolvers() {
             if r.policy.malicious_category.is_some() {
                 let ResponseAction::Immediate(imm) = &r.policy.action else {
                     panic!("malicious must be immediate");
@@ -863,7 +1115,7 @@ mod tests {
         cfg.off_port_responders = 25;
         let pop = Population::generate(&cfg);
         assert_eq!(pop.off_port.len(), 25);
-        for r in &pop.off_port {
+        for r in pop.off_port() {
             let ResponseAction::Immediate(imm) = &r.policy.action else {
                 panic!();
             };
@@ -925,15 +1177,14 @@ mod forwarder_population_tests {
         assert_eq!(honest + forwarders, plain.count_by(|r| r.policy.recurses()));
         // Upstreams exist and are distinct from probed hosts.
         assert!(!pop.upstreams.is_empty());
-        let probed: std::collections::HashSet<_> = pop.resolvers.iter().map(|r| r.addr).collect();
-        for up in &pop.upstreams {
+        let probed: std::collections::HashSet<_> = pop.resolvers.addrs().collect();
+        for up in pop.upstreams() {
             assert!(!probed.contains(&up.addr));
             assert!(up.policy.recurses());
         }
         // Every forwarder points at a real upstream.
-        let upstream_addrs: std::collections::HashSet<_> =
-            pop.upstreams.iter().map(|u| u.addr).collect();
-        for r in &pop.resolvers {
+        let upstream_addrs: std::collections::HashSet<_> = pop.upstreams.addrs().collect();
+        for r in pop.resolvers() {
             if let crate::profile::ResponseAction::Forward(fp) = &r.policy.action {
                 assert!(upstream_addrs.contains(&fp.upstream));
             }
@@ -969,7 +1220,7 @@ mod extreme_scale_tests {
         // puts it in the largest cell (the Refused responders).
         let pop = Population::generate(&PopulationConfig::new(Year::Y2018, 6_506_258.0));
         assert_eq!(pop.resolvers.len(), 1);
-        let policy = &pop.resolvers[0].policy;
+        let policy = pop.resolver(0).policy;
         match &policy.action {
             ResponseAction::Immediate(imm) => {
                 assert_eq!(imm.rcode, orscope_dns_wire::Rcode::Refused);
@@ -994,6 +1245,7 @@ mod extreme_scale_tests {
 mod shard_tests {
     use super::*;
     use crate::paper::Year;
+    use std::collections::HashSet;
 
     fn forwarder_pop() -> Population {
         let mut config = PopulationConfig::new(Year::Y2018, 5_000.0);
@@ -1026,13 +1278,13 @@ mod shard_tests {
             assert_eq!(ups, pop.upstreams.len());
             let mut seen = HashSet::new();
             for part in &parts {
-                for r in part
+                for addr in part
                     .resolvers
-                    .iter()
-                    .chain(&part.off_port)
-                    .chain(&part.upstreams)
+                    .addrs()
+                    .chain(part.off_port.addrs())
+                    .chain(part.upstreams.addrs())
                 {
-                    assert!(seen.insert(r.addr), "{} assigned twice", r.addr);
+                    assert!(seen.insert(addr), "{addr} assigned twice");
                 }
             }
         }
@@ -1044,8 +1296,8 @@ mod shard_tests {
         assert!(!pop.upstreams.is_empty(), "fixture needs forwarders");
         for n in [2usize, 4, 8] {
             for part in pop.shard(n) {
-                let local: HashSet<Ipv4Addr> = part.upstreams.iter().map(|u| u.addr).collect();
-                for r in &part.resolvers {
+                let local: HashSet<Ipv4Addr> = part.upstreams.addrs().collect();
+                for r in part.resolvers() {
                     if let Some(up) = r.policy.upstream_addr() {
                         assert!(
                             local.contains(&up),

@@ -21,7 +21,7 @@ use orscope_dns_wire::Rcode;
 use orscope_threatintel::Category;
 
 /// The answer payload of a misbehaving responder.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AnswerData {
     /// An A record with a fixed (wrong) address — the dominant incorrect
     /// form (Table VII "IP").
@@ -34,7 +34,7 @@ pub enum AnswerData {
 }
 
 /// A canned response: no recursion happens at all.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ImmediateResponse {
     /// Answer-section payload; `None` leaves the answer section empty.
     pub answer: Option<AnswerData>,
@@ -96,7 +96,7 @@ impl ImmediateResponse {
 }
 
 /// A policy that really recurses, then (possibly) lies in the header.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RecursePolicy {
     /// RA bit in the final response (standard behaviour: `true`).
     pub ra: bool,
@@ -127,7 +127,7 @@ impl Default for RecursePolicy {
 /// distinguish from true recursive resolvers. It performs no iteration
 /// itself; it relays the query to a configured upstream resolver and
 /// relays the answer back.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ForwardPolicy {
     /// The upstream recursive resolver queries are relayed to.
     pub upstream: std::net::Ipv4Addr,
@@ -138,7 +138,7 @@ pub struct ForwardPolicy {
 }
 
 /// What a probed host does with an incoming query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ResponseAction {
     /// Accept the packet but never answer (port open, service mute).
     Silent,
@@ -226,7 +226,7 @@ impl std::fmt::Display for ProfileClass {
 }
 
 /// The full behavior profile of one probed host.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ResponsePolicy {
     /// How queries are answered.
     pub action: ResponseAction,

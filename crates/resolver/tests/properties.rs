@@ -40,8 +40,7 @@ proptest! {
         let spec = YearSpec::get(year);
         let expected = spec.answer_class_total(AnswerClass::Correct) as f64 / scale;
         let recursing = population
-            .resolvers
-            .iter()
+            .resolvers()
             .filter(|r| r.policy.recurses())
             .count() as f64;
         // Largest-remainder rounding across ~7 correct cells: off by at
@@ -60,7 +59,7 @@ proptest! {
         let mut config = PopulationConfig::new(year, scale);
         config.seed = seed;
         let population = Population::generate(&config);
-        for resolver in &population.resolvers {
+        for resolver in population.resolvers() {
             match resolver.policy.malicious_category {
                 Some(_) => {
                     prop_assert!(resolver.country.is_some());
@@ -75,8 +74,7 @@ proptest! {
         }
         // Malicious count tracks Table IX within rounding.
         let malicious = population
-            .resolvers
-            .iter()
+            .resolvers()
             .filter(|r| r.policy.malicious_category.is_some())
             .count() as f64;
         let expected = YearSpec::get(year).malicious_r2() as f64 / scale;
@@ -128,5 +126,67 @@ proptest! {
         let b = Population::generate(&config);
         prop_assert_eq!(a.resolvers, b.resolvers);
         prop_assert_eq!(a.malicious_answers, b.malicious_answers);
+        // Identical host lists can only compare equal if the two runs
+        // also interned profiles in the same order.
+        prop_assert_eq!(a.table().len(), b.table().len());
+    }
+
+    /// Every in-use policy round-trips through the interned table:
+    /// `lookup` finds it, and its id resolves back to an equal policy.
+    #[test]
+    fn profile_ids_round_trip(
+        year in year_strategy(),
+        scale in 20_000.0f64..60_000.0,
+        seed in any::<u64>(),
+        forwarder_fraction in 0.0f64..0.5,
+    ) {
+        let mut config = PopulationConfig::new(year, scale);
+        config.seed = seed;
+        config.forwarder_fraction = forwarder_fraction;
+        config.off_port_responders = 3;
+        let population = Population::generate(&config);
+        let table = population.table();
+        for host in population
+            .resolvers()
+            .chain(population.off_port())
+            .chain(population.upstreams())
+        {
+            let id = table.lookup(host.policy).expect("in-use policy interned");
+            prop_assert_eq!(&**table.get(id), &**host.policy);
+        }
+    }
+
+    /// The table is exactly the set of distinct in-use policies: no two
+    /// distinct policies share an id (ids resolve injectively) and no
+    /// orphaned entries survive generation — `table.len()` equals the
+    /// number of unique policies across all three host lists.
+    #[test]
+    fn profile_table_is_exactly_the_unique_policies(
+        year in year_strategy(),
+        scale in 20_000.0f64..60_000.0,
+        seed in any::<u64>(),
+        forwarder_fraction in 0.0f64..0.5,
+    ) {
+        let mut config = PopulationConfig::new(year, scale);
+        config.seed = seed;
+        config.forwarder_fraction = forwarder_fraction;
+        config.off_port_responders = 3;
+        let population = Population::generate(&config);
+        let table = population.table();
+        let mut ids = std::collections::HashSet::new();
+        let mut unique_policies = std::collections::HashSet::new();
+        for host in population
+            .resolvers()
+            .chain(population.off_port())
+            .chain(population.upstreams())
+        {
+            let id = table.lookup(host.policy).expect("in-use policy interned");
+            ids.insert(id);
+            unique_policies.insert((**host.policy).clone());
+        }
+        // Distinct policies got distinct ids...
+        prop_assert_eq!(ids.len(), unique_policies.len());
+        // ...and the table holds nothing beyond them.
+        prop_assert_eq!(table.len(), unique_policies.len());
     }
 }

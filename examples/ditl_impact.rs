@@ -139,10 +139,10 @@ fn main() {
         AuthoritativeServer::new(cz, CaptureHandle::new()),
     );
     let resolver_config = ResolverConfig::new(infra.root);
-    for planned in &population.resolvers {
+    for planned in population.resolvers() {
         net.register(
             planned.addr,
-            ProfiledResolver::new(planned.policy.clone(), resolver_config.clone()),
+            ProfiledResolver::new_shared(Arc::clone(planned.policy), resolver_config.clone()),
         );
     }
 
@@ -150,14 +150,12 @@ fn main() {
     // pointed (by malware, per the paper's threat model) at malicious
     // resolvers.
     let malicious: Vec<Ipv4Addr> = population
-        .resolvers
-        .iter()
+        .resolvers()
         .filter(|r| r.policy.malicious_category.is_some())
         .map(|r| r.addr)
         .collect();
     let honest: Vec<Ipv4Addr> = population
-        .resolvers
-        .iter()
+        .resolvers()
         .filter(|r| r.policy.recurses())
         .map(|r| r.addr)
         .collect();

@@ -49,12 +49,7 @@ fn main() {
     let result = Campaign::new(CampaignConfig::new(Year::Y2018, 2_000.0))
         .run()
         .unwrap();
-    let responders: Vec<Ipv4Addr> = result
-        .population()
-        .resolvers
-        .iter()
-        .map(|r| r.addr)
-        .collect();
+    let responders: Vec<Ipv4Addr> = result.population().resolvers.addrs().collect();
     println!(
         "Phase 1: behavioral scan found {} responders; surveying their software...\n",
         responders.len()
@@ -67,10 +62,10 @@ fn main() {
         .latency(FixedLatency(Duration::from_millis(8)))
         .build();
     let resolver_config = ResolverConfig::new(result.config().infra.root);
-    for planned in &result.population().resolvers {
+    for planned in result.population().resolvers() {
         net.register(
             planned.addr,
-            ProfiledResolver::new(planned.policy.clone(), resolver_config.clone()),
+            ProfiledResolver::new_shared(Arc::clone(planned.policy), resolver_config.clone()),
         );
     }
     let banners = Arc::new(Mutex::new(HashMap::new()));

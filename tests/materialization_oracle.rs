@@ -1,0 +1,84 @@
+//! The materialization knob must be unobservable: lazily materializing
+//! host slots on first packet delivery (and releasing them once
+//! quiescent) must render byte-identical reports to eager up-front
+//! registration, at every shard count, in both analysis modes, and
+//! under fault injection. Eager is the oracle; this test pins lazy to
+//! it — it is the hard correctness bar behind the paper-scale memory
+//! optimisation.
+
+use orscope_core::{AnalysisMode, Campaign, CampaignConfig, CampaignResult, Materialization};
+use orscope_resolver::paper::Year;
+
+/// Serialized table reports: the byte-level comparison surface (wall
+/// clock is excluded; it is never knob-invariant).
+fn tables_json(result: &CampaignResult) -> String {
+    serde_json::to_string(&result.table_reports()).expect("tables serialize")
+}
+
+#[test]
+fn lazy_and_eager_render_byte_identical_reports() {
+    let run = |materialization: Materialization, shards: usize, analysis: AnalysisMode| {
+        let config = CampaignConfig::new(Year::Y2018, 20_000.0)
+            .with_shards(shards)
+            .with_analysis(analysis)
+            .with_materialization(materialization);
+        Campaign::new(config).run().unwrap()
+    };
+    let baseline = run(Materialization::Eager, 1, AnalysisMode::Batch);
+    assert_eq!(
+        baseline.materialized_hosts(),
+        0,
+        "eager mode registers every host up front"
+    );
+    let baseline_tables = tables_json(&baseline);
+    let baseline_render = baseline.render();
+    for materialization in [Materialization::Lazy, Materialization::Eager] {
+        for analysis in [AnalysisMode::Streaming, AnalysisMode::Batch] {
+            for shards in [1, 2, 4] {
+                let result = run(materialization, shards, analysis);
+                if materialization == Materialization::Lazy {
+                    assert!(
+                        result.materialized_hosts() > 0,
+                        "lazy campaigns materialize responders on demand"
+                    );
+                }
+                assert_eq!(
+                    result.dataset().r2(),
+                    baseline.dataset().r2(),
+                    "R2 diverged: {materialization:?} x {analysis} x {shards} shards"
+                );
+                assert_eq!(
+                    tables_json(&result),
+                    baseline_tables,
+                    "table reports diverged: {materialization:?} x {analysis} x {shards} shards"
+                );
+                assert_eq!(
+                    result.render(),
+                    baseline_render,
+                    "rendered report diverged: {materialization:?} x {analysis} x {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_matches_the_oracle_under_fault_injection() {
+    // Loss and duplication reshape delivery (retries, dropped R2s,
+    // duplicate deliveries) and also disable quiescence release — fault
+    // rules hash per-flow ordinals, so slots must pin. The lazy world
+    // still has to classify exactly as the eager one.
+    let run = |materialization: Materialization| {
+        let config = CampaignConfig::new(Year::Y2018, 40_000.0)
+            .with_loss(0.1)
+            .with_duplication(0.05)
+            .with_materialization(materialization);
+        Campaign::new(config).run().unwrap()
+    };
+    let lazy = run(Materialization::Lazy);
+    let eager = run(Materialization::Eager);
+    assert!(lazy.materialized_hosts() > 0);
+    assert_eq!(eager.materialized_hosts(), 0);
+    assert_eq!(tables_json(&lazy), tables_json(&eager));
+    assert_eq!(lazy.render(), eager.render());
+}
