@@ -88,6 +88,14 @@ pub struct CampaignConfig {
     /// Deterministic shard-failure injection for exercising the
     /// supervisor (tests and chaos drills only).
     pub sabotage: Option<ShardSabotage>,
+    /// Virtual-time budget for the scan. A shard whose simulation still
+    /// has pending events at this deadline panics, which the shard
+    /// supervisor catches: the shard is retried once and then reported
+    /// failed, exactly like any other shard panic. `None` (the default)
+    /// runs every shard to idle. Because per-flow send times and RTTs
+    /// are shard-layout-invariant, whether a scan fits the budget does
+    /// not depend on the shard count.
+    pub virtual_deadline: Option<Duration>,
     /// How captures become tables: the default single-pass
     /// [`AnalysisMode::Streaming`] classifies at capture time and keeps
     /// only accumulators; [`AnalysisMode::Batch`] buffers every payload
@@ -142,6 +150,7 @@ impl CampaignConfig {
             telemetry: true,
             scheduler: SchedulerKind::default(),
             sabotage: None,
+            virtual_deadline: None,
             analysis: AnalysisMode::default(),
             retain_raw: false,
             materialization: Materialization::default(),
@@ -251,6 +260,13 @@ impl CampaignConfig {
         self
     }
 
+    /// Caps the scan's virtual time; a shard still busy at the deadline
+    /// fails under the supervisor instead of running on.
+    pub fn with_virtual_deadline(mut self, deadline: Duration) -> Self {
+        self.virtual_deadline = Some(deadline);
+        self
+    }
+
     /// Checks the configuration for operator errors.
     ///
     /// # Errors
@@ -294,6 +310,9 @@ impl CampaignConfig {
                     sabotage.shard, self.shards
                 ));
             }
+        }
+        if self.virtual_deadline == Some(Duration::ZERO) {
+            return invalid("virtual deadline of zero would fail every scan".to_owned());
         }
         Ok(())
     }
@@ -658,9 +677,24 @@ impl Campaign {
                 expected_flows,
             );
         }
-        // ---- run to completion ----
+        // ---- run to completion (or the virtual deadline) ----
         let probe_span = world.collector.phase("phase.probe");
-        world.net.run_until_idle();
+        match self.config.virtual_deadline {
+            None => world.net.run_until_idle(),
+            Some(deadline) => {
+                // A blown deadline is a shard failure like any other:
+                // panic here, let the supervisor retry once (the rerun is
+                // deterministic, so a genuine overrun fails again), and
+                // surface the loss through the degraded-result path.
+                world.net.run_until(SimTime::ZERO + deadline);
+                if !world.net.is_idle() {
+                    panic!(
+                        "virtual deadline exceeded: events still pending at {:?}",
+                        deadline
+                    );
+                }
+            }
+        }
         world.collect(probe_span)
     }
 

@@ -21,6 +21,200 @@
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+pub mod integrity {
+    //! A tamper-evident envelope for checkpoint files.
+    //!
+    //! Checkpoints are the only state that survives a crash, so a
+    //! truncated or bit-flipped file must be *detected* at resume, never
+    //! silently parsed into half a table. [`seal`] prefixes a payload
+    //! with a one-line header carrying the payload length and a 64-bit
+    //! FNV-1a digest; [`unseal`] re-verifies both and says exactly which
+    //! way the file is bad. [`persist_atomic`] writes a sealed file
+    //! crash-safely: temp file, `fsync` the file, rename into place,
+    //! `fsync` the directory — a `kill -9` at any instant leaves either
+    //! the old generation or the new one, never a torn file that
+    //! *passes* verification.
+
+    use std::fs;
+    use std::io::{self, Write};
+    use std::path::{Path, PathBuf};
+
+    /// Header magic; bump the version when the envelope layout changes.
+    pub const MAGIC: &str = "ORSCOPE-CKPT/1";
+
+    /// How a sealed file failed verification.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum IntegrityError {
+        /// No header line, or one that does not parse.
+        BadHeader,
+        /// The payload is shorter (truncation) or longer (splice) than
+        /// the header promised.
+        LengthMismatch {
+            /// Bytes the header declared.
+            declared: usize,
+            /// Bytes actually present after the header.
+            actual: usize,
+        },
+        /// The payload bytes do not hash to the header digest.
+        DigestMismatch,
+    }
+
+    impl std::fmt::Display for IntegrityError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                IntegrityError::BadHeader => write!(f, "missing or malformed envelope header"),
+                IntegrityError::LengthMismatch { declared, actual } => write!(
+                    f,
+                    "payload length {actual} does not match declared {declared} (truncated?)"
+                ),
+                IntegrityError::DigestMismatch => {
+                    write!(f, "payload digest mismatch (bit flip or partial overwrite)")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for IntegrityError {}
+
+    /// 64-bit FNV-1a over `bytes` — not cryptographic, but a single
+    /// flipped bit anywhere in the payload changes it, which is the
+    /// failure model for local disk corruption.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Wraps `payload` in the envelope: `MAGIC len digest\n` + payload.
+    pub fn seal(payload: &[u8]) -> Vec<u8> {
+        let header = format!("{MAGIC} {} {:016x}\n", payload.len(), digest(payload));
+        let mut sealed = Vec::with_capacity(header.len() + payload.len());
+        sealed.extend_from_slice(header.as_bytes());
+        sealed.extend_from_slice(payload);
+        sealed
+    }
+
+    /// Verifies the envelope and returns the payload slice.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError`] naming the first check that failed.
+    pub fn unseal(sealed: &[u8]) -> Result<&[u8], IntegrityError> {
+        let newline = sealed
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or(IntegrityError::BadHeader)?;
+        let header =
+            std::str::from_utf8(&sealed[..newline]).map_err(|_| IntegrityError::BadHeader)?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some(MAGIC) {
+            return Err(IntegrityError::BadHeader);
+        }
+        let declared: usize = parts
+            .next()
+            .and_then(|raw| raw.parse().ok())
+            .ok_or(IntegrityError::BadHeader)?;
+        let expected = u64::from_str_radix(parts.next().ok_or(IntegrityError::BadHeader)?, 16)
+            .map_err(|_| IntegrityError::BadHeader)?;
+        if parts.next().is_some() {
+            return Err(IntegrityError::BadHeader);
+        }
+        let payload = &sealed[newline + 1..];
+        if payload.len() != declared {
+            return Err(IntegrityError::LengthMismatch {
+                declared,
+                actual: payload.len(),
+            });
+        }
+        if digest(payload) != expected {
+            return Err(IntegrityError::DigestMismatch);
+        }
+        Ok(payload)
+    }
+
+    /// Writes `bytes` to `dir/name` crash-safely: staged temp file,
+    /// `fsync`, rename over the target, then `fsync` the directory so
+    /// the rename itself survives a power cut.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn persist_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let staging = dir.join(format!("{name}.tmp"));
+        {
+            let mut file = fs::File::create(&staging)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&staging, &path)?;
+        // Directory fsync is best-effort off Unix (opening a directory
+        // for sync is not portable), and even on Unix some filesystems
+        // refuse it; the rename above is still atomic either way.
+        if let Ok(dir_handle) = fs::File::open(dir) {
+            let _ = dir_handle.sync_all();
+        }
+        Ok(path)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn seal_unseal_roundtrips() {
+            let payload = b"{\"epochs\": 3}\n";
+            let sealed = seal(payload);
+            assert_eq!(unseal(&sealed).unwrap(), payload);
+        }
+
+        #[test]
+        fn truncation_is_length_mismatch() {
+            let sealed = seal(b"0123456789");
+            for cut in [sealed.len() - 1, sealed.len() - 5] {
+                match unseal(&sealed[..cut]) {
+                    Err(IntegrityError::LengthMismatch { declared: 10, .. }) => {}
+                    other => panic!("truncation at {cut} gave {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn bit_flip_is_digest_mismatch() {
+            let mut sealed = seal(b"0123456789");
+            let last = sealed.len() - 1;
+            sealed[last] ^= 0x40; // flip inside the payload, length kept
+            assert_eq!(unseal(&sealed), Err(IntegrityError::DigestMismatch));
+        }
+
+        #[test]
+        fn garbage_and_empty_are_bad_headers() {
+            assert_eq!(unseal(b""), Err(IntegrityError::BadHeader));
+            assert_eq!(
+                unseal(b"not an envelope\nx"),
+                Err(IntegrityError::BadHeader)
+            );
+            assert_eq!(unseal(b"\xff\xfe\n"), Err(IntegrityError::BadHeader));
+        }
+
+        #[test]
+        fn persist_atomic_leaves_no_staging_file() {
+            let dir =
+                std::env::temp_dir().join(format!("orscope-integrity-test-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            let path = persist_atomic(&dir, "gen.ckpt", &seal(b"payload")).unwrap();
+            assert!(path.exists());
+            assert!(!dir.join("gen.ckpt.tmp").exists());
+            assert_eq!(unseal(&fs::read(&path).unwrap()).unwrap(), b"payload");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
 use orscope_authns::CapturedPacket;
 use orscope_netsim::SimTime;
 use orscope_prober::{Prober, R2Capture, ScanCheckpoint};

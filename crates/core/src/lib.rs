@@ -31,7 +31,7 @@ pub mod result;
 pub mod trend;
 
 pub use campaign::{Campaign, CampaignConfig, Materialization};
-pub use checkpoint::CampaignCheckpoint;
+pub use checkpoint::{integrity, CampaignCheckpoint};
 pub use error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 pub use infra::Infra;
 pub use orscope_analysis::AnalysisMode;

@@ -632,6 +632,12 @@ impl SimNet {
         while self.step() {}
     }
 
+    /// Whether the event queue has drained (no work left to simulate).
+    /// (`&mut` because peeking the timing wheel advances its cursor.)
+    pub fn is_idle(&mut self) -> bool {
+        self.queue.next_at().is_none()
+    }
+
     /// Runs until virtual time reaches `deadline` or the queue drains.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(head_at) = self.queue.next_at() {

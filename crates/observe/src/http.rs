@@ -1,10 +1,12 @@
-//! The live query/export surface: a hand-rolled HTTP/1.1 server.
+//! The live query/export surface: a hand-rolled, hardened HTTP/1.1
+//! server.
 //!
-//! Four read-only GET endpoints over [`ObservatoryShared`]:
+//! Five read-only GET endpoints over [`ObservatoryShared`]:
 //!
 //! | path       | body                                                |
 //! |------------|-----------------------------------------------------|
 //! | `/healthz` | scheduler liveness + epochs completed (JSON)        |
+//! | `/readyz`  | readiness: 200 only when serving clean data (JSON)  |
 //! | `/tables`  | latest epoch + cumulative transitions (JSON)        |
 //! | `/trends`  | per-epoch series + consecutive deltas (JSON)        |
 //! | `/metrics` | service + campaign telemetry (Prometheus text)      |
@@ -14,18 +16,69 @@
 //! connection, `Connection: close` on every response. No keep-alive, no
 //! TLS, no routing table: the whole server is small enough to audit in
 //! one sitting, and the repo's no-new-dependencies rule holds.
+//!
+//! Minimal is not naive, though. An unattended serve must survive the
+//! open internet's background radiation, so every connection runs under
+//! [`HttpConfig`] limits: a total deadline on reading the request head
+//! (slow-loris drip-feeding gets `408` and a counter tick, not a pinned
+//! thread), a bounded head size (`431`), a bounded declared body
+//! (`413` — every endpoint is a GET), and a concurrent-connection cap
+//! (`503` + `Retry-After` instead of unbounded thread spawn). Malformed
+//! request lines get `400`, non-GET methods `405` with `Allow: GET`.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::observatory::ObservatoryShared;
 
-/// Largest request head we accept; GETs are a few hundred bytes, so
-/// anything near this is garbage or abuse.
-const MAX_HEAD: usize = 8 * 1024;
+/// Hard limits and timeouts for the serve surface. The defaults suit an
+/// unattended long-run; tests shrink them to exercise the rejection
+/// paths deterministically.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Per-`read(2)` timeout while collecting the request head.
+    pub read_timeout: Duration,
+    /// Per-`write(2)` timeout while sending the response.
+    pub write_timeout: Duration,
+    /// Total wall-clock budget for the *whole* request head. A client
+    /// dripping one byte per read-timeout never exhausts a thread: the
+    /// head deadline fires and the connection gets `408`.
+    pub head_deadline: Duration,
+    /// Largest request head we accept (`431` beyond it); GETs are a few
+    /// hundred bytes, so anything near this is garbage or abuse.
+    pub max_head_bytes: usize,
+    /// Largest declared `Content-Length` we accept (`413` beyond it).
+    /// Every endpoint is a GET, so the default is zero tolerance.
+    pub max_body_bytes: u64,
+    /// Concurrent connections served; the accept loop answers `503`
+    /// with `Retry-After` beyond this instead of spawning unboundedly.
+    pub max_connections: usize,
+    /// The `Retry-After` hint (seconds) sent with `503`.
+    pub retry_after_secs: u64,
+    /// How long the accept loop sleeps when idle before re-polling the
+    /// socket and the shutdown flag. Smaller = snappier shutdown,
+    /// larger = fewer wakeups.
+    pub poll_interval: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            head_deadline: Duration::from_secs(5),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 0,
+            max_connections: 64,
+            retry_after_secs: 1,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
 
 /// A running HTTP surface.
 pub struct HttpHandle {
@@ -46,58 +99,195 @@ impl HttpHandle {
     }
 }
 
-/// Starts serving `shared` on `listener` in a background thread. The
-/// accept loop runs until shutdown is requested on `shared`.
+/// Starts serving `shared` on `listener` with default [`HttpConfig`]
+/// limits.
+///
+/// # Errors
+///
+/// Propagates [`serve_with`] failures.
+pub fn serve(listener: TcpListener, shared: Arc<ObservatoryShared>) -> io::Result<HttpHandle> {
+    serve_with(listener, shared, HttpConfig::default())
+}
+
+/// Starts serving `shared` on `listener` in a background thread with
+/// explicit limits. The accept loop runs until shutdown is requested on
+/// `shared`.
 ///
 /// # Errors
 ///
 /// Fails if the listener cannot be switched to nonblocking mode (the
 /// accept loop doubles as the shutdown poller, so it must not block).
-pub fn serve(listener: TcpListener, shared: Arc<ObservatoryShared>) -> io::Result<HttpHandle> {
+pub fn serve_with(
+    listener: TcpListener,
+    shared: Arc<ObservatoryShared>,
+    config: HttpConfig,
+) -> io::Result<HttpHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let thread = thread::spawn(move || accept_loop(&listener, &shared));
+    let thread = thread::spawn(move || accept_loop(&listener, &shared, &config));
     Ok(HttpHandle { addr, thread })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ObservatoryShared>) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<ObservatoryShared>, config: &HttpConfig) {
+    let active = Arc::new(AtomicUsize::new(0));
     while !shared.shutdown_requested() {
         match listener.accept() {
             Ok((stream, _)) => {
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    // Over the cap: turn the connection away cheaply on
+                    // a transient thread so the accept loop never
+                    // blocks on a slow victim.
+                    shared.record_http_rejected();
+                    let retry_after = config.retry_after_secs;
+                    let write_timeout = config.write_timeout;
+                    thread::spawn(move || reject_over_capacity(stream, retry_after, write_timeout));
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let active = active.clone();
                 let shared = shared.clone();
+                let config = config.clone();
                 thread::spawn(move || {
-                    let _ = handle_connection(stream, &shared);
+                    let _ = handle_connection(stream, &shared, &config);
+                    active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
+                thread::sleep(config.poll_interval);
             }
             // Transient accept errors (ECONNABORTED and friends): back
             // off briefly and keep serving.
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            Err(_) => thread::sleep(config.poll_interval),
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &ObservatoryShared) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let head = match read_head(&mut stream) {
+fn reject_over_capacity(mut stream: TcpStream, retry_after_secs: u64, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let body = b"{\"error\":\"too many connections\"}\n";
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body));
+    lingering_close(&mut stream, write_timeout);
+}
+
+/// Closes a connection whose request we did not fully read. Closing
+/// with unread bytes queued makes the kernel send `RST`, which can
+/// destroy the response before the client reads it — so the status code
+/// we went to the trouble of sending (`503`, `431`, ...) would never
+/// arrive. Shut down our write side first, then drain (bounded) what
+/// the client is still sending, and only then let the socket drop.
+fn lingering_close(stream: &mut TcpStream, timeout: Duration) {
+    const DRAIN_LIMIT: usize = 64 * 1024;
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < DRAIN_LIMIT {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// How reading a request head failed.
+enum HeadError {
+    /// The client dribbled past the head deadline (or a read timed
+    /// out): slow loris.
+    TimedOut,
+    /// The head outgrew the limit.
+    TooLarge,
+    /// Not decodable as a request head at all.
+    Malformed,
+    /// The connection died; nothing to answer.
+    Gone,
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &ObservatoryShared,
+    config: &HttpConfig,
+) -> io::Result<()> {
+    // Accepted sockets don't inherit the listener's nonblocking mode on
+    // every platform; force blocking-with-timeouts explicitly.
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let head = match read_head(&mut stream, config) {
         Ok(head) => head,
-        Err(_) => return Ok(()), // slow loris or junk: just drop it
+        Err(failure) => {
+            let (status, body): (&str, &[u8]) = match failure {
+                HeadError::TimedOut => {
+                    shared.record_http_timeout();
+                    (
+                        "408 Request Timeout",
+                        b"{\"error\":\"request head too slow\"}\n",
+                    )
+                }
+                HeadError::TooLarge => (
+                    "431 Request Header Fields Too Large",
+                    b"{\"error\":\"request head too large\"}\n",
+                ),
+                HeadError::Malformed => ("400 Bad Request", b"{\"error\":\"malformed request\"}\n"),
+                HeadError::Gone => return Ok(()),
+            };
+            // The request was never fully read on these paths, so a
+            // plain close would RST the response away — linger instead.
+            let result = write_response(&mut stream, status, "application/json", "", body);
+            lingering_close(&mut stream, config.write_timeout);
+            return result;
+        }
     };
     shared.record_http_request();
-    let (status, content_type, body) = respond(&head, shared);
-    write_response(&mut stream, status, content_type, &body)
+    let (status, content_type, extra_headers, body) = respond(&head, shared, config);
+    let result = write_response(&mut stream, status, content_type, extra_headers, &body);
+    // A declared body is never read (every endpoint is a GET), so those
+    // connections need the same RST-avoiding linger.
+    if declared_body_len(&head).unwrap_or(0) > 0 {
+        lingering_close(&mut stream, config.write_timeout);
+    }
+    result
 }
 
 /// Reads until the end of the request head (we ignore bodies: every
-/// endpoint is a GET).
-fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+/// endpoint is a GET), under both a per-read timeout and a total
+/// deadline.
+fn read_head(stream: &mut TcpStream, config: &HttpConfig) -> Result<String, HeadError> {
+    let started = Instant::now();
     let mut head = Vec::new();
     let mut chunk = [0u8; 1024];
     loop {
-        let n = stream.read(&mut chunk)?;
+        let remaining = config
+            .head_deadline
+            .checked_sub(started.elapsed())
+            .ok_or(HeadError::TimedOut)?;
+        stream
+            .set_read_timeout(Some(
+                remaining
+                    .min(config.read_timeout)
+                    .max(Duration::from_millis(1)),
+            ))
+            .map_err(|_| HeadError::Gone)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                // A per-read timeout inside the deadline just means the
+                // client is slow; loop and let the deadline decide.
+                if started.elapsed() >= config.head_deadline {
+                    return Err(HeadError::TimedOut);
+                }
+                continue;
+            }
+            Err(_) => return Err(HeadError::Gone),
+        };
         if n == 0 {
             break;
         }
@@ -105,45 +295,89 @@ fn read_head(stream: &mut TcpStream) -> io::Result<String> {
         if head.windows(4).any(|w| w == b"\r\n\r\n") {
             break;
         }
-        if head.len() > MAX_HEAD {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
+        if head.len() > config.max_head_bytes {
+            return Err(HeadError::TooLarge);
         }
     }
-    String::from_utf8(head).map_err(|_| io::ErrorKind::InvalidData.into())
+    if head.is_empty() {
+        return Err(HeadError::Gone);
+    }
+    String::from_utf8(head).map_err(|_| HeadError::Malformed)
 }
 
-/// Routes one request to `(status line, content type, body)`.
-fn respond(head: &str, shared: &ObservatoryShared) -> (&'static str, &'static str, Vec<u8>) {
+/// The declared `Content-Length`, if any header carries one.
+fn declared_body_len(head: &str) -> Option<u64> {
+    head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())?
+    })
+}
+
+/// Routes one request to `(status line, content type, extra headers,
+/// body)`.
+fn respond(
+    head: &str,
+    shared: &ObservatoryShared,
+    config: &HttpConfig,
+) -> (&'static str, &'static str, &'static str, Vec<u8>) {
     const JSON: &str = "application/json";
     const PROM: &str = "text/plain; version=0.0.4";
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     // Strip any query string: the surface has no parameters (yet), and
     // `/tables?pretty` should not 404.
-    let path = parts.next().unwrap_or("").split('?').next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let path = target.split('?').next().unwrap_or("");
+    if method.is_empty() || !target.starts_with('/') {
+        return (
+            "400 Bad Request",
+            JSON,
+            "",
+            b"{\"error\":\"malformed request line\"}\n".to_vec(),
+        );
+    }
     if method != "GET" {
         return (
             "405 Method Not Allowed",
             JSON,
+            "Allow: GET\r\n",
             b"{\"error\":\"only GET is supported\"}\n".to_vec(),
         );
     }
+    if declared_body_len(head).is_some_and(|len| len > config.max_body_bytes) {
+        return (
+            "413 Content Too Large",
+            JSON,
+            "",
+            b"{\"error\":\"GET endpoints take no body\"}\n".to_vec(),
+        );
+    }
     match path {
-        "/healthz" => ("200 OK", JSON, shared.healthz_bytes()),
-        "/tables" => ("200 OK", JSON, shared.tables_bytes()),
-        "/trends" => ("200 OK", JSON, shared.trends_bytes()),
-        "/metrics" => ("200 OK", PROM, shared.metrics_bytes()),
+        "/healthz" => ("200 OK", JSON, "", shared.healthz_bytes()),
+        "/readyz" => {
+            let status = if shared.is_ready() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, JSON, "", shared.readyz_bytes())
+        }
+        "/tables" => ("200 OK", JSON, "", shared.tables_bytes()),
+        "/trends" => ("200 OK", JSON, "", shared.trends_bytes()),
+        "/metrics" => ("200 OK", PROM, "", shared.metrics_bytes()),
         "/" => (
             "200 OK",
             JSON,
-            b"{\"endpoints\":[\"/healthz\",\"/tables\",\"/trends\",\"/metrics\"]}\n".to_vec(),
+            "",
+            b"{\"endpoints\":[\"/healthz\",\"/readyz\",\"/tables\",\"/trends\",\"/metrics\"]}\n"
+                .to_vec(),
         ),
         _ => (
             "404 Not Found",
             JSON,
+            "",
             b"{\"error\":\"unknown path\"}\n".to_vec(),
         ),
     }
@@ -153,11 +387,12 @@ fn write_response(
     stream: &mut TcpStream,
     status: &str,
     content_type: &str,
+    extra_headers: &str,
     body: &[u8],
 ) -> io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -211,6 +446,7 @@ mod tests {
 
         let index = get(addr, "/");
         assert!(index.contains("/tables"), "{index}");
+        assert!(index.contains("/readyz"), "{index}");
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
@@ -220,6 +456,7 @@ mod tests {
             "POST /tables HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
         );
         assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        assert!(post.contains("Allow: GET"), "{post}");
 
         shared.request_shutdown();
         handle.join();
@@ -239,6 +476,128 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(length, body.len());
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn readyz_is_unready_until_the_scheduler_says_otherwise() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let addr = handle.addr();
+
+        // Fresh shared state: Starting, not ready — but healthz is a
+        // liveness probe and answers 200 regardless.
+        let readyz = get(addr, "/readyz");
+        assert!(readyz.starts_with("HTTP/1.1 503"), "{readyz}");
+        assert!(readyz.contains("\"state\": \"starting\""), "{readyz}");
+
+        shared.set_state(crate::observatory::ServiceState::Ready);
+        let readyz = get(addr, "/readyz");
+        assert!(readyz.starts_with("HTTP/1.1 200"), "{readyz}");
+        assert!(readyz.contains("\"ready\": true"), "{readyz}");
+
+        shared.set_state(crate::observatory::ServiceState::Degraded);
+        let readyz = get(addr, "/readyz");
+        assert!(readyz.starts_with("HTTP/1.1 503"), "{readyz}");
+        assert!(readyz.contains("\"state\": \"degraded\""), "{readyz}");
+
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn oversized_head_gets_431() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = HttpConfig {
+            max_head_bytes: 256,
+            ..HttpConfig::default()
+        };
+        let handle = serve_with(listener, shared.clone(), config).unwrap();
+        let huge = format!(
+            "GET /healthz HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "a".repeat(4096)
+        );
+        let response = request(handle.addr(), &huge);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn declared_body_gets_413() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let response = request(
+            handle.addr(),
+            "GET /tables HTTP/1.1\r\nHost: test\r\nContent-Length: 4096\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let response = request(handle.addr(), "COMPLETE GARBAGE\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn slow_loris_gets_408_and_a_counter_tick() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = HttpConfig {
+            head_deadline: Duration::from_millis(150),
+            read_timeout: Duration::from_millis(50),
+            ..HttpConfig::default()
+        };
+        let handle = serve_with(listener, shared.clone(), config).unwrap();
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Send an incomplete head and then just... wait.
+        stream.write_all(b"GET /heal").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        let metrics = String::from_utf8(shared.metrics_bytes()).unwrap();
+        assert!(
+            metrics.contains(r#"orscope_observe_http_timeouts{surface="service",scope="shard"} 1"#),
+            "{metrics}"
+        );
+
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn connection_flood_gets_503_with_retry_after() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = HttpConfig {
+            max_connections: 0, // every connection is over the cap
+            retry_after_secs: 7,
+            ..HttpConfig::default()
+        };
+        let handle = serve_with(listener, shared.clone(), config).unwrap();
+        let response = get(handle.addr(), "/tables");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("Retry-After: 7"), "{response}");
+        let metrics = String::from_utf8(shared.metrics_bytes()).unwrap();
+        assert!(
+            metrics.contains(
+                r#"orscope_observe_http_rejected_conns{surface="service",scope="shard"} 1"#
+            ),
+            "{metrics}"
+        );
         shared.request_shutdown();
         handle.join();
     }

@@ -17,16 +17,21 @@
 //!   resolver traits).
 //! - [`churn`] — the built-in seeded [`ChurnModel`]: joins, leaves, and
 //!   profile drift as a pure function of the seed.
-//! - [`observatory`] — the epoch scheduler: apply churn, run a campaign
-//!   round on the shared sharded/streaming infrastructure, absorb the
-//!   result into rolling tables.
+//! - [`observatory`] — the supervised epoch scheduler: apply churn, run
+//!   a campaign round on the shared sharded/streaming infrastructure
+//!   (retrying once and degrading — never dying — on a failed round),
+//!   absorb the result into rolling tables.
 //! - [`series`] — the rolling time-series state: per-epoch
-//!   classification counts, the profile-transition matrix, trend
-//!   deltas.
-//! - [`state`] — the checkpoint: graceful shutdown flushes it, resume
-//!   fast-forwards churn and continues byte-identically.
-//! - [`http`] — the hand-rolled HTTP surface: `/healthz`, `/tables`,
-//!   `/trends`, `/metrics`.
+//!   classification counts, the profile-transition matrix (including
+//!   the `skip` pseudo-row that conserves population through degraded
+//!   epochs), trend deltas.
+//! - [`state`] — checkpoint generations: integrity-sealed, fsynced
+//!   snapshots; resume quarantines corrupt generations, rolls back to
+//!   the newest verified one, fast-forwards churn, and continues
+//!   byte-identically.
+//! - [`http`] — the hand-rolled, hardened HTTP surface: `/healthz`,
+//!   `/readyz`, `/tables`, `/trends`, `/metrics` under explicit
+//!   [`HttpConfig`] limits.
 //!
 //! # Quick start
 //!
@@ -54,6 +59,7 @@
 //! ```
 
 pub mod churn;
+pub(crate) mod codec;
 pub mod http;
 pub mod observatory;
 pub mod resolve;
@@ -61,8 +67,10 @@ pub mod series;
 pub mod state;
 
 pub use churn::{ChurnConfig, ChurnModel, ChurnResolution};
-pub use http::{serve, HttpHandle};
-pub use observatory::{Observatory, ObservatoryShared, RunReport, ServeConfig, ServeError};
+pub use http::{serve, serve_with, HttpConfig, HttpHandle};
+pub use observatory::{
+    EpochSabotage, Observatory, ObservatoryShared, RunReport, ServeConfig, ServeError, ServiceState,
+};
 pub use resolve::{Resolution, Resolve, Update};
 pub use series::{EpochRow, RollingTables, TransitionMatrix};
-pub use state::{Fingerprint, ObservatoryCheckpoint};
+pub use state::{Fingerprint, ObservatoryCheckpoint, Recovery};

@@ -1,4 +1,5 @@
-//! The epoch scheduler: rolling campaigns over a churning population.
+//! The epoch scheduler: supervised rolling campaigns over a churning
+//! population.
 //!
 //! An [`Observatory`] owns a [`Resolve`] discovery source (by default
 //! the seeded [`ChurnModel`]) and a [`ServeConfig`]. Each virtual-day
@@ -6,21 +7,34 @@
 //! the profile-transition matrix, runs one full campaign round over the
 //! current membership on the shared sharded/streaming infrastructure,
 //! reduces the round to an [`EpochRow`], and absorbs it into the
-//! [`RollingTables`] behind the HTTP surface. Determinism is end to
-//! end: membership is a pure function of the churn seed, each round's
-//! campaign seed is a pure function of `(serve seed, epoch)`, and
-//! campaign results are shard-invariant — so the same configuration
-//! produces byte-identical `/tables` and `/trends` documents at any
-//! shard count, and (via the checkpoint) across a kill-and-resume.
+//! [`RollingTables`] behind the HTTP surface.
+//!
+//! Unattended operation is the design center. Every epoch runs under a
+//! supervisor: a round that panics, fails permanently, or blows its
+//! virtual-time deadline is retried once with the identical seed, and a
+//! second failure produces a *degraded* row — population accounted for
+//! in the transition matrix's `skip` pseudo-row, scan counts zeroed —
+//! instead of killing the process. State persists as verified
+//! checkpoint generations ([`ObservatoryCheckpoint::save_generation`]);
+//! on resume, corrupt generations are quarantined and the run rolls
+//! back to the newest one that verifies.
+//!
+//! Determinism is end to end: membership is a pure function of the
+//! churn seed, each round's campaign seed is a pure function of
+//! `(serve seed, epoch)`, campaign results are shard-invariant, and a
+//! deadline blows (or not) identically at every shard count — so the
+//! same configuration produces byte-identical `/tables` and `/trends`
+//! documents at any shard count, and across any kill/corrupt/resume
+//! history.
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use orscope_core::{Campaign, CampaignConfig, CampaignError, Infra};
+use orscope_core::{Campaign, CampaignConfig, CampaignError, CampaignResult, Infra};
 use orscope_dns_wire::Rcode;
 use orscope_netsim::EpochClock;
 use orscope_resolver::paper::Year;
@@ -28,7 +42,6 @@ use orscope_resolver::population::PopulationConfig;
 use orscope_resolver::{HostList, PlannedResolver, ProfileClass};
 use orscope_telemetry::{Collector, Counter, Gauge, Scope, TelemetrySnapshot};
 use parking_lot::{Mutex, RwLock};
-use serde_json::json;
 
 use crate::churn::{ChurnConfig, ChurnModel};
 use crate::resolve::{Resolution, Resolve, Update};
@@ -40,6 +53,20 @@ use crate::state::{Fingerprint, ObservatoryCheckpoint};
 /// works; what matters is that it is fixed, so epoch seeds survive
 /// restarts).
 const EPOCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic epoch-failure injection, for exercising the epoch
+/// supervisor. The targeted epoch's first `failures` *attempts* (the
+/// initial run and, if needed, the retry) panic before the campaign
+/// starts: `failures: 1` exercises the invisible-retry path, `failures:
+/// 2` forces a degraded row. Not part of the run [`Fingerprint`] — a
+/// sabotaged-then-retried epoch produces byte-identical tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSabotage {
+    /// Which epoch's attempts to fail.
+    pub epoch: u64,
+    /// How many consecutive attempts to fail.
+    pub failures: u32,
+}
 
 /// Everything that shapes a serve run.
 #[derive(Debug, Clone)]
@@ -58,24 +85,34 @@ pub struct ServeConfig {
     pub epochs: Option<u64>,
     /// Churn model knobs.
     pub churn: ChurnConfig,
-    /// Where the checkpoint lives. The library default is a path under
-    /// the OS temp dir so tests and casual runs never litter the
+    /// Where checkpoint generations live. The library default is a path
+    /// under the OS temp dir so tests and casual runs never litter the
     /// working tree; the CLI overrides it with a visible (gitignored)
     /// default.
     pub state_dir: PathBuf,
     /// Also checkpoint every N completed epochs (0 = only the final
     /// flush on exit).
     pub checkpoint_every: u64,
+    /// Verified checkpoint generations to retain (oldest are pruned).
+    pub keep_generations: usize,
     /// Wall-clock pause between epochs, so a demo serve doesn't spin
     /// a core replaying days as fast as it can.
     pub interval: Duration,
     /// Collect campaign telemetry for the `/metrics` surface.
     pub telemetry: bool,
+    /// Virtual-time budget per campaign round, in virtual seconds. A
+    /// round still busy at the deadline fails its attempt (and, after
+    /// the retry, degrades the epoch) instead of stalling the scheduler
+    /// forever. `None` runs every round to idle.
+    pub epoch_deadline_virtual_secs: Option<u64>,
+    /// Failure injection for the epoch supervisor (tests only).
+    pub sabotage: Option<EpochSabotage>,
 }
 
 impl ServeConfig {
     /// Defaults: one virtual day per epoch, default churn, telemetry
-    /// on, run-until-shutdown, state under the OS temp dir.
+    /// on, run-until-shutdown, state under the OS temp dir, three
+    /// checkpoint generations, no deadline.
     pub fn new(year: Year, scale: f64) -> Self {
         Self {
             year,
@@ -87,8 +124,11 @@ impl ServeConfig {
             churn: ChurnConfig::default(),
             state_dir: std::env::temp_dir().join("orscope-serve"),
             checkpoint_every: 0,
+            keep_generations: 3,
             interval: Duration::ZERO,
             telemetry: true,
+            epoch_deadline_virtual_secs: None,
+            sabotage: None,
         }
     }
 
@@ -110,6 +150,12 @@ impl ServeConfig {
         if self.epochs == Some(0) {
             return Err("epoch limit 0 would never scan".to_string());
         }
+        if self.keep_generations == 0 {
+            return Err("keep-generations 0 would delete every checkpoint".to_string());
+        }
+        if self.epoch_deadline_virtual_secs == Some(0) {
+            return Err("epoch deadline 0 would fail every round".to_string());
+        }
         self.churn.validate()
     }
 
@@ -122,6 +168,7 @@ impl ServeConfig {
             shards: self.shards,
             epoch_virtual_secs: self.epoch_virtual_secs,
             churn: self.churn.clone(),
+            epoch_deadline_virtual_secs: self.epoch_deadline_virtual_secs,
         }
     }
 }
@@ -133,11 +180,19 @@ pub enum ServeError {
     InvalidConfig(String),
     /// A campaign round failed.
     Campaign(CampaignError),
+    /// The state dir is unusable: not creatable, not a directory, or
+    /// not writable. Detected at startup, before any epoch runs.
+    StateDir(String),
     /// The state dir could not be read or written.
     Io(std::io::Error),
     /// The state dir holds a checkpoint from a different run identity;
     /// continuing would splice two incompatible output streams.
     IncompatibleCheckpoint(String),
+    /// Every checkpoint generation in the state dir failed
+    /// verification. The corrupt files were quarantined (`*.corrupt`);
+    /// resuming silently from scratch would hide the data loss, so the
+    /// operator must opt in by pointing at a fresh state dir.
+    CorruptState(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -145,10 +200,12 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::InvalidConfig(reason) => write!(f, "invalid serve config: {reason}"),
             ServeError::Campaign(err) => write!(f, "campaign round failed: {err}"),
+            ServeError::StateDir(reason) => write!(f, "unusable state dir: {reason}"),
             ServeError::Io(err) => write!(f, "serve state dir: {err}"),
             ServeError::IncompatibleCheckpoint(reason) => {
                 write!(f, "incompatible checkpoint: {reason}")
             }
+            ServeError::CorruptState(reason) => write!(f, "corrupt state: {reason}"),
         }
     }
 }
@@ -174,8 +231,56 @@ pub struct RunReport {
     pub epochs_completed: u64,
     /// `Some(n)` when the run resumed a checkpoint with `n` epochs done.
     pub resumed_from: Option<u64>,
-    /// Where the final checkpoint was flushed.
+    /// Where the final checkpoint generation was flushed.
     pub checkpoint_path: PathBuf,
+    /// Corrupt generations quarantined (`*.corrupt`) during recovery;
+    /// each one is a rollback to an older generation.
+    pub quarantined: Vec<PathBuf>,
+    /// Epochs that exhausted their retry and were absorbed as degraded
+    /// rows this run.
+    pub epochs_degraded: u64,
+}
+
+/// Where the scheduler is in its lifecycle, as exposed on `/readyz`.
+/// `/healthz` answers "is the process alive" and stays 200 through
+/// recovery and degradation; `/readyz` answers "is the data surface
+/// fully caught up and clean".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceState {
+    /// Constructed, not yet running.
+    Starting,
+    /// Verifying checkpoint generations / replaying churn.
+    Recovering,
+    /// Serving; last epoch completed normally.
+    Ready,
+    /// Serving, but the most recent epoch was absorbed as a degraded
+    /// row.
+    Degraded,
+    /// Final checkpoint flushed; scheduler exited.
+    Stopping,
+}
+
+impl ServiceState {
+    fn from_u8(value: u8) -> Self {
+        match value {
+            0 => ServiceState::Starting,
+            1 => ServiceState::Recovering,
+            2 => ServiceState::Ready,
+            3 => ServiceState::Degraded,
+            _ => ServiceState::Stopping,
+        }
+    }
+
+    /// The state's wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceState::Starting => "starting",
+            ServiceState::Recovering => "recovering",
+            ServiceState::Ready => "ready",
+            ServiceState::Degraded => "degraded",
+            ServiceState::Stopping => "stopping",
+        }
+    }
 }
 
 /// State shared between the epoch scheduler and the HTTP surface.
@@ -193,8 +298,14 @@ pub struct ObservatoryShared {
     drifts_counter: Counter,
     rounds_counter: Counter,
     http_requests: Counter,
+    degraded_counter: Counter,
+    retries_counter: Counter,
+    rollbacks_counter: Counter,
+    http_rejected: Counter,
+    http_timeout: Counter,
     epochs_completed: AtomicU64,
     population: AtomicU64,
+    state: AtomicU8,
     healthy: AtomicBool,
     shutdown: AtomicBool,
 }
@@ -213,9 +324,15 @@ impl ObservatoryShared {
             drifts_counter: service.counter(Scope::Shard, "observe.churn_drifts"),
             rounds_counter: service.counter(Scope::Shard, "observe.rounds"),
             http_requests: service.counter(Scope::Shard, "observe.http_requests"),
+            degraded_counter: service.counter(Scope::Shard, "observe.epochs_degraded"),
+            retries_counter: service.counter(Scope::Shard, "observe.epoch_retries"),
+            rollbacks_counter: service.counter(Scope::Shard, "observe.checkpoint_rollbacks"),
+            http_rejected: service.counter(Scope::Shard, "observe.http_rejected_conns"),
+            http_timeout: service.counter(Scope::Shard, "observe.http_timeouts"),
             service,
             epochs_completed: AtomicU64::new(0),
             population: AtomicU64::new(0),
+            state: AtomicU8::new(ServiceState::Starting as u8),
             healthy: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         })
@@ -237,14 +354,39 @@ impl ObservatoryShared {
     }
 
     /// Whether the scheduler is up (true from run start to final
-    /// checkpoint flush).
+    /// checkpoint flush; liveness, not readiness).
     pub fn is_healthy(&self) -> bool {
         self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Where the scheduler is in its lifecycle.
+    pub fn state(&self) -> ServiceState {
+        ServiceState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_state(&self, state: ServiceState) {
+        self.state.store(state as u8, Ordering::SeqCst);
+    }
+
+    /// Whether `/readyz` should answer 200: serving, caught up, and the
+    /// last epoch was clean.
+    pub fn is_ready(&self) -> bool {
+        self.state() == ServiceState::Ready
     }
 
     /// Counts one HTTP request against the service metrics.
     pub fn record_http_request(&self) {
         self.http_requests.inc();
+    }
+
+    /// Counts one connection turned away at the limit.
+    pub fn record_http_rejected(&self) {
+        self.http_rejected.inc();
+    }
+
+    /// Counts one connection dropped for blowing an I/O deadline.
+    pub fn record_http_timeout(&self) {
+        self.http_timeout.inc();
     }
 
     /// A point-in-time clone of the rolling tables (for exporters and
@@ -263,18 +405,37 @@ impl ObservatoryShared {
         self.tables.read().trends_bytes()
     }
 
-    /// The `/healthz` document, as served.
+    /// The `/healthz` document, as served. Liveness only: 200 as long
+    /// as the process runs, through recovery and degraded epochs alike.
     pub fn healthz_bytes(&self) -> Vec<u8> {
+        // Hand-formatted (like the checkpoint codec): the probes must
+        // answer even if a serializer is misbehaving — they are what
+        // the operator's monitoring trusts.
         let status = if self.is_healthy() { "ok" } else { "stopping" };
-        let mut bytes = serde_json::to_string_pretty(&json!({
-            "status": status,
-            "epochs_completed": self.epochs_completed(),
-            "population": self.population.load(Ordering::SeqCst),
-        }))
-        .expect("healthz is plain data")
-        .into_bytes();
-        bytes.push(b'\n');
-        bytes
+        format!(
+            "{{\n  \"epochs_completed\": {},\n  \"population\": {},\n  \"status\": \"{status}\"\n}}\n",
+            self.epochs_completed(),
+            self.population.load(Ordering::SeqCst),
+        )
+        .into_bytes()
+    }
+
+    /// The `/readyz` document, as served (the HTTP layer pairs it with
+    /// 200 when [`Self::is_ready`], 503 otherwise).
+    pub fn readyz_bytes(&self) -> Vec<u8> {
+        let state = self.state();
+        format!(
+            "{{\n  \"checkpoint_rollbacks\": {},\n  \"epoch_retries\": {},\n  \
+             \"epochs_completed\": {},\n  \"epochs_degraded\": {},\n  \
+             \"ready\": {},\n  \"state\": \"{}\"\n}}\n",
+            self.rollbacks_counter.get(),
+            self.retries_counter.get(),
+            self.epochs_completed(),
+            self.degraded_counter.get(),
+            state == ServiceState::Ready,
+            state.as_str(),
+        )
+        .into_bytes()
     }
 
     /// The `/metrics` document: service gauges/counters plus the
@@ -340,17 +501,24 @@ impl<R: Resolve> Observatory<R> {
     }
 
     /// Runs epochs until the limit is reached or shutdown is requested,
-    /// then flushes the final checkpoint. Blocking; pair with
-    /// [`crate::http::serve`] on another thread for the live surface.
+    /// then flushes the final checkpoint generation. Blocking; pair
+    /// with [`crate::http::serve`] on another thread for the live
+    /// surface.
     ///
     /// # Errors
     ///
-    /// Fails on a campaign-round error, an unreadable/unwritable state
-    /// dir, or a state dir holding an incompatible checkpoint.
+    /// Fails on an unusable state dir, a state dir whose every
+    /// generation is corrupt or was written by an incompatible run, or
+    /// a non-degradable campaign error. Epoch-level failures (panics,
+    /// deadline blows, lost shards) do NOT error: they degrade.
     pub fn run(&mut self) -> Result<RunReport, ServeError> {
         let config = &self.config;
         let shared = &self.shared;
         let clock = EpochClock::new(Duration::from_secs(config.epoch_virtual_secs));
+
+        ensure_state_dir(&config.state_dir)?;
+        shared.set_state(ServiceState::Recovering);
+        shared.healthy.store(true, Ordering::SeqCst);
 
         let mut target = PopulationConfig::new(config.year, config.scale);
         target.seed = config.seed;
@@ -358,23 +526,39 @@ impl<R: Resolve> Observatory<R> {
         let mut resolution = self.resolve.resolve(&target);
         let statics = resolution.seed_population();
 
-        // Resume: load tables, then fast-forward churn through the
-        // completed epochs (membership is a pure function of the seed,
-        // so no scans re-run).
+        // Resume: verify generations newest-first, quarantining corrupt
+        // ones, then fast-forward churn through the completed epochs
+        // (membership is a pure function of the seed, so no scans
+        // re-run).
+        let ours = config.fingerprint();
+        let recovery = ObservatoryCheckpoint::recover(&config.state_dir, &ours)?;
+        let quarantined = recovery.quarantined.clone();
+        if recovery.rollbacks() > 0 {
+            shared.rollbacks_counter.add(recovery.rollbacks());
+        }
         let mut resumed_from = None;
-        if let Some(checkpoint) = ObservatoryCheckpoint::load(&config.state_dir)? {
-            let ours = config.fingerprint();
-            if !checkpoint.fingerprint.compatible_with(&ours) {
+        match recovery.checkpoint {
+            Some(checkpoint) => {
+                resumed_from = Some(checkpoint.epochs_done);
+                *shared.tables.write() = checkpoint.tables;
+            }
+            None if !recovery.incompatible.is_empty() => {
                 return Err(ServeError::IncompatibleCheckpoint(format!(
-                    "state dir {} was written by a different run \
-                     (theirs: {:?}, ours: {:?}); move it aside or change --state-dir",
+                    "state dir {} was written by a different run ({}); \
+                     move it aside or change --state-dir",
                     config.state_dir.display(),
-                    checkpoint.fingerprint,
-                    ours
+                    recovery.incompatible[0].display(),
                 )));
             }
-            resumed_from = Some(checkpoint.epochs_done);
-            *shared.tables.write() = checkpoint.tables;
+            None if !recovery.quarantined.is_empty() => {
+                return Err(ServeError::CorruptState(format!(
+                    "every checkpoint generation in {} failed verification and was \
+                     quarantined as *.corrupt; restarting from epoch 0 would silently \
+                     discard history — point --state-dir at a fresh directory to start over",
+                    config.state_dir.display(),
+                )));
+            }
+            None => {}
         }
         let start_epoch = resumed_from.unwrap_or(0);
 
@@ -390,8 +574,10 @@ impl<R: Resolve> Observatory<R> {
         shared
             .population
             .store(members.len() as u64, Ordering::SeqCst);
-        shared.healthy.store(true, Ordering::SeqCst);
+        shared.set_state(ServiceState::Ready);
 
+        let mut sabotage_left = config.sabotage.map_or(0, |plan| plan.failures);
+        let mut epochs_degraded = 0u64;
         let mut epochs_completed = start_epoch;
         let result = loop {
             if config.epochs.is_some_and(|limit| epochs_completed >= limit) {
@@ -413,68 +599,97 @@ impl<R: Resolve> Observatory<R> {
                 }
             }
 
-            let mut transitions = TransitionMatrix::default();
-            let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
-            for (addr, class) in &classes {
-                transitions.record(prev_classes.get(addr).copied(), *class);
-                *class_counts.entry(class.as_str().to_string()).or_insert(0) += 1;
+            // ---- supervised campaign round: attempt, retry once with
+            // the identical seed, then degrade ----
+            let mut round = None;
+            for attempt in 0..2u32 {
+                let sabotaged =
+                    config.sabotage.is_some_and(|plan| plan.epoch == epoch) && sabotage_left > 0;
+                if sabotaged {
+                    sabotage_left -= 1;
+                }
+                match self.run_round(epoch, &statics, &members, sabotaged) {
+                    Ok(result) => {
+                        round = Some(result);
+                        break;
+                    }
+                    Err(message) => {
+                        if attempt == 0 {
+                            shared.retries_counter.inc();
+                            eprintln!("epoch {epoch} attempt failed ({message}); retrying");
+                        } else {
+                            eprintln!("epoch {epoch} retry failed ({message}); degrading");
+                        }
+                    }
+                }
             }
 
-            // The epoch membership re-enters the compact representation
-            // here: each member's (owned) policy is interned against the
-            // shared pool table, so a round's storage stays ~10 bytes
-            // per host no matter how large the membership grows. For the
-            // built-in churn model every policy is already a pool
-            // profile and interning allocates nothing new.
-            let mut population = statics.clone();
-            let table = Arc::make_mut(&mut population.table);
-            let mut resolvers = HostList::with_capacity(members.len());
-            for member in members.values() {
-                let profile = table.intern(member.policy.clone());
-                let country = table.intern_country(member.country);
-                resolvers.push(member.addr, profile, country);
-            }
-            population.resolvers = resolvers;
-
-            let campaign_config = CampaignConfig::new(config.year, config.scale)
-                .with_seed(
-                    config
-                        .seed
-                        .wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE)),
-                )
-                .with_shards(config.shards)
-                .with_telemetry(config.telemetry);
-            let round = match Campaign::new(campaign_config).run_with_population(population) {
-                Ok(round) => round,
-                Err(err) => break Err(ServeError::Campaign(err)),
-            };
-
-            let breakdown = round.table3_measured().0;
-            let rcodes = round.table6_measured();
-            let (nx_w, nx_wo) = rcodes.get(Rcode::NXDomain);
-            let (ref_w, ref_wo) = rcodes.get(Rcode::Refused);
-            let row = EpochRow {
-                epoch,
-                virtual_day: clock.days_at(epoch),
-                population: members.len() as u64,
-                joins,
-                leaves,
-                drifts,
-                r2: breakdown.total(),
-                without_answer: breakdown.wo,
-                correct: breakdown.w_corr,
-                incorrect: breakdown.w_incorr,
-                err_pct: breakdown.err_pct(),
-                nxdomain: nx_w + nx_wo,
-                refused: ref_w + ref_wo,
-                malicious: round.table9_measured().total_r2(),
-                class_counts,
-                transitions,
+            let row = match &round {
+                Some(round) => {
+                    let mut transitions = TransitionMatrix::default();
+                    let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
+                    for (addr, class) in &classes {
+                        transitions.record(prev_classes.get(addr).copied(), *class);
+                        *class_counts.entry(class.as_str().to_string()).or_insert(0) += 1;
+                    }
+                    let breakdown = round.table3_measured().0;
+                    let rcodes = round.table6_measured();
+                    let (nx_w, nx_wo) = rcodes.get(Rcode::NXDomain);
+                    let (ref_w, ref_wo) = rcodes.get(Rcode::Refused);
+                    EpochRow {
+                        epoch,
+                        virtual_day: clock.days_at(epoch),
+                        population: members.len() as u64,
+                        joins,
+                        leaves,
+                        drifts,
+                        r2: breakdown.total(),
+                        without_answer: breakdown.wo,
+                        correct: breakdown.w_corr,
+                        incorrect: breakdown.w_incorr,
+                        err_pct: breakdown.err_pct(),
+                        nxdomain: nx_w + nx_wo,
+                        refused: ref_w + ref_wo,
+                        malicious: round.table9_measured().total_r2(),
+                        class_counts,
+                        transitions,
+                        degraded: false,
+                    }
+                }
+                None => {
+                    // Degraded epoch: the scan never produced a usable
+                    // round. Membership still advanced (churn is pure),
+                    // so the population is conserved in the `skip`
+                    // pseudo-row at each member's current class; scan
+                    // counts stay zero.
+                    let mut transitions = TransitionMatrix::default();
+                    let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
+                    for class in classes.values() {
+                        transitions.record_skip(*class);
+                        *class_counts.entry(class.as_str().to_string()).or_insert(0) += 1;
+                    }
+                    EpochRow {
+                        epoch,
+                        virtual_day: clock.days_at(epoch),
+                        population: members.len() as u64,
+                        joins,
+                        leaves,
+                        drifts,
+                        r2: 0,
+                        without_answer: 0,
+                        correct: 0,
+                        incorrect: 0,
+                        err_pct: 0.0,
+                        nxdomain: 0,
+                        refused: 0,
+                        malicious: 0,
+                        class_counts,
+                        transitions,
+                        degraded: true,
+                    }
+                }
             };
             shared.tables.write().absorb_epoch(row);
-            if let Some(snapshot) = round.telemetry() {
-                shared.campaign_telemetry.lock().absorb(snapshot);
-            }
 
             epochs_completed += 1;
             shared
@@ -485,40 +700,152 @@ impl<R: Resolve> Observatory<R> {
                 .store(members.len() as u64, Ordering::SeqCst);
             shared.epochs_gauge.set(epochs_completed);
             shared.population_gauge.set(members.len() as u64);
-            shared
-                .materialized_gauge
-                .set(round.materialized_hosts() as u64);
             if epoch > 0 {
                 shared.joins_counter.add(joins);
             }
             shared.leaves_counter.add(leaves);
             shared.drifts_counter.add(drifts);
-            shared.rounds_counter.inc();
+            match round {
+                Some(round) => {
+                    shared
+                        .materialized_gauge
+                        .set(round.materialized_hosts() as u64);
+                    shared.rounds_counter.inc();
+                    if let Some(snapshot) = round.telemetry() {
+                        shared.campaign_telemetry.lock().absorb(snapshot);
+                    }
+                    shared.set_state(ServiceState::Ready);
+                }
+                None => {
+                    epochs_degraded += 1;
+                    shared.degraded_counter.inc();
+                    shared.set_state(ServiceState::Degraded);
+                }
+            }
 
             if config.checkpoint_every > 0 && epochs_completed % config.checkpoint_every == 0 {
-                self.flush_checkpoint(epochs_completed)?;
+                self.flush_generation(epochs_completed)?;
             }
             wait_interval(shared, config.interval);
         };
 
-        // Final flush happens even on a campaign error: the completed
+        // Final flush happens even on an error path: the completed
         // epochs are valid and resumable.
-        let checkpoint_path = self.flush_checkpoint(epochs_completed)?;
+        let checkpoint_path = self.flush_generation(epochs_completed)?;
+        shared.set_state(ServiceState::Stopping);
         shared.healthy.store(false, Ordering::SeqCst);
         result.map(|()| RunReport {
             epochs_completed,
             resumed_from,
             checkpoint_path,
+            quarantined,
+            epochs_degraded,
         })
     }
 
-    fn flush_checkpoint(&self, epochs_done: u64) -> Result<PathBuf, ServeError> {
+    /// One supervised campaign attempt for `epoch`: builds the round's
+    /// population (members interned against the shared pool table),
+    /// runs the campaign under `catch_unwind`, and maps every failure
+    /// mode — panic, campaign error, shard-incomplete result — to an
+    /// `Err` so the epoch supervisor can retry or degrade uniformly.
+    fn run_round(
+        &self,
+        epoch: u64,
+        statics: &orscope_resolver::population::Population,
+        members: &BTreeMap<Ipv4Addr, PlannedResolver>,
+        sabotaged: bool,
+    ) -> Result<CampaignResult, String> {
+        let config = &self.config;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if sabotaged {
+                panic!("sabotaged epoch attempt");
+            }
+            // The epoch membership re-enters the compact representation
+            // here: each member's (owned) policy is interned against
+            // the shared pool table, so a round's storage stays ~10
+            // bytes per host no matter how large the membership grows.
+            // For the built-in churn model every policy is already a
+            // pool profile and interning allocates nothing new.
+            let mut population = statics.clone();
+            let table = Arc::make_mut(&mut population.table);
+            let mut resolvers = HostList::with_capacity(members.len());
+            for member in members.values() {
+                let profile = table.intern(member.policy.clone());
+                let country = table.intern_country(member.country);
+                resolvers.push(member.addr, profile, country);
+            }
+            population.resolvers = resolvers;
+
+            let mut campaign_config = CampaignConfig::new(config.year, config.scale)
+                .with_seed(
+                    config
+                        .seed
+                        .wrapping_add(epoch.wrapping_mul(EPOCH_SEED_STRIDE)),
+                )
+                .with_shards(config.shards)
+                .with_telemetry(config.telemetry);
+            if let Some(deadline) = config.epoch_deadline_virtual_secs {
+                campaign_config =
+                    campaign_config.with_virtual_deadline(Duration::from_secs(deadline));
+            }
+            Campaign::new(campaign_config).run_with_population(population)
+        }));
+        match outcome {
+            Ok(Ok(round)) => {
+                if round.is_partial() {
+                    // A shard is missing, so the counts depend on the
+                    // shard layout; absorbing them would break
+                    // byte-invariance. Treat like any other failure.
+                    let report = round
+                        .degraded()
+                        .map(ToString::to_string)
+                        .unwrap_or_default();
+                    Err(format!("shard-incomplete result: {}", report.trim_end()))
+                } else {
+                    Ok(round)
+                }
+            }
+            Ok(Err(err)) => Err(err.to_string()),
+            Err(panic) => Err(panic_message(&panic)),
+        }
+    }
+
+    fn flush_generation(&self, epochs_done: u64) -> Result<PathBuf, ServeError> {
         let checkpoint = ObservatoryCheckpoint {
             fingerprint: self.config.fingerprint(),
             epochs_done,
             tables: self.shared.tables.read().clone(),
         };
-        Ok(checkpoint.save(&self.config.state_dir)?)
+        Ok(checkpoint.save_generation(&self.config.state_dir, self.config.keep_generations)?)
+    }
+}
+
+/// Creates the state dir if needed and proves it is a writable
+/// directory, so a bad `--state-dir` fails at startup with a clear
+/// message instead of after the first epoch's worth of work.
+fn ensure_state_dir(dir: &Path) -> Result<(), ServeError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|err| ServeError::StateDir(format!("cannot create {}: {err}", dir.display())))?;
+    if !dir.is_dir() {
+        return Err(ServeError::StateDir(format!(
+            "{} exists but is not a directory",
+            dir.display()
+        )));
+    }
+    let probe = dir.join(".write-probe.tmp");
+    std::fs::write(&probe, b"probe")
+        .and_then(|()| std::fs::remove_file(&probe))
+        .map_err(|err| ServeError::StateDir(format!("{} is not writable: {err}", dir.display())))
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        format!("panic: {message}")
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        format!("panic: {message}")
+    } else {
+        "panic: <non-string payload>".to_string()
     }
 }
 
@@ -601,17 +928,28 @@ mod tests {
         let mut zero_epochs = config("validate2");
         zero_epochs.epochs = Some(0);
         assert!(Observatory::new(zero_epochs).is_err());
+        let mut zero_keep = config("validate3");
+        zero_keep.keep_generations = 0;
+        assert!(Observatory::new(zero_keep).is_err());
+        let mut zero_deadline = config("validate4");
+        zero_deadline.epoch_deadline_virtual_secs = Some(0);
+        assert!(Observatory::new(zero_deadline).is_err());
     }
 
     #[test]
     fn runs_the_configured_number_of_epochs() {
         let mut observatory = Observatory::new(config("runs")).unwrap();
         let shared = observatory.shared();
+        assert_eq!(shared.state(), ServiceState::Starting);
         let report = observatory.run().unwrap();
         assert_eq!(report.epochs_completed, 3);
         assert_eq!(report.resumed_from, None);
+        assert_eq!(report.epochs_degraded, 0);
+        assert!(report.quarantined.is_empty());
         assert_eq!(shared.epochs_completed(), 3);
         assert!(!shared.is_healthy(), "unhealthy after final flush");
+        assert_eq!(shared.state(), ServiceState::Stopping);
+        assert!(!shared.is_ready());
         let tables = shared.tables_bytes();
         assert!(!tables.is_empty());
         assert!(report.checkpoint_path.exists());
@@ -665,6 +1003,42 @@ mod tests {
         let report = observatory.run().unwrap();
         assert_eq!(report.epochs_completed, 0);
         assert!(report.checkpoint_path.exists());
+        std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+    }
+
+    #[test]
+    fn state_dir_under_a_file_is_a_startup_error() {
+        let blocker = std::env::temp_dir().join(format!(
+            "orscope-observatory-blocker-{}",
+            std::process::id()
+        ));
+        std::fs::write(&blocker, b"in the way").unwrap();
+        let mut bad = config("statedir");
+        bad.state_dir = blocker.join("nested");
+        let err = Observatory::new(bad).unwrap().run().unwrap_err();
+        assert!(matches!(err, ServeError::StateDir(_)), "{err}");
+        std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[test]
+    fn sabotaged_epoch_degrades_after_one_retry() {
+        let mut sabotaged = config("sabotage");
+        sabotaged.sabotage = Some(EpochSabotage {
+            epoch: 1,
+            failures: 2,
+        });
+        let mut observatory = Observatory::new(sabotaged).unwrap();
+        let shared = observatory.shared();
+        let report = observatory.run().unwrap();
+        assert_eq!(report.epochs_completed, 3, "run survived the bad epoch");
+        assert_eq!(report.epochs_degraded, 1);
+        let tables = shared.tables_snapshot();
+        let row = &tables.epochs()[1];
+        assert!(row.degraded);
+        assert_eq!(row.r2, 0);
+        assert_eq!(row.transitions.total(), row.population, "conserved");
+        assert!(!tables.epochs()[0].degraded);
+        assert!(!tables.epochs()[2].degraded);
         std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
     }
 }

@@ -16,15 +16,24 @@ use orscope_resolver::ProfileClass;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Map, Value};
 
+use crate::codec::{count_map, Wire};
+
 /// Number of behavior classes a member can be in.
 pub const N_CLASSES: usize = ProfileClass::ALL.len();
 
+/// Number of matrix rows: one per previous-epoch class, plus the `join`
+/// and `skip` pseudo-rows.
+pub const N_ROWS: usize = N_CLASSES + 2;
+
 /// How members moved between behavior classes across one epoch (or
-/// cumulatively). Rows are the previous-epoch class plus a `join`
-/// pseudo-row for members that were not present last epoch; columns are
-/// the current class. Every *current* member lands in exactly one cell,
-/// so a per-epoch matrix totals to that epoch's population size — the
-/// conservation law the determinism suite checks.
+/// cumulatively). Rows are the previous-epoch class plus two
+/// pseudo-rows: `join` for members that were not present last epoch,
+/// and `skip` for members counted during a degraded epoch — one whose
+/// campaign round failed under supervision, so no scan backs its
+/// transitions. Columns are the current class. Every *current* member
+/// lands in exactly one cell, so a per-epoch matrix totals to that
+/// epoch's population size — the conservation law the determinism
+/// suite checks, degraded epochs included.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransitionMatrix {
     counts: Vec<Vec<u64>>,
@@ -33,7 +42,7 @@ pub struct TransitionMatrix {
 impl Default for TransitionMatrix {
     fn default() -> Self {
         Self {
-            counts: vec![vec![0; N_CLASSES]; N_CLASSES + 1],
+            counts: vec![vec![0; N_CLASSES]; N_ROWS],
         }
     }
 }
@@ -44,6 +53,26 @@ impl TransitionMatrix {
     pub fn record(&mut self, from: Option<ProfileClass>, to: ProfileClass) {
         let row = from.map_or(N_CLASSES, |class| class.index());
         self.counts[row][to.index()] += 1;
+    }
+
+    /// Records one member of a *degraded* epoch in the conserving
+    /// `skip` pseudo-row: the member is present (so the population
+    /// total stays honest) but no scan vouches for its transition.
+    pub fn record_skip(&mut self, current: ProfileClass) {
+        self.counts[N_CLASSES + 1][current.index()] += 1;
+    }
+
+    /// The count skipped into `to` during degraded epochs.
+    pub fn get_skip(&self, to: ProfileClass) -> u64 {
+        self.counts[N_CLASSES + 1][to.index()]
+    }
+
+    /// Whether the matrix has the expected shape. Deserialized
+    /// checkpoints are validated with this before they are trusted: a
+    /// matrix from an older layout (or a corrupted one that still
+    /// parsed) must roll back, not index out of bounds later.
+    pub fn is_well_formed(&self) -> bool {
+        self.counts.len() == N_ROWS && self.counts.iter().all(|row| row.len() == N_CLASSES)
     }
 
     /// The count in one cell (`from: None` = the join pseudo-row).
@@ -79,9 +108,35 @@ impl TransitionMatrix {
         }
     }
 
+    /// The checkpoint wire form: `{"counts": [[u64; N_CLASSES]; N_ROWS]}`.
+    pub(crate) fn to_wire(&self) -> Wire {
+        Wire::obj(vec![(
+            "counts",
+            Wire::Arr(
+                self.counts
+                    .iter()
+                    .map(|row| Wire::Arr(row.iter().map(|&cell| Wire::U64(cell)).collect()))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Decodes the checkpoint wire form. Shape is not enforced here —
+    /// [`RollingTables::validate`] rejects malformed matrices so the
+    /// caller can quarantine the whole checkpoint.
+    pub(crate) fn from_wire(wire: &Wire) -> Result<Self, String> {
+        let counts = wire
+            .field("counts")?
+            .as_arr()?
+            .iter()
+            .map(|row| row.as_arr()?.iter().map(Wire::as_u64).collect())
+            .collect::<Result<Vec<Vec<u64>>, String>>()?;
+        Ok(Self { counts })
+    }
+
     /// A labeled JSON rendering: `{"from_honest": {"honest": n, ...},
-    /// ..., "join": {...}}`, rows and columns in [`ProfileClass::ALL`]
-    /// order.
+    /// ..., "join": {...}, "skip": {...}}`, rows and columns in
+    /// [`ProfileClass::ALL`] order.
     pub fn to_json(&self) -> Value {
         let mut rows = Map::new();
         let row_json = |cols: &[u64]| {
@@ -95,6 +150,7 @@ impl TransitionMatrix {
             rows.insert(format!("from_{class}"), row_json(cols));
         }
         rows.insert("join".to_string(), row_json(&self.counts[N_CLASSES]));
+        rows.insert("skip".to_string(), row_json(&self.counts[N_CLASSES + 1]));
         Value::Object(rows)
     }
 }
@@ -135,6 +191,60 @@ pub struct EpochRow {
     pub class_counts: BTreeMap<String, u64>,
     /// Class movement from the previous epoch.
     pub transitions: TransitionMatrix,
+    /// Whether this epoch's campaign round failed under supervision
+    /// (panic, permanent shard loss, or a blown virtual deadline). A
+    /// degraded row carries zeroed scan counts and its members in the
+    /// matrix `skip` pseudo-row; only the free-text failure reason stays
+    /// out of the row, because it can mention layout details (shard
+    /// indices) that would break shard-invariant table bytes.
+    #[serde(default)]
+    pub degraded: bool,
+}
+
+impl EpochRow {
+    pub(crate) fn to_wire(&self) -> Wire {
+        Wire::obj(vec![
+            ("epoch", Wire::U64(self.epoch)),
+            ("virtual_day", Wire::F64(self.virtual_day)),
+            ("population", Wire::U64(self.population)),
+            ("joins", Wire::U64(self.joins)),
+            ("leaves", Wire::U64(self.leaves)),
+            ("drifts", Wire::U64(self.drifts)),
+            ("r2", Wire::U64(self.r2)),
+            ("without_answer", Wire::U64(self.without_answer)),
+            ("correct", Wire::U64(self.correct)),
+            ("incorrect", Wire::U64(self.incorrect)),
+            ("err_pct", Wire::F64(self.err_pct)),
+            ("nxdomain", Wire::U64(self.nxdomain)),
+            ("refused", Wire::U64(self.refused)),
+            ("malicious", Wire::U64(self.malicious)),
+            ("class_counts", count_map(&self.class_counts)),
+            ("transitions", self.transitions.to_wire()),
+            ("degraded", Wire::Bool(self.degraded)),
+        ])
+    }
+
+    pub(crate) fn from_wire(wire: &Wire) -> Result<Self, String> {
+        Ok(Self {
+            epoch: wire.field("epoch")?.as_u64()?,
+            virtual_day: wire.field("virtual_day")?.as_f64()?,
+            population: wire.field("population")?.as_u64()?,
+            joins: wire.field("joins")?.as_u64()?,
+            leaves: wire.field("leaves")?.as_u64()?,
+            drifts: wire.field("drifts")?.as_u64()?,
+            r2: wire.field("r2")?.as_u64()?,
+            without_answer: wire.field("without_answer")?.as_u64()?,
+            correct: wire.field("correct")?.as_u64()?,
+            incorrect: wire.field("incorrect")?.as_u64()?,
+            err_pct: wire.field("err_pct")?.as_f64()?,
+            nxdomain: wire.field("nxdomain")?.as_u64()?,
+            refused: wire.field("refused")?.as_u64()?,
+            malicious: wire.field("malicious")?.as_u64()?,
+            class_counts: wire.field("class_counts")?.as_count_map()?,
+            transitions: TransitionMatrix::from_wire(wire.field("transitions")?)?,
+            degraded: wire.field("degraded")?.as_bool()?,
+        })
+    }
 }
 
 /// Whole-run accumulators.
@@ -155,6 +265,37 @@ pub struct Totals {
     pub leaves: u64,
     /// Drift events across all epochs.
     pub drifts: u64,
+    /// Epochs whose campaign round degraded instead of completing.
+    #[serde(default)]
+    pub epochs_degraded: u64,
+}
+
+impl Totals {
+    pub(crate) fn to_wire(&self) -> Wire {
+        Wire::obj(vec![
+            ("epochs_completed", Wire::U64(self.epochs_completed)),
+            ("r2", Wire::U64(self.r2)),
+            ("incorrect", Wire::U64(self.incorrect)),
+            ("malicious", Wire::U64(self.malicious)),
+            ("joins", Wire::U64(self.joins)),
+            ("leaves", Wire::U64(self.leaves)),
+            ("drifts", Wire::U64(self.drifts)),
+            ("epochs_degraded", Wire::U64(self.epochs_degraded)),
+        ])
+    }
+
+    pub(crate) fn from_wire(wire: &Wire) -> Result<Self, String> {
+        Ok(Self {
+            epochs_completed: wire.field("epochs_completed")?.as_u64()?,
+            r2: wire.field("r2")?.as_u64()?,
+            incorrect: wire.field("incorrect")?.as_u64()?,
+            malicious: wire.field("malicious")?.as_u64()?,
+            joins: wire.field("joins")?.as_u64()?,
+            leaves: wire.field("leaves")?.as_u64()?,
+            drifts: wire.field("drifts")?.as_u64()?,
+            epochs_degraded: wire.field("epochs_degraded")?.as_u64()?,
+        })
+    }
 }
 
 /// The observatory's accumulated state: every absorbed epoch row, the
@@ -171,6 +312,7 @@ impl RollingTables {
     pub fn absorb_epoch(&mut self, row: EpochRow) {
         self.cumulative.absorb(&row.transitions);
         self.totals.epochs_completed += 1;
+        self.totals.epochs_degraded += u64::from(row.degraded);
         self.totals.r2 += row.r2;
         self.totals.incorrect += row.incorrect;
         self.totals.malicious += row.malicious;
@@ -197,6 +339,41 @@ impl RollingTables {
         &self.totals
     }
 
+    /// Structural sanity check for state loaded from disk: matrix
+    /// shapes, epoch count, and the per-epoch conservation law. A
+    /// checkpoint that parses but fails this must be treated as
+    /// corrupt (quarantine + roll back), never absorbed.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.cumulative.is_well_formed() {
+            return Err("cumulative transition matrix has the wrong shape".to_owned());
+        }
+        if self.totals.epochs_completed != self.epochs.len() as u64 {
+            return Err(format!(
+                "totals claim {} epochs but {} rows are present",
+                self.totals.epochs_completed,
+                self.epochs.len()
+            ));
+        }
+        for row in &self.epochs {
+            if !row.transitions.is_well_formed() {
+                return Err(format!("epoch {}: malformed transition matrix", row.epoch));
+            }
+            if row.transitions.total() != row.population {
+                return Err(format!(
+                    "epoch {}: matrix total {} != population {}",
+                    row.epoch,
+                    row.transitions.total(),
+                    row.population
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The `/tables` document: the latest epoch in full, cumulative
     /// transitions, and run totals.
     pub fn tables_json(&self) -> Value {
@@ -206,6 +383,7 @@ impl RollingTables {
             "latest": latest.map(|row| json!({
                 "epoch": row.epoch,
                 "virtual_day": row.virtual_day,
+                "degraded": row.degraded,
                 "population": row.population,
                 "churn": {
                     "joins": row.joins,
@@ -227,6 +405,7 @@ impl RollingTables {
             })),
             "cumulative_transitions": self.cumulative.to_json(),
             "totals": {
+                "epochs_degraded": self.totals.epochs_degraded,
                 "r2": self.totals.r2,
                 "incorrect": self.totals.incorrect,
                 "malicious": self.totals.malicious,
@@ -247,6 +426,7 @@ impl RollingTables {
                 json!({
                     "epoch": row.epoch,
                     "virtual_day": row.virtual_day,
+                    "degraded": row.degraded,
                     "population": row.population,
                     "joins": row.joins,
                     "leaves": row.leaves,
@@ -277,8 +457,36 @@ impl RollingTables {
             .collect();
         json!({
             "epochs_completed": self.totals.epochs_completed,
+            "epochs_degraded": self.totals.epochs_degraded,
             "series": series,
             "deltas": deltas,
+        })
+    }
+
+    /// The checkpoint wire form of the whole rolling state.
+    pub(crate) fn to_wire(&self) -> Wire {
+        Wire::obj(vec![
+            (
+                "epochs",
+                Wire::Arr(self.epochs.iter().map(EpochRow::to_wire).collect()),
+            ),
+            ("cumulative", self.cumulative.to_wire()),
+            ("totals", self.totals.to_wire()),
+        ])
+    }
+
+    /// Decodes the checkpoint wire form (callers must still
+    /// [`validate`](Self::validate) before trusting it).
+    pub(crate) fn from_wire(wire: &Wire) -> Result<Self, String> {
+        Ok(Self {
+            epochs: wire
+                .field("epochs")?
+                .as_arr()?
+                .iter()
+                .map(EpochRow::from_wire)
+                .collect::<Result<Vec<EpochRow>, String>>()?,
+            cumulative: TransitionMatrix::from_wire(wire.field("cumulative")?)?,
+            totals: Totals::from_wire(wire.field("totals")?)?,
         })
     }
 
@@ -334,6 +542,7 @@ mod tests {
             malicious: 1,
             class_counts: BTreeMap::from([("honest".to_string(), population)]),
             transitions,
+            degraded: false,
         }
     }
 
@@ -361,9 +570,61 @@ mod tests {
         assert_eq!(value["join"]["honest"], json!(0));
         assert_eq!(
             value.as_object().unwrap().len(),
-            N_CLASSES + 1,
-            "one row per class plus the join pseudo-row"
+            N_ROWS,
+            "one row per class plus the join and skip pseudo-rows"
         );
+    }
+
+    #[test]
+    fn skip_row_conserves_population_without_claiming_movement() {
+        let mut matrix = TransitionMatrix::default();
+        matrix.record_skip(ProfileClass::Honest);
+        matrix.record_skip(ProfileClass::Honest);
+        matrix.record_skip(ProfileClass::Refusing);
+        assert_eq!(matrix.total(), 3, "skipped members still count");
+        assert_eq!(matrix.moved(), 0, "a skip is not a class change");
+        assert_eq!(matrix.get_skip(ProfileClass::Honest), 2);
+        assert_eq!(matrix.to_json()["skip"]["refusing"], json!(1));
+    }
+
+    #[test]
+    fn degraded_rows_count_in_totals_and_documents() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        let mut bad = row(1, 10);
+        bad.degraded = true;
+        bad.r2 = 0;
+        bad.transitions = TransitionMatrix::default();
+        for _ in 0..10 {
+            bad.transitions.record_skip(ProfileClass::Honest);
+        }
+        tables.absorb_epoch(bad);
+        assert_eq!(tables.totals().epochs_degraded, 1);
+        let doc = tables.tables_json();
+        assert_eq!(doc["latest"]["degraded"], json!(true));
+        assert_eq!(doc["totals"]["epochs_degraded"], json!(1));
+        assert_eq!(doc["cumulative_transitions"]["skip"]["honest"], json!(10));
+        let trends = tables.trends_json();
+        assert_eq!(trends["epochs_degraded"], json!(1));
+        assert_eq!(trends["series"][1]["degraded"], json!(true));
+        tables.validate().expect("conservation holds");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_state() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        let mut wrong_shape = tables.clone();
+        wrong_shape.cumulative =
+            TransitionMatrix::from_wire(&Wire::decode(r#"{"counts":[[0,0]]}"#).unwrap()).unwrap();
+        assert!(!wrong_shape.cumulative.is_well_formed());
+        assert!(wrong_shape.validate().is_err());
+        let mut unconserved = tables.clone();
+        unconserved.epochs[0].population += 1;
+        assert!(unconserved.validate().is_err());
+        let mut miscounted = tables;
+        miscounted.totals.epochs_completed = 9;
+        assert!(miscounted.validate().is_err());
     }
 
     #[test]
@@ -392,6 +653,25 @@ mod tests {
         let decoded: RollingTables = serde_json::from_str(&encoded).unwrap();
         assert_eq!(decoded, tables);
         assert_eq!(decoded.tables_bytes(), tables.tables_bytes());
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_rolling_state() {
+        let mut tables = RollingTables::default();
+        tables.absorb_epoch(row(0, 10));
+        let mut second = row(1, 11);
+        second.degraded = true;
+        second.err_pct = 100.0 / 3.0;
+        tables.absorb_epoch(second);
+        let encoded = tables.to_wire().encode();
+        let decoded = RollingTables::from_wire(&Wire::decode(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, tables);
+        assert_eq!(
+            decoded.to_wire().encode(),
+            encoded,
+            "re-encoding is byte-stable"
+        );
+        decoded.validate().expect("decoded state is well-formed");
     }
 
     #[test]

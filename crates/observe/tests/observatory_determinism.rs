@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use orscope_observe::{Observatory, ServeConfig};
+use orscope_observe::{EpochSabotage, Observatory, ServeConfig};
 use orscope_resolver::paper::Year;
 
 const EPOCHS: u64 = 4;
@@ -57,7 +57,9 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     let (straight_tables, straight_trends) = run(config("straight", 2, EPOCHS));
 
     // Same config, stopped halfway: the final-epoch checkpoint flushed
-    // at exit carries the epoch state forward.
+    // at exit carries the epoch state forward. The second config gets
+    // its own label: `config` scrubs its scratch path, and the resumed
+    // run must not scrub the state it is resuming.
     let dir = scratch("resumed");
     let mut first_half = config("resumed", 2, EPOCHS / 2);
     first_half.state_dir = dir.clone();
@@ -65,7 +67,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     assert_eq!(report.epochs_completed, EPOCHS / 2);
     assert_eq!(report.resumed_from, None);
 
-    let mut second_half = config("resumed", 2, EPOCHS);
+    let mut second_half = config("resumed-continue", 2, EPOCHS);
     second_half.state_dir = dir.clone();
     let mut resumed = Observatory::new(second_half).unwrap();
     let shared = resumed.shared();
@@ -97,11 +99,12 @@ fn resume_survives_a_shard_count_change() {
     first.state_dir = dir.clone();
     Observatory::new(first).unwrap().run().unwrap();
 
-    let mut second = config("reshard", 4, EPOCHS);
+    let mut second = config("reshard-continue", 4, EPOCHS);
     second.state_dir = dir.clone();
     let mut resumed = Observatory::new(second).unwrap();
     let shared = resumed.shared();
-    resumed.run().unwrap();
+    let report = resumed.run().unwrap();
+    assert_eq!(report.resumed_from, Some(EPOCHS / 2), "actually resumed");
     assert_eq!(shared.tables_bytes(), straight_tables);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -132,5 +135,123 @@ fn transition_matrix_conserves_population_and_shows_churn() {
         .map(|row| row.joins + row.leaves + row.drifts)
         .sum();
     assert!(churned > 0, "default churn rates must move members");
+    std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+}
+
+#[test]
+fn degraded_epochs_are_shard_invariant_and_conserve_population() {
+    // Epoch 1 sabotaged past its retry: it degrades. The degraded row
+    // must be identical whatever the shard layout was — its bytes carry
+    // no failure text, its members land in the `skip` pseudo-row.
+    let sabotaged = |label: &str, shards: usize| {
+        let mut config = config(label, shards, EPOCHS);
+        config.sabotage = Some(EpochSabotage {
+            epoch: 1,
+            failures: 2, // attempt + retry both fail
+        });
+        config
+    };
+    let mut one = Observatory::new(sabotaged("degraded1", 1)).unwrap();
+    let shared_one = one.shared();
+    let report_one = one.run().unwrap();
+    let mut two = Observatory::new(sabotaged("degraded2", 2)).unwrap();
+    let shared_two = two.shared();
+    let report_two = two.run().unwrap();
+
+    assert_eq!(report_one.epochs_degraded, 1);
+    assert_eq!(report_two.epochs_degraded, 1);
+    let tables = shared_one.tables_snapshot();
+    assert_eq!(
+        tables,
+        shared_two.tables_snapshot(),
+        "degraded runs diverge across shard counts"
+    );
+    assert_eq!(shared_one.tables_bytes(), shared_two.tables_bytes());
+    assert_eq!(shared_one.trends_bytes(), shared_two.trends_bytes());
+
+    // The degraded row conserves population and admits no scan claims.
+    let row = &tables.epochs()[1];
+    assert!(row.degraded);
+    assert_eq!(row.r2, 0, "no scan backs a degraded epoch");
+    assert_eq!(row.transitions.total(), row.population, "conserved");
+    assert_eq!(row.transitions.moved(), 0, "skips claim no movement");
+    assert!(!tables.epochs()[0].degraded);
+    assert!(
+        !tables.epochs()[2].degraded,
+        "run continued past the failure"
+    );
+    assert_eq!(tables.totals().epochs_degraded, 1);
+    std::fs::remove_dir_all(&one.config().state_dir).unwrap();
+    std::fs::remove_dir_all(&two.config().state_dir).unwrap();
+}
+
+#[test]
+fn one_transient_failure_is_invisible_after_the_identical_seed_retry() {
+    let (clean_tables, clean_trends) = run(config("retry-clean", 2, EPOCHS));
+    let mut flaky = config("retry-flaky", 2, EPOCHS);
+    flaky.sabotage = Some(EpochSabotage {
+        epoch: 1,
+        failures: 1, // first attempt fails, the retry succeeds
+    });
+    let mut observatory = Observatory::new(flaky).unwrap();
+    let shared = observatory.shared();
+    let report = observatory.run().unwrap();
+    assert_eq!(report.epochs_degraded, 0, "the retry absorbed the failure");
+    assert_eq!(
+        shared.tables_bytes(),
+        clean_tables,
+        "a retried epoch must be byte-identical to a clean one"
+    );
+    assert_eq!(shared.trends_bytes(), clean_trends);
+    assert!(!shared.tables_snapshot().epochs()[1].degraded);
+    std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
+}
+
+#[test]
+fn an_impossible_epoch_deadline_degrades_every_epoch_shard_invariantly() {
+    // One virtual second per round: no campaign finishes, every epoch
+    // degrades — and the tables still agree across shard counts.
+    let strangled = |label: &str, shards: usize| {
+        let mut config = config(label, shards, EPOCHS);
+        config.epoch_deadline_virtual_secs = Some(1);
+        config
+    };
+    let mut one = Observatory::new(strangled("deadline1", 1)).unwrap();
+    let shared_one = one.shared();
+    let report = one.run().unwrap();
+    assert_eq!(
+        report.epochs_degraded, EPOCHS,
+        "every round blew the budget"
+    );
+    let mut two = Observatory::new(strangled("deadline2", 2)).unwrap();
+    let shared_two = two.shared();
+    two.run().unwrap();
+    assert_eq!(shared_one.tables_snapshot(), shared_two.tables_snapshot());
+    for row in shared_one.tables_snapshot().epochs() {
+        assert!(row.degraded, "epoch {}", row.epoch);
+        assert_eq!(
+            row.transitions.total(),
+            row.population,
+            "epoch {}",
+            row.epoch
+        );
+    }
+    std::fs::remove_dir_all(&one.config().state_dir).unwrap();
+    std::fs::remove_dir_all(&two.config().state_dir).unwrap();
+}
+
+#[test]
+fn a_generous_deadline_changes_nothing() {
+    let (clean_tables, _) = run(config("roomy-clean", 2, EPOCHS));
+    let mut roomy = config("roomy", 2, EPOCHS);
+    // A year of virtual time per one-day round: never fires. The
+    // fingerprint differs (the deadline is part of the run identity),
+    // but the produced tables must not.
+    roomy.epoch_deadline_virtual_secs = Some(365 * 86_400);
+    let mut observatory = Observatory::new(roomy).unwrap();
+    let shared = observatory.shared();
+    let report = observatory.run().unwrap();
+    assert_eq!(report.epochs_degraded, 0);
+    assert_eq!(shared.tables_bytes(), clean_tables);
     std::fs::remove_dir_all(&observatory.config().state_dir).unwrap();
 }

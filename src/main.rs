@@ -11,6 +11,8 @@
 //! orscope serve    [--scale 20000] [--epochs N] [--port 7353] [--state-dir DIR]
 //!                  [--epoch-secs 86400] [--join R] [--leave R] [--drift R]
 //!                  [--interval-ms 500] [--checkpoint-every N] [--fresh]
+//!                  [--keep-generations K] [--epoch-deadline SECS]
+//!                  [--http-max-conns N] [--http-timeout-ms MS] [--http-poll-ms MS]
 //! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
 //! orscope help
 //! ```
@@ -23,7 +25,7 @@ use std::time::Duration;
 
 use orscope_core::{run_trend, AnalysisMode, Campaign, CampaignConfig, TrendConfig};
 use orscope_netsim::{FaultKind, FaultPlan, FaultRule, FaultScope};
-use orscope_observe::{http, ChurnConfig, Observatory, ServeConfig};
+use orscope_observe::{http, ChurnConfig, HttpConfig, Observatory, ServeConfig};
 use orscope_resolver::paper::Year;
 
 fn main() -> ExitCode {
@@ -68,18 +70,22 @@ fn print_help() {
          \x20                  [--epochs N] [--epoch-secs SECS] [--port P]\n\
          \x20                  [--join R] [--leave R] [--drift R] [--headroom H]\n\
          \x20                  [--interval-ms MS] [--state-dir DIR]\n\
-         \x20                  [--checkpoint-every N] [--fresh]\n\
+         \x20                  [--checkpoint-every N] [--keep-generations K]\n\
+         \x20                  [--epoch-deadline SECS] [--fresh]\n\
+         \x20                  [--http-max-conns N] [--http-timeout-ms MS]\n\
+         \x20                  [--http-poll-ms MS]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
          \n\
          COMMANDS:\n\
          \x20 campaign  replay one scan and print every table, paper vs measured\n\
          \x20 tables    replay both scans (the full evaluation of the paper)\n\
          \x20 trend     the 2013->2018 continuous-monitoring series (section V)\n\
-         \x20 serve     run the resolver observatory: one campaign round per\n\
-         \x20           virtual day over a churning population, live HTTP surface\n\
-         \x20           (/tables /trends /metrics /healthz), checkpointed state;\n\
-         \x20           resumes from --state-dir unless --fresh; SIGTERM/SIGINT\n\
-         \x20           flush a final checkpoint and exit cleanly\n\
+         \x20 serve     run the resolver observatory: one supervised campaign\n\
+         \x20           round per virtual day over a churning population, live\n\
+         \x20           HTTP surface (/tables /trends /metrics /healthz /readyz),\n\
+         \x20           checkpoint generations with corruption recovery; resumes\n\
+         \x20           from --state-dir unless --fresh; SIGTERM/SIGINT flush a\n\
+         \x20           final verified checkpoint and exit cleanly\n\
          \x20 pcap      run a scan and export the captured R2 traffic as libpcap\n\
          \n\
          CHAOS / ROBUSTNESS (campaign):\n\
@@ -97,7 +103,19 @@ fn print_help() {
          ANALYSIS (campaign, tables):\n\
          \x20 --analysis MODE       streaming (default): classify at capture time,\n\
          \x20                       bounded memory; batch: buffer every payload and\n\
-         \x20                       classify after the scan. Reports are identical."
+         \x20                       classify after the scan. Reports are identical.\n\
+         \n\
+         UNATTENDED OPERATION (serve):\n\
+         \x20 --keep-generations K  retain the newest K verified checkpoint\n\
+         \x20                       generations (default 3); corrupt ones are\n\
+         \x20                       quarantined as *.corrupt and rolled back over\n\
+         \x20 --epoch-deadline S    virtual-second budget per campaign round; a\n\
+         \x20                       round still busy at S fails the attempt (one\n\
+         \x20                       retry, then the epoch degrades, run continues)\n\
+         \x20 --http-max-conns N    concurrent connections before 503+Retry-After\n\
+         \x20 --http-timeout-ms MS  per-connection read/write timeout (slow-loris\n\
+         \x20                       clients get 408, not a pinned thread)\n\
+         \x20 --http-poll-ms MS     accept-loop shutdown polling interval"
     );
 }
 
@@ -343,6 +361,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         seed: parse_number(args, "--churn-seed", default_churn.seed)?,
     };
     config.checkpoint_every = parse_number(args, "--checkpoint-every", 0u64)?;
+    config.keep_generations = parse_number(args, "--keep-generations", config.keep_generations)?;
+    if let Some(deadline) = flag_value(args, "--epoch-deadline")? {
+        let deadline: u64 = deadline
+            .parse()
+            .map_err(|_| format!("--epoch-deadline: bad number {deadline:?}"))?;
+        config.epoch_deadline_virtual_secs = Some(deadline);
+    }
     config.interval = Duration::from_millis(parse_number(args, "--interval-ms", 500u64)?);
     // The CLI default is a visible (gitignored) path so an operator can
     // find their state; the library default stays under the temp dir.
@@ -357,15 +382,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     let port: u16 = parse_number(args, "--port", 7353u16)?;
+    let mut http_config = HttpConfig::default();
+    http_config.max_connections =
+        parse_number(args, "--http-max-conns", http_config.max_connections)?;
+    if let Some(ms) = flag_value(args, "--http-timeout-ms")? {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--http-timeout-ms: bad number {ms:?}"))?;
+        http_config.read_timeout = Duration::from_millis(ms);
+        http_config.write_timeout = Duration::from_millis(ms);
+    }
+    http_config.poll_interval = Duration::from_millis(parse_number(args, "--http-poll-ms", 10u64)?);
 
     let mut observatory = Observatory::new(config).map_err(|e| e.to_string())?;
     let shared = observatory.shared();
 
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
-    let surface = http::serve(listener, shared.clone()).map_err(|e| e.to_string())?;
+    let surface =
+        http::serve_with(listener, shared.clone(), http_config).map_err(|e| e.to_string())?;
     eprintln!(
-        "observatory listening on http://{} (/healthz /tables /trends /metrics)",
+        "observatory listening on http://{} (/healthz /readyz /tables /trends /metrics)",
         surface.addr()
     );
 
@@ -390,6 +427,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     surface.join();
 
     let report = run.map_err(|e| e.to_string())?;
+    for quarantined in &report.quarantined {
+        eprintln!(
+            "recovery: quarantined corrupt checkpoint {} and rolled back",
+            quarantined.display()
+        );
+    }
     match report.resumed_from {
         Some(done) => eprintln!(
             "served {} epochs ({} resumed + {} new); checkpoint at {}",
@@ -403,6 +446,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.epochs_completed,
             report.checkpoint_path.display()
         ),
+    }
+    if report.epochs_degraded > 0 {
+        eprintln!(
+            "warning: {} epoch(s) degraded this run (absorbed as skip rows; see /readyz)",
+            report.epochs_degraded
+        );
     }
     Ok(())
 }

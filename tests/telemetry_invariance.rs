@@ -3,6 +3,7 @@
 //! it off must not change anything else about the run.
 
 use orscope_core::{Campaign, CampaignConfig};
+use orscope_observe::{EpochSabotage, Observatory, ServeConfig};
 use orscope_resolver::paper::Year;
 
 fn run(shards: usize) -> orscope_core::CampaignResult {
@@ -75,6 +76,69 @@ fn counters_agree_with_the_simulator_stats() {
     }
     // Sharded runs record one probe span per shard, absorbed by max.
     assert_eq!(snapshot.spans["phase.probe"].count, 4);
+}
+
+#[test]
+fn observatory_failure_counters_are_shard_invariant() {
+    // The unattended-operation counters (degraded epochs, retries,
+    // rollbacks) describe the campaign, not the shard layout — a
+    // sabotaged epoch must surface identically on /metrics whether the
+    // run used one shard or two.
+    let run = |label: &str, shards: usize| {
+        let mut config = ServeConfig::new(Year::Y2018, 60_000.0);
+        config.seed = 0x7E1E_2019;
+        config.shards = shards;
+        config.epochs = Some(3);
+        config.sabotage = Some(EpochSabotage {
+            epoch: 1,
+            failures: 2, // first attempt and its retry both fail
+        });
+        config.state_dir =
+            std::env::temp_dir().join(format!("orscope-telemetry-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&config.state_dir);
+        let state_dir = config.state_dir.clone();
+        let mut observatory = Observatory::new(config).unwrap();
+        let shared = observatory.shared();
+        let report = observatory.run().unwrap();
+        assert_eq!(report.epochs_degraded, 1, "{label}");
+        let metrics = String::from_utf8(shared.metrics_bytes()).unwrap();
+        std::fs::remove_dir_all(&state_dir).unwrap();
+        metrics
+    };
+    let scrape = |metrics: &str, name: &str| -> String {
+        metrics
+            .lines()
+            .filter(|line| line.starts_with(name))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let one = run("shards1", 1);
+    let two = run("shards2", 2);
+    for counter in [
+        "orscope_observe_epochs_degraded",
+        "orscope_observe_epoch_retries",
+        "orscope_observe_checkpoint_rollbacks",
+        "orscope_observe_http_rejected_conns",
+        "orscope_observe_http_timeouts",
+    ] {
+        let baseline = scrape(&one, counter);
+        assert!(!baseline.is_empty(), "{counter} missing from /metrics");
+        assert_eq!(
+            baseline,
+            scrape(&two, counter),
+            "{counter} diverged across shard counts"
+        );
+    }
+    // The sabotaged epoch shows up with the exact expected magnitude.
+    assert!(
+        scrape(&one, "orscope_observe_epochs_degraded").ends_with(" 1"),
+        "exactly one degraded epoch:\n{one}"
+    );
+    assert!(
+        scrape(&one, "orscope_observe_epoch_retries").ends_with(" 1"),
+        "exactly one identical-seed retry:\n{one}"
+    );
 }
 
 #[test]
