@@ -30,8 +30,9 @@ pub struct CapturedPacket {
     pub payload: bytes::Bytes,
 }
 
-/// A capture-time consumer of server-side packets (streaming analysis).
-/// When installed, packets are handed to it instead of buffering.
+/// A capture-time consumer of server-side packets (streaming analysis,
+/// record bus). When at least one is installed, packets are handed to
+/// every sink in installation order instead of buffering.
 pub type PacketSink = Box<dyn FnMut(&CapturedPacket) + Send>;
 
 #[derive(Default)]
@@ -42,8 +43,8 @@ struct Shared {
     /// streaming mode where `packets` never fills.
     inbound: u64,
     outbound: u64,
-    /// Streaming sink; `None` means buffer into `packets`.
-    sink: Option<PacketSink>,
+    /// Streaming sinks; empty means buffer into `packets`.
+    sinks: Vec<PacketSink>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -52,7 +53,7 @@ impl std::fmt::Debug for Shared {
             .field("packets", &self.packets)
             .field("inbound", &self.inbound)
             .field("outbound", &self.outbound)
-            .field("sink", &self.sink.as_ref().map(|_| "<fn>"))
+            .field("sinks", &self.sinks.len())
             .finish()
     }
 }
@@ -63,9 +64,12 @@ impl Shared {
             Direction::Inbound => self.inbound += 1,
             Direction::Outbound => self.outbound += 1,
         }
-        match self.sink.as_mut() {
-            Some(sink) => sink(&packet),
-            None => self.packets.push(packet),
+        if self.sinks.is_empty() {
+            self.packets.push(packet);
+            return;
+        }
+        for sink in &mut self.sinks {
+            sink(&packet);
         }
     }
 }
@@ -140,12 +144,13 @@ impl CaptureHandle {
         self.inner.lock().packets.clone()
     }
 
-    /// Installs a streaming sink: every packet from now on is handed to
-    /// `sink` at capture time instead of buffering, so payloads drop as
-    /// soon as the sink returns. Install before the simulation starts;
+    /// Installs an additional streaming sink: every packet from now on
+    /// is handed to each installed sink (in installation order) at
+    /// capture time instead of buffering, so payloads drop as soon as
+    /// the last sink returns. Install before the simulation starts;
     /// already-buffered packets stay buffered.
-    pub fn set_sink(&self, sink: impl FnMut(&CapturedPacket) + Send + 'static) {
-        self.inner.lock().sink = Some(Box::new(sink));
+    pub fn add_sink(&self, sink: impl FnMut(&CapturedPacket) + Send + 'static) {
+        self.inner.lock().sinks.push(Box::new(sink));
     }
 }
 
@@ -200,12 +205,27 @@ mod tests {
         let cap = CaptureHandle::new();
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sunk = seen.clone();
-        cap.set_sink(move |p| sunk.lock().push((p.direction, p.peer)));
+        cap.add_sink(move |p| sunk.lock().push((p.direction, p.peer)));
         cap.record_inbound(SimTime::ZERO, &dgram());
         cap.record_outbound(SimTime::from_secs(1), &dgram());
         assert!(cap.is_empty(), "sink mode must not buffer");
         assert_eq!(cap.count(Direction::Inbound), 1);
         assert_eq!(cap.count(Direction::Outbound), 1);
         assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn multiple_sinks_all_observe_every_packet() {
+        let cap = CaptureHandle::new();
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (ca, cb) = (a.clone(), b.clone());
+        cap.add_sink(move |_| *ca.lock() += 1);
+        cap.add_sink(move |_| *cb.lock() += 1);
+        cap.record_inbound(SimTime::ZERO, &dgram());
+        cap.record_outbound(SimTime::from_secs(1), &dgram());
+        assert!(cap.is_empty(), "sink mode must not buffer");
+        assert_eq!(*a.lock(), 2);
+        assert_eq!(*b.lock(), 2);
     }
 }

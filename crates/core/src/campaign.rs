@@ -332,12 +332,31 @@ impl CampaignConfig {
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: CampaignConfig,
+    /// Optional record bus for live tap subscribers. Kept beside (not
+    /// inside) the config so `CampaignConfig` stays a plain comparable
+    /// value type.
+    bus: Option<std::sync::Arc<crate::bus::RecordBus>>,
 }
 
 impl Campaign {
     /// Creates a campaign.
     pub fn new(config: CampaignConfig) -> Self {
-        Self { config }
+        Self { config, bus: None }
+    }
+
+    /// Attaches a record bus: every shard publishes its captured R2 and
+    /// authoritative-server packets to it (in streaming analysis mode),
+    /// so tap subscribers can watch flows as they classify. Publishing
+    /// is free while the bus has no subscribers, and a slow subscriber
+    /// only ever drops its own records — it cannot stall the scan.
+    pub fn with_bus(mut self, bus: std::sync::Arc<crate::bus::RecordBus>) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// The attached record bus, if any.
+    pub fn bus(&self) -> Option<&std::sync::Arc<crate::bus::RecordBus>> {
+        self.bus.as_ref()
     }
 
     /// The configuration.
@@ -415,6 +434,14 @@ impl Campaign {
         let threat = seed_threat_db(&population);
         let geo = seed_geo_db(&population);
         let knobs = self.shard_knobs(&spec);
+
+        // Tap subscribers resolve `class=` predicates against this
+        // round's population; the index is only built when a bus is
+        // attached (an address->class scan is pure startup overhead
+        // otherwise).
+        if let Some(bus) = &self.bus {
+            bus.install_class_index(crate::bus::ClassIndex::from_population(&population));
+        }
 
         // The target list is built once from the master seed, before any
         // partitioning, so every shard count scans the same addresses in
@@ -834,6 +861,7 @@ impl Campaign {
             q1_planned,
             cluster_capacity: plan.cluster_capacity,
             analyzer: None,
+            bus: self.bus.clone(),
         }
     }
 
@@ -991,13 +1019,21 @@ pub(crate) struct ShardWorld {
     /// The shard's streaming accumulators, when capture-time sinks are
     /// installed (see [`ShardWorld::attach_streaming`]).
     pub(crate) analyzer: Option<std::sync::Arc<parking_lot::Mutex<StreamingAnalyzer>>>,
+    /// The campaign's record bus, when one is attached (see
+    /// [`Campaign::with_bus`]).
+    pub(crate) bus: Option<std::sync::Arc<crate::bus::RecordBus>>,
 }
 
 impl ShardWorld {
     /// Installs capture-time sinks on the prober and authoritative
-    /// capture handles, folding every packet into a shared
-    /// [`StreamingAnalyzer`] the moment it is captured. Payloads drop
-    /// as soon as each fold returns (unless `retain_raw`).
+    /// capture handles. Subscriber #1 is the shard's
+    /// [`StreamingAnalyzer`]: called inline and lossless, because its
+    /// accumulators become the paper tables. When a record bus is
+    /// attached, a second sink fans each record out to the bus's tap
+    /// lanes — bounded, drop-counting, never blocking — so any number
+    /// of live taps ride along without perturbing the analyzer.
+    /// Payloads drop as soon as the last sink returns (unless
+    /// `retain_raw`).
     ///
     /// `expected_flows` pre-sizes the analyzer's join state (pass the
     /// shard's responder count; an estimate only costs capacity).
@@ -1012,11 +1048,19 @@ impl ShardWorld {
         let analyzer = std::sync::Arc::new(parking_lot::Mutex::new(streaming));
         let r2_sink = analyzer.clone();
         self.prober_handle
-            .set_sink(move |capture| r2_sink.lock().on_r2(capture));
+            .add_sink(move |capture| r2_sink.lock().on_r2(capture));
         let auth_sink = analyzer.clone();
         self.auth_capture
-            .set_sink(move |packet| auth_sink.lock().on_auth(packet));
+            .add_sink(move |packet| auth_sink.lock().on_auth(packet));
         self.analyzer = Some(analyzer);
+        if let Some(bus) = &self.bus {
+            let r2_bus = bus.clone();
+            self.prober_handle
+                .add_sink(move |capture| r2_bus.publish_r2(capture));
+            let auth_bus = bus.clone();
+            self.auth_capture
+                .add_sink(move |packet| auth_bus.publish_auth(packet));
+        }
     }
 
     /// Harvests a completed shard run into a mergeable outcome.

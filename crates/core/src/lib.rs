@@ -23,17 +23,21 @@
 //! assert!(t3.0.err_pct() > 2.0, "2018's elevated error rate shows up");
 //! ```
 
+pub mod bus;
 pub mod campaign;
 pub mod checkpoint;
 pub mod error;
 pub mod infra;
 pub mod result;
+pub mod tap;
 pub mod trend;
 
+pub use bus::{BusStats, ClassIndex, Record, RecordBus, TapLaneStats, DEFAULT_TAP_CAPACITY};
 pub use campaign::{Campaign, CampaignConfig, Materialization};
 pub use checkpoint::{integrity, CampaignCheckpoint};
 pub use error::{CampaignError, DegradedReport, ShardFailure, ShardSabotage};
 pub use infra::Infra;
 pub use orscope_analysis::AnalysisMode;
 pub use result::CampaignResult;
+pub use tap::{PredicateError, TapEvent, TapKind, TapPredicate, TapSubscriber};
 pub use trend::{run_trend, TrendConfig, TrendPoint};

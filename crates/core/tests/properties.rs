@@ -1,0 +1,117 @@
+//! Property tests over the tap predicate language: parse/display must
+//! round-trip for every well-formed predicate, and arbitrary input —
+//! however malformed — must come back as `Err`, never a panic. The
+//! parser fronts an open HTTP surface (`GET /tap?match=`), so hostile
+//! input is its normal diet.
+
+use proptest::prelude::*;
+
+use orscope_core::TapPredicate;
+
+/// A canonical qname glob: the restricted character set the parser
+/// admits, in lowercase (parsing lowercases, so canonical form is the
+/// fixed point).
+fn qname_glob() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9*][a-z0-9._*-]{0,30}").expect("valid regex")
+}
+
+/// A canonical rcode clause value: the named variants `Display` emits.
+fn rcode_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("NoError"),
+        Just("FormErr"),
+        Just("ServFail"),
+        Just("NXDomain"),
+        Just("NotImp"),
+        Just("Refused"),
+        Just("YXDomain"),
+        Just("YXRRSet"),
+        Just("NXRRSet"),
+        Just("NotAuth"),
+        Just("NotZone"),
+    ]
+}
+
+fn class_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("honest"),
+        Just("filtering"),
+        Just("forwarder"),
+        Just("misdirecting"),
+        Just("malicious"),
+        Just("refusing"),
+        Just("nxwall"),
+        Just("other"),
+        Just("silent"),
+    ]
+}
+
+/// A canonical address pattern: a dotted prefix or a CIDR, as
+/// `Display` renders them.
+fn addr_pattern() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Dotted prefix of 1..=4 octets.
+        proptest::collection::vec(0u8..=255, 1..=4).prop_map(|octets| octets
+            .iter()
+            .map(u8::to_string)
+            .collect::<Vec<_>>()
+            .join(".")),
+        // CIDR over a full address.
+        (any::<[u8; 4]>(), 0u8..=32)
+            .prop_map(|(a, len)| format!("{}.{}.{}.{}/{len}", a[0], a[1], a[2], a[3])),
+    ]
+}
+
+/// One canonical clause, exactly as `Display` would print it.
+fn clause() -> impl Strategy<Value = String> {
+    prop_oneof![
+        qname_glob().prop_map(|g| format!("qname={g}")),
+        rcode_name().prop_map(|r| format!("rcode={r}")),
+        (0u8..=15).prop_map(|v| format!("rcode={v}")),
+        class_name().prop_map(|c| format!("class={c}")),
+        addr_pattern().prop_map(|a| format!("src={a}")),
+        addr_pattern().prop_map(|a| format!("dst={a}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonical predicates are a fixed point of parse ∘ display:
+    /// parsing the display of a parsed predicate yields the same
+    /// clauses and the same display string.
+    #[test]
+    fn parse_display_round_trips(clauses in proptest::collection::vec(clause(), 0..5)) {
+        let text = clauses.join(" ");
+        let parsed: TapPredicate = text.parse().expect("canonical predicate parses");
+        let displayed = parsed.to_string();
+        let reparsed: TapPredicate = displayed.parse().expect("displayed predicate reparses");
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(displayed.clone(), reparsed.to_string());
+    }
+
+    /// Arbitrary input never panics: it either parses (and then
+    /// round-trips) or returns a structured error.
+    #[test]
+    fn arbitrary_input_parses_or_errs(text in ".{0,80}") {
+        match text.parse::<TapPredicate>() {
+            Ok(predicate) => {
+                let reparsed: TapPredicate = predicate
+                    .to_string()
+                    .parse()
+                    .expect("display of a parsed predicate must reparse");
+                prop_assert_eq!(predicate, reparsed);
+            }
+            Err(err) => prop_assert!(!err.0.is_empty(), "errors must say what went wrong"),
+        }
+    }
+
+    /// The numeric rcode form for named rcodes normalizes to the name,
+    /// and stays matchable either way.
+    #[test]
+    fn numeric_rcodes_normalize(v in 0u8..=15) {
+        let numeric: TapPredicate = format!("rcode={v}").parse().expect("numeric rcode parses");
+        let named: TapPredicate = numeric.to_string().parse().expect("normalized form reparses");
+        prop_assert_eq!(numeric, named);
+    }
+}

@@ -1,7 +1,7 @@
 //! The live query/export surface: a hand-rolled, hardened HTTP/1.1
 //! server.
 //!
-//! Five read-only GET endpoints over [`ObservatoryShared`]:
+//! Six read-only GET endpoints over [`ObservatoryShared`]:
 //!
 //! | path       | body                                                |
 //! |------------|-----------------------------------------------------|
@@ -10,6 +10,17 @@
 //! | `/tables`  | latest epoch + cumulative transitions (JSON)        |
 //! | `/trends`  | per-epoch series + consecutive deltas (JSON)        |
 //! | `/metrics` | service + campaign telemetry (Prometheus text)      |
+//! | `/tap`     | live capture-record stream (chunked NDJSON)         |
+//!
+//! `/tap` is the odd one out: instead of a snapshot body it subscribes
+//! a bounded lane on the shared [`RecordBus`] and streams matching
+//! records for as long as the client stays connected (`?match=` takes a
+//! predicate, `?limit=` caps the line count). It still runs inside the
+//! same per-connection thread, counted against `max_connections`, and
+//! its writes are bounded by `write_timeout` — a stalled tap client is
+//! disconnected, never waited on.
+//!
+//! [`RecordBus`]: orscope_core::RecordBus
 //!
 //! Deliberately minimal — `std::net::TcpListener`, a nonblocking accept
 //! loop polling the shutdown flag, one short-lived thread per
@@ -32,6 +43,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+use orscope_core::{Infra, TapPredicate, TapSubscriber, DEFAULT_TAP_CAPACITY};
 
 use crate::observatory::ObservatoryShared;
 
@@ -244,6 +257,13 @@ fn handle_connection(
         }
     };
     shared.record_http_request();
+    // `/tap` streams instead of answering with a snapshot body; route
+    // it before `respond`. Only a well-formed in-limits GET takes the
+    // streaming path — anything else falls through so `respond` can
+    // issue the usual 405/413 taxonomy.
+    if let Some(query) = tap_query(&head, config) {
+        return stream_tap(stream, &query, shared, config);
+    }
     let (status, content_type, extra_headers, body) = respond(&head, shared, config);
     let result = write_response(&mut stream, status, content_type, extra_headers, &body);
     // A declared body is never read (every endpoint is a GET), so those
@@ -315,6 +335,186 @@ fn declared_body_len(head: &str) -> Option<u64> {
     })
 }
 
+/// If `head` is a well-formed, in-limits `GET /tap` request, returns
+/// its raw query string (possibly empty). Everything else returns
+/// `None` and takes the ordinary [`respond`] path.
+fn tap_query(head: &str, config: &HttpConfig) -> Option<String> {
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" || !target.starts_with('/') {
+        return None;
+    }
+    if declared_body_len(head).is_some_and(|len| len > config.max_body_bytes) {
+        return None;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    (path == "/tap").then(|| query.to_string())
+}
+
+/// Decodes `%XX` escapes and `+`-for-space in a query-string value.
+/// Invalid escapes pass through literally — the predicate parser will
+/// reject anything that does not make sense.
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|pair| u8::from_str_radix(pair, 16).ok());
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            byte => {
+                out.push(byte);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses the `/tap` query parameters: `match=` (predicate, default
+/// match-all) and `limit=` (stop after N lines, default unbounded).
+fn parse_tap_params(query: &str) -> Result<(TapPredicate, Option<u64>), String> {
+    let mut predicate = TapPredicate::match_all();
+    let mut limit = None;
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let value = percent_decode(value);
+        match key {
+            "match" => {
+                predicate = value
+                    .parse()
+                    .map_err(|err: orscope_core::PredicateError| err.0)?;
+            }
+            "limit" => {
+                limit =
+                    Some(value.parse::<u64>().map_err(|_| {
+                        format!("limit must be a non-negative integer, got {value:?}")
+                    })?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown parameter {other:?} (expected match, limit)"
+                ))
+            }
+        }
+    }
+    Ok((predicate, limit))
+}
+
+/// Minimal JSON string escaping for error bodies that echo user input.
+fn json_escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+    out
+}
+
+/// One HTTP/1.1 chunk: hex length, CRLF, payload, CRLF.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")
+}
+
+/// Idle interval after which the tap stream emits a blank NDJSON line.
+/// Keeps the stream visibly alive for the client and — more importantly
+/// — makes the server notice a vanished client during quiet stretches
+/// instead of holding the lane until the next matching record.
+const TAP_HEARTBEAT: Duration = Duration::from_secs(5);
+
+/// Serves one `GET /tap` connection: subscribes a bounded lane on the
+/// shared bus and streams matching records as chunked NDJSON until the
+/// client leaves, the limit is reached, or shutdown is requested.
+///
+/// The subscriber lane is bounded ([`DEFAULT_TAP_CAPACITY`]) and the
+/// publisher never blocks on it, so however slow this connection is,
+/// the campaign event loop is unaffected — the lane just drops and
+/// counts. Writes here are bounded by `write_timeout`; a stalled client
+/// errors out and the lane is reclaimed on the next publish.
+fn stream_tap(
+    mut stream: TcpStream,
+    query: &str,
+    shared: &ObservatoryShared,
+    config: &HttpConfig,
+) -> io::Result<()> {
+    let (predicate, limit) = match parse_tap_params(query) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            let body = format!("{{\"error\":\"{}\"}}\n", json_escape(&message));
+            let result = write_response(
+                &mut stream,
+                "400 Bad Request",
+                "application/json",
+                "",
+                body.as_bytes(),
+            );
+            lingering_close(&mut stream, config.write_timeout);
+            return result;
+        }
+    };
+    let tap = TapSubscriber::attach(
+        shared.bus(),
+        predicate,
+        DEFAULT_TAP_CAPACITY,
+        &Infra::default(),
+    );
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+          Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    let mut sent = 0u64;
+    let mut last_write = Instant::now();
+    while !shared.shutdown_requested() && limit.is_none_or(|limit| sent < limit) {
+        match tap.poll(config.poll_interval.max(Duration::from_millis(1))) {
+            Some(event) => {
+                // One chunk per line: `to_ndjson` has no trailing
+                // newline, the NDJSON framing adds it here.
+                let mut line = event.to_ndjson();
+                line.push('\n');
+                write_chunk(&mut stream, line.as_bytes())?;
+                last_write = Instant::now();
+                sent += 1;
+            }
+            None if last_write.elapsed() >= TAP_HEARTBEAT => {
+                write_chunk(&mut stream, b"\n")?;
+                last_write = Instant::now();
+            }
+            None => {}
+        }
+    }
+    // Terminal chunk: the stream ended on our terms (limit or
+    // shutdown), so tell the client the body is complete.
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// Routes one request to `(status line, content type, extra headers,
 /// body)`.
 fn respond(
@@ -326,8 +526,9 @@ fn respond(
     const PROM: &str = "text/plain; version=0.0.4";
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
-    // Strip any query string: the surface has no parameters (yet), and
-    // `/tables?pretty` should not 404.
+    // Strip any query string: `/tap` (with its `match=`/`limit=`
+    // parameters) is routed upstream, the snapshot endpoints take no
+    // parameters, and `/tables?pretty` should not 404.
     let target = parts.next().unwrap_or("");
     let path = target.split('?').next().unwrap_or("");
     if method.is_empty() || !target.starts_with('/') {
@@ -371,7 +572,7 @@ fn respond(
             "200 OK",
             JSON,
             "",
-            b"{\"endpoints\":[\"/healthz\",\"/readyz\",\"/tables\",\"/trends\",\"/metrics\"]}\n"
+            b"{\"endpoints\":[\"/healthz\",\"/readyz\",\"/tables\",\"/trends\",\"/metrics\",\"/tap\"]}\n"
                 .to_vec(),
         ),
         _ => (
@@ -573,6 +774,88 @@ mod tests {
             metrics.contains(r#"orscope_observe_http_timeouts{surface="service",scope="shard"} 1"#),
             "{metrics}"
         );
+
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn tap_streams_matching_records_as_chunked_ndjson() {
+        use orscope_core::bus::R2Capture;
+        use orscope_netsim::SimTime;
+
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let addr = handle.addr();
+
+        // Publish once the tap handler has actually subscribed its
+        // lane, so nothing can be lost to startup ordering.
+        let publisher = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while shared.bus().stats().subscribers == 0 {
+                    assert!(Instant::now() < deadline, "tap never subscribed");
+                    thread::sleep(Duration::from_millis(5));
+                }
+                shared.bus().publish_r2(&R2Capture {
+                    target: "198.51.100.7".parse().unwrap(),
+                    label: None,
+                    qname: "probe.example".parse().unwrap(),
+                    at: SimTime::ZERO,
+                    sent_at: SimTime::ZERO,
+                    payload: b"x".to_vec().into(),
+                });
+            })
+        };
+
+        // `limit=1` ends the stream after the first matching record, so
+        // a plain read-to-close sees the whole chunked body.
+        let response = get(addr, "/tap?match=qname%3Dprobe.*&limit=1");
+        publisher.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("Transfer-Encoding: chunked"),
+            "{response}"
+        );
+        assert!(response.contains("\"kind\":\"r2\""), "{response}");
+        assert!(response.contains("\"src\":\"198.51.100.7\""), "{response}");
+        assert!(
+            response.contains("\"qname\":\"probe.example\""),
+            "{response}"
+        );
+        // The terminal chunk closed the body cleanly.
+        assert!(response.ends_with("0\r\n\r\n"), "{response}");
+
+        let metrics = String::from_utf8(shared.metrics_bytes()).unwrap();
+        assert!(
+            metrics.contains("orscope_tap_subscribers_total{surface=\"service\"} 1"),
+            "{metrics}"
+        );
+
+        shared.request_shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn tap_rejects_a_bad_predicate_with_400() {
+        let shared = ObservatoryShared::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = serve(listener, shared.clone()).unwrap();
+        let addr = handle.addr();
+
+        let bad_clause = get(addr, "/tap?match=frobnicate%3Dyes");
+        assert!(bad_clause.starts_with("HTTP/1.1 400"), "{bad_clause}");
+
+        let bad_limit = get(addr, "/tap?limit=soon");
+        assert!(bad_limit.starts_with("HTTP/1.1 400"), "{bad_limit}");
+
+        let bad_param = get(addr, "/tap?matcher=x");
+        assert!(bad_param.starts_with("HTTP/1.1 400"), "{bad_param}");
+
+        // A bad predicate must not leave a lane behind.
+        assert_eq!(shared.bus().stats().attached_total, 0);
 
         shared.request_shutdown();
         handle.join();

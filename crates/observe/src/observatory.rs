@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use orscope_core::bus::RecordBus;
 use orscope_core::{Campaign, CampaignConfig, CampaignError, CampaignResult, Infra};
 use orscope_dns_wire::Rcode;
 use orscope_netsim::EpochClock;
@@ -290,6 +291,9 @@ pub struct ObservatoryShared {
     tables: RwLock<RollingTables>,
     campaign_telemetry: Mutex<TelemetrySnapshot>,
     service: Collector,
+    /// The record bus every campaign round publishes to; `/tap`
+    /// connections subscribe here.
+    bus: Arc<RecordBus>,
     epochs_gauge: Gauge,
     population_gauge: Gauge,
     materialized_gauge: Gauge,
@@ -316,6 +320,7 @@ impl ObservatoryShared {
         Arc::new(Self {
             tables: RwLock::new(RollingTables::default()),
             campaign_telemetry: Mutex::new(TelemetrySnapshot::default()),
+            bus: Arc::new(RecordBus::new()),
             epochs_gauge: service.gauge(Scope::Shard, "observe.epochs_completed"),
             population_gauge: service.gauge(Scope::Shard, "observe.population"),
             materialized_gauge: service.gauge(Scope::Shard, "observe.materialized_hosts"),
@@ -372,6 +377,12 @@ impl ObservatoryShared {
     /// last epoch was clean.
     pub fn is_ready(&self) -> bool {
         self.state() == ServiceState::Ready
+    }
+
+    /// The record bus campaign rounds publish to. `/tap` handlers
+    /// subscribe here; each subscription gets its own bounded lane.
+    pub fn bus(&self) -> &Arc<RecordBus> {
+        &self.bus
     }
 
     /// Counts one HTTP request against the service metrics.
@@ -452,6 +463,28 @@ impl ObservatoryShared {
                 .lock()
                 .to_prometheus_labeled(&[("surface", "campaign")]),
         );
+        // Tap/bus metrics are rendered straight from the bus rather
+        // than through a Collector: their values depend on how fast
+        // external tap consumers drain their lanes (queue depth, drops),
+        // so they are load-dependent and deliberately excluded from the
+        // shard-invariance assertions that cover the campaign surface.
+        let bus = self.bus.stats();
+        out.push_str(&format!(
+            "orscope_tap_subscribers{{surface=\"service\"}} {}\n\
+             orscope_tap_subscribers_total{{surface=\"service\"}} {}\n\
+             orscope_tap_events_published{{surface=\"service\"}} {}\n\
+             orscope_tap_events_dropped{{surface=\"service\"}} {}\n",
+            bus.subscribers, bus.attached_total, bus.published, bus.dropped,
+        ));
+        for lane in self.bus.lane_stats() {
+            out.push_str(&format!(
+                "orscope_tap_queue_depth{{surface=\"service\",lane=\"{id}\"}} {depth}\n\
+                 orscope_tap_lane_dropped{{surface=\"service\",lane=\"{id}\"}} {dropped}\n",
+                id = lane.id,
+                depth = lane.depth,
+                dropped = lane.dropped,
+            ));
+        }
         out.into_bytes()
     }
 }
@@ -756,6 +789,7 @@ impl<R: Resolve> Observatory<R> {
         sabotaged: bool,
     ) -> Result<CampaignResult, String> {
         let config = &self.config;
+        let bus = Arc::clone(self.shared.bus());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if sabotaged {
                 panic!("sabotaged epoch attempt");
@@ -788,7 +822,9 @@ impl<R: Resolve> Observatory<R> {
                 campaign_config =
                     campaign_config.with_virtual_deadline(Duration::from_secs(deadline));
             }
-            Campaign::new(campaign_config).run_with_population(population)
+            Campaign::new(campaign_config)
+                .with_bus(bus)
+                .run_with_population(population)
         }));
         match outcome {
             Ok(Ok(round)) => {

@@ -79,8 +79,9 @@ impl ProbeStats {
     }
 }
 
-/// A capture-time consumer of R2 packets (streaming analysis). When
-/// installed, captures are handed to it instead of buffering.
+/// A capture-time consumer of R2 packets (streaming analysis, record
+/// bus). When at least one is installed, captures are handed to every
+/// sink in installation order instead of buffering.
 pub type R2Sink = Box<dyn FnMut(&R2Capture) + Send>;
 
 #[derive(Default)]
@@ -90,8 +91,8 @@ pub(crate) struct Shared {
     /// Most recent auto-checkpoint (see
     /// `ProberConfig::checkpoint_every`).
     pub(crate) checkpoint: Option<ScanCheckpoint>,
-    /// Streaming sink; `None` means buffer into `captures`.
-    pub(crate) sink: Option<R2Sink>,
+    /// Streaming sinks; empty means buffer into `captures`.
+    pub(crate) sinks: Vec<R2Sink>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -100,18 +101,21 @@ impl std::fmt::Debug for Shared {
             .field("captures", &self.captures)
             .field("stats", &self.stats)
             .field("checkpoint", &self.checkpoint)
-            .field("sink", &self.sink.as_ref().map(|_| "<fn>"))
+            .field("sinks", &self.sinks.len())
             .finish()
     }
 }
 
 impl Shared {
-    /// Routes one captured R2 to the sink when streaming, or into the
-    /// buffer otherwise.
+    /// Routes one captured R2 to every installed sink when streaming,
+    /// or into the buffer otherwise.
     pub(crate) fn push_capture(&mut self, capture: R2Capture) {
-        match self.sink.as_mut() {
-            Some(sink) => sink(&capture),
-            None => self.captures.push(capture),
+        if self.sinks.is_empty() {
+            self.captures.push(capture);
+            return;
+        }
+        for sink in &mut self.sinks {
+            sink(&capture);
         }
     }
 }
@@ -157,12 +161,13 @@ impl ProberHandle {
         self.inner.lock().checkpoint.clone()
     }
 
-    /// Installs a streaming sink: every capture from now on is handed
-    /// to `sink` at receive time instead of buffering, so payloads drop
-    /// as soon as the sink returns. Install before the scan starts;
+    /// Installs an additional streaming sink: every capture from now on
+    /// is handed to each installed sink (in installation order) at
+    /// receive time instead of buffering, so payloads drop as soon as
+    /// the last sink returns. Install before the scan starts;
     /// already-buffered captures stay buffered.
-    pub fn set_sink(&self, sink: impl FnMut(&R2Capture) + Send + 'static) {
-        self.inner.lock().sink = Some(Box::new(sink));
+    pub fn add_sink(&self, sink: impl FnMut(&R2Capture) + Send + 'static) {
+        self.inner.lock().sinks.push(Box::new(sink));
     }
 }
 
@@ -187,6 +192,27 @@ mod tests {
         assert_eq!(handle.r2_count(), 1);
         assert_eq!(handle.drain().len(), 1);
         assert_eq!(handle.r2_count(), 0);
+    }
+
+    #[test]
+    fn multiple_sinks_all_observe_every_capture() {
+        let handle = ProberHandle::new();
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (ca, cb) = (a.clone(), b.clone());
+        handle.add_sink(move |_| *ca.lock() += 1);
+        handle.add_sink(move |_| *cb.lock() += 1);
+        handle.inner.lock().push_capture(R2Capture {
+            target: Ipv4Addr::new(1, 2, 3, 4),
+            label: Some(ProbeLabel::new(0, 0)),
+            qname: "x.example".parse().unwrap(),
+            at: SimTime::ZERO,
+            sent_at: SimTime::ZERO,
+            payload: Bytes::from_static(b"x"),
+        });
+        assert_eq!(handle.r2_count(), 0, "sink mode must not buffer");
+        assert_eq!(*a.lock(), 1);
+        assert_eq!(*b.lock(), 1);
     }
 
     #[test]

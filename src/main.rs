@@ -13,17 +13,24 @@
 //!                  [--interval-ms 500] [--checkpoint-every N] [--fresh]
 //!                  [--keep-generations K] [--epoch-deadline SECS]
 //!                  [--http-max-conns N] [--http-timeout-ms MS] [--http-poll-ms MS]
+//! orscope tap      [--url http://127.0.0.1:7353] [--match EXPR] [--limit N]
+//!                  [--oneshot [--year 2018] [--scale 1000] [--seed N] [--shards N]]
 //! orscope pcap     [--year 2018] [--scale 5000] OUT # write captured R2s as .pcap
 //! orscope help
 //! ```
 
-use std::net::TcpListener;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use orscope_core::{run_trend, AnalysisMode, Campaign, CampaignConfig, TrendConfig};
+use orscope_core::{
+    run_trend, AnalysisMode, Campaign, CampaignConfig, PredicateError, RecordBus, TapPredicate,
+    TapSubscriber, TrendConfig, DEFAULT_TAP_CAPACITY,
+};
 use orscope_netsim::{FaultKind, FaultPlan, FaultRule, FaultScope};
 use orscope_observe::{http, ChurnConfig, HttpConfig, Observatory, ServeConfig};
 use orscope_resolver::paper::Year;
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
         "tables" => cmd_tables(&args[1..]),
         "trend" => cmd_trend(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "tap" => cmd_tap(&args[1..]),
         "pcap" => cmd_pcap(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
@@ -74,6 +82,9 @@ fn print_help() {
          \x20                  [--epoch-deadline SECS] [--fresh]\n\
          \x20                  [--http-max-conns N] [--http-timeout-ms MS]\n\
          \x20                  [--http-poll-ms MS]\n\
+         \x20 orscope tap      [--url http://HOST:PORT] [--match EXPR] [--limit N]\n\
+         \x20                  [--oneshot [--year 2013|2018] [--scale S] [--seed N]\n\
+         \x20                  [--shards N]]\n\
          \x20 orscope pcap     [--year 2013|2018] [--scale S] OUTPUT.pcap\n\
          \n\
          COMMANDS:\n\
@@ -86,6 +97,14 @@ fn print_help() {
          \x20           checkpoint generations with corruption recovery; resumes\n\
          \x20           from --state-dir unless --fresh; SIGTERM/SIGINT flush a\n\
          \x20           final verified checkpoint and exit cleanly\n\
+         \x20 tap       stream capture records as NDJSON: attach to a running\n\
+         \x20           `orscope serve` (GET /tap) or, with --oneshot, run a\n\
+         \x20           local campaign and tap it in-process. --match filters\n\
+         \x20           with space-separated clauses: qname=GLOB (e.g.\n\
+         \x20           qname=*.example), rcode=NAME|N, class=CLASS, src=PREFIX,\n\
+         \x20           dst=PREFIX (dotted prefix or CIDR). Taps are lossy by\n\
+         \x20           design: a slow consumer drops records, never slows the\n\
+         \x20           campaign\n\
          \x20 pcap      run a scan and export the captured R2 traffic as libpcap\n\
          \n\
          CHAOS / ROBUSTNESS (campaign):\n\
@@ -402,7 +421,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let surface =
         http::serve_with(listener, shared.clone(), http_config).map_err(|e| e.to_string())?;
     eprintln!(
-        "observatory listening on http://{} (/healthz /readyz /tables /trends /metrics)",
+        "observatory listening on http://{} (/healthz /readyz /tables /trends /metrics /tap)",
         surface.addr()
     );
 
@@ -456,6 +475,213 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_tap(args: &[String]) -> Result<(), String> {
+    let predicate_text = flag_value(args, "--match")?.unwrap_or_default();
+    // Parse locally in both modes: a typo should fail fast with the
+    // parser's message, not as a server-side 400 body.
+    let predicate: TapPredicate = predicate_text
+        .parse()
+        .map_err(|err: PredicateError| err.0)?;
+    let limit: Option<u64> = match flag_value(args, "--limit")? {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--limit: bad number {raw:?}"))?,
+        ),
+    };
+    install_signal_handlers();
+    if args.iter().any(|a| a == "--oneshot") {
+        tap_oneshot(args, predicate, limit)
+    } else {
+        tap_remote(args, &predicate_text, limit)
+    }
+}
+
+/// Percent-encodes a query-string value (RFC 3986 unreserved set, plus
+/// `*` which the predicate globs use heavily and no server misreads).
+fn url_encode(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'*' => {
+                out.push(byte as char);
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// One nonblocking-ish read step against the tap socket.
+enum Pump {
+    Data,
+    Timeout,
+    Eof,
+}
+
+fn pump(stream: &mut TcpStream, buffer: &mut Vec<u8>) -> Result<Pump, String> {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(Pump::Eof),
+        Ok(n) => {
+            buffer.extend_from_slice(&chunk[..n]);
+            Ok(Pump::Data)
+        }
+        // `Interrupted` is what `read(2)` returns when SIGINT/SIGTERM
+        // lands mid-call: surface it as a timeout so the caller's loop
+        // re-checks the shutdown flag and detaches cleanly.
+        Err(err)
+            if err.kind() == std::io::ErrorKind::WouldBlock
+                || err.kind() == std::io::ErrorKind::TimedOut
+                || err.kind() == std::io::ErrorKind::Interrupted =>
+        {
+            Ok(Pump::Timeout)
+        }
+        Err(err) => Err(format!("reading tap stream: {err}")),
+    }
+}
+
+/// Attaches to a running `orscope serve` and relays its `/tap` chunked
+/// NDJSON stream to stdout. SIGINT/SIGTERM detach cleanly (exit 0); the
+/// server notices the closed socket and reclaims the lane.
+fn tap_remote(args: &[String], predicate: &str, limit: Option<u64>) -> Result<(), String> {
+    let url = flag_value(args, "--url")?.unwrap_or_else(|| "http://127.0.0.1:7353".to_string());
+    let authority = url
+        .strip_prefix("http://")
+        .unwrap_or(&url)
+        .trim_end_matches('/');
+    if authority.is_empty() || authority.contains('/') {
+        return Err(format!("--url {url:?}: expected http://HOST:PORT"));
+    }
+    let mut target = String::from("/tap");
+    let mut sep = '?';
+    if !predicate.is_empty() {
+        target.push(sep);
+        sep = '&';
+        target.push_str("match=");
+        target.push_str(&url_encode(predicate));
+    }
+    if let Some(limit) = limit {
+        target.push(sep);
+        target.push_str(&format!("limit={limit}"));
+    }
+    let mut stream =
+        TcpStream::connect(authority).map_err(|e| format!("connecting {authority}: {e}"))?;
+    // Short read timeouts so the loop can poll for SIGTERM between
+    // reads; a timeout is "no data yet", not an error.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("sending request: {e}"))?;
+
+    let mut buffer: Vec<u8> = Vec::new();
+    // Response head first.
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buffer, b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if SIGNALLED.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Pump::Eof = pump(&mut stream, &mut buffer)? {
+            return Err("server closed the connection before answering".into());
+        }
+    };
+    let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
+    buffer.drain(..head_end);
+    let status = head.lines().next().unwrap_or("").trim().to_string();
+    if !status.contains(" 200") {
+        // Errors are small Content-Length bodies; drain what arrives
+        // promptly and show it alongside the status line.
+        while !matches!(pump(&mut stream, &mut buffer)?, Pump::Eof | Pump::Timeout) {}
+        let body = String::from_utf8_lossy(&buffer);
+        return Err(format!("server answered {status}: {}", body.trim()));
+    }
+
+    // Chunked NDJSON body: one chunk per line, blank lines are
+    // heartbeats, the zero-length chunk ends the stream.
+    let mut lines = 0u64;
+    let mut done = false;
+    while !done && !SIGNALLED.load(Ordering::SeqCst) {
+        while let Some(size_end) = find_subslice(&buffer, b"\r\n") {
+            let size_text = String::from_utf8_lossy(&buffer[..size_end]).into_owned();
+            let size = usize::from_str_radix(size_text.trim(), 16)
+                .map_err(|_| format!("bad chunk header {size_text:?}"))?;
+            let total = size_end + 2 + size + 2;
+            if buffer.len() < total {
+                break;
+            }
+            let payload = buffer[size_end + 2..size_end + 2 + size].to_vec();
+            buffer.drain(..total);
+            if size == 0 {
+                done = true;
+                break;
+            }
+            let text = String::from_utf8_lossy(&payload);
+            if !text.trim().is_empty() {
+                print!("{text}");
+                let _ = std::io::stdout().flush();
+                lines += text.lines().count() as u64;
+            }
+        }
+        if done {
+            break;
+        }
+        if let Pump::Eof = pump(&mut stream, &mut buffer)? {
+            break;
+        }
+    }
+    eprintln!("tap: {lines} line(s) received");
+    Ok(())
+}
+
+/// Runs a local campaign with a bus attached and prints matching
+/// records from an in-process subscriber — no server required.
+fn tap_oneshot(args: &[String], predicate: TapPredicate, limit: Option<u64>) -> Result<(), String> {
+    let year = parse_year(args)?;
+    let config = CampaignConfig::new(year, parse_number(args, "--scale", 1_000.0)?)
+        .with_seed(parse_number(args, "--seed", 0xD5A1_2019u64)?)
+        .with_shards(parse_number(args, "--shards", 1usize)?);
+    let bus = Arc::new(RecordBus::new());
+    let tap = TapSubscriber::attach(&bus, predicate, DEFAULT_TAP_CAPACITY, &config.infra);
+    let campaign = Campaign::new(config).with_bus(bus);
+    let worker = std::thread::spawn(move || campaign.run());
+    let mut printed = 0u64;
+    let mut finished = false;
+    while limit.is_none_or(|limit| printed < limit) && !SIGNALLED.load(Ordering::SeqCst) {
+        match tap.poll(Duration::from_millis(100)) {
+            Some(event) => {
+                println!("{}", event.to_ndjson());
+                printed += 1;
+            }
+            // One more empty poll after the campaign ends drains
+            // anything still queued before we stop.
+            None if finished => break,
+            None => finished = worker.is_finished(),
+        }
+    }
+    let result = worker
+        .join()
+        .map_err(|_| "campaign thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "tap: {printed} line(s) printed, {} dropped; campaign saw {} probes / {} responses",
+        tap.dropped(),
+        result.dataset().q1,
+        result.dataset().r2()
+    );
+    Ok(())
+}
+
 /// The positional (non-flag, non-flag-value) arguments.
 fn positionals(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
@@ -467,7 +693,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
         }
         if arg.starts_with("--") {
             // Boolean flags take no value.
-            skip_next = !matches!(arg.as_str(), "--full-q1" | "--fresh");
+            skip_next = !matches!(arg.as_str(), "--full-q1" | "--fresh" | "--oneshot");
             continue;
         }
         out.push(arg);

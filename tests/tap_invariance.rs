@@ -1,0 +1,151 @@
+//! Taps are observers, never participants: attaching any number of bus
+//! subscribers — zero, one, many, or a deliberately stalled one that
+//! forces the publisher to drop — must leave campaign reports
+//! byte-identical to the no-bus baseline, at every shard count and in
+//! both analysis modes. The flip side of the contract is liveness: a
+//! consumer that never drains its lane must not block the event loop
+//! (publishes are `try_send`-only), which these tests prove by simply
+//! terminating.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use orscope_core::{
+    AnalysisMode, Campaign, CampaignConfig, CampaignResult, Infra, RecordBus, TapPredicate,
+    TapSubscriber, DEFAULT_TAP_CAPACITY,
+};
+use orscope_resolver::paper::Year;
+
+/// Serialized table reports: the byte-level comparison surface (wall
+/// clock is excluded; it is never invariant).
+fn tables_json(result: &CampaignResult) -> String {
+    serde_json::to_string(&result.table_reports()).expect("tables serialize")
+}
+
+fn config(analysis: AnalysisMode, shards: usize) -> CampaignConfig {
+    CampaignConfig::new(Year::Y2018, 10_000.0)
+        .with_shards(shards)
+        .with_analysis(analysis)
+}
+
+#[test]
+fn reports_are_identical_with_zero_one_or_many_taps() {
+    for analysis in [AnalysisMode::Streaming, AnalysisMode::Batch] {
+        for shards in [1, 2, 4] {
+            let baseline = Campaign::new(config(analysis, shards)).run().unwrap();
+            let baseline_tables = tables_json(&baseline);
+            let baseline_render = baseline.render();
+
+            // A bus with no subscribers: the publish fast path.
+            let empty_bus = Arc::new(RecordBus::new());
+            let with_empty_bus = Campaign::new(config(analysis, shards))
+                .with_bus(empty_bus)
+                .run()
+                .unwrap();
+            assert_eq!(
+                tables_json(&with_empty_bus),
+                baseline_tables,
+                "empty bus perturbed tables: {analysis} x {shards} shards"
+            );
+            assert_eq!(
+                with_empty_bus.render(),
+                baseline_render,
+                "empty bus perturbed render: {analysis} x {shards} shards"
+            );
+
+            // Several subscribers with very different appetites: a
+            // roomy match-all lane, a narrow filtered lane, and a
+            // capacity-1 lane that is never drained at all, so almost
+            // every record published to it must be dropped.
+            let bus = Arc::new(RecordBus::new());
+            let roomy = TapSubscriber::attach(
+                &bus,
+                TapPredicate::match_all(),
+                DEFAULT_TAP_CAPACITY,
+                &Infra::default(),
+            );
+            let narrow = TapSubscriber::attach(
+                &bus,
+                "rcode=NXDomain".parse().unwrap(),
+                64,
+                &Infra::default(),
+            );
+            let stalled = bus.subscribe(1);
+            let with_taps = Campaign::new(config(analysis, shards))
+                .with_bus(bus.clone())
+                .run()
+                .unwrap();
+            assert_eq!(
+                tables_json(&with_taps),
+                baseline_tables,
+                "taps perturbed tables: {analysis} x {shards} shards"
+            );
+            assert_eq!(
+                with_taps.render(),
+                baseline_render,
+                "taps perturbed render: {analysis} x {shards} shards"
+            );
+            if analysis == AnalysisMode::Streaming {
+                // Taps ride the streaming capture path; batch runs
+                // (the oracle, and checkpoint-resume) publish nothing.
+                let stats = bus.stats();
+                assert!(stats.published > 0, "streaming run published nothing");
+                assert!(
+                    stats.dropped > 0,
+                    "a never-drained capacity-1 lane must drop"
+                );
+                assert!(stalled.dropped() > 0, "drops must land on the full lane");
+                assert_eq!(
+                    roomy.dropped() + narrow.dropped() + stalled.dropped(),
+                    stats.dropped,
+                    "bus drop total must equal the per-lane sum"
+                );
+            } else {
+                assert_eq!(bus.stats().published, 0, "batch runs must not publish");
+            }
+            drop((roomy, narrow, stalled));
+        }
+    }
+}
+
+#[test]
+fn concurrent_tap_drain_is_unobservable_in_reports() {
+    let baseline = Campaign::new(config(AnalysisMode::Streaming, 2))
+        .run()
+        .unwrap();
+    let bus = Arc::new(RecordBus::new());
+    let tap = TapSubscriber::attach(
+        &bus,
+        TapPredicate::match_all(),
+        DEFAULT_TAP_CAPACITY,
+        &Infra::default(),
+    );
+    // Drain on a live consumer thread while the campaign runs, exactly
+    // like an attached `orscope tap` client.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                if tap.poll(Duration::from_millis(5)).is_some() {
+                    seen += 1;
+                }
+            }
+            while tap.poll_now().is_some() {
+                seen += 1;
+            }
+            seen
+        })
+    };
+    let result = Campaign::new(config(AnalysisMode::Streaming, 2))
+        .with_bus(bus)
+        .run()
+        .unwrap();
+    stop.store(true, Ordering::SeqCst);
+    let seen = drainer.join().unwrap();
+    assert!(seen > 0, "a drained match-all tap must observe records");
+    assert_eq!(tables_json(&result), tables_json(&baseline));
+    assert_eq!(result.render(), baseline.render());
+}
